@@ -1,0 +1,85 @@
+// Ablation B-abl-gemm: substrate sanity via google-benchmark. The library's
+// claims are about flop-count *ratios*, so absolute GEMM speed does not
+// change any conclusion — this bench documents the dense-kernel baseline
+// (blocked vs naive GEMM, LU, block-Thomas solve) on the host.
+
+#include <benchmark/benchmark.h>
+
+#include "src/btds/generators.hpp"
+#include "src/btds/thomas.hpp"
+#include "src/la/gemm.hpp"
+#include "src/la/lu.hpp"
+#include "src/la/random.hpp"
+
+namespace {
+
+using namespace ardbt;
+using la::index_t;
+using la::Matrix;
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Rng rng = la::make_rng(1);
+  const Matrix a = la::random_uniform(n, n, rng);
+  const Matrix b = la::random_uniform(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm(1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      la::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Rng rng = la::make_rng(2);
+  const Matrix a = la::random_uniform(n, n, rng);
+  const Matrix b = la::random_uniform(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm_naive(1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      la::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNaive)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LuFactor(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Rng rng = la::make_rng(3);
+  const Matrix a = la::random_diag_dominant(n, rng);
+  for (auto _ : state) {
+    la::LuFactors f = la::lu_factor(a.view());
+    benchmark::DoNotOptimize(f.lu.data().data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      la::lu_factor_flops(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LuFactor)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ThomasSolve(benchmark::State& state) {
+  const index_t n = 256;
+  const index_t m = state.range(0);
+  const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
+  const auto f = btds::ThomasFactorization::factor(sys);
+  const auto b = btds::make_rhs(n, m, 16);
+  for (auto _ : state) {
+    la::Matrix x = f.solve(b);
+    benchmark::DoNotOptimize(x.data().data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      btds::ThomasFactorization::solve_flops(n, m, 16) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ThomasSolve)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

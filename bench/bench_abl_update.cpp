@@ -1,0 +1,74 @@
+// Ablation B-abl-update: incremental refactorization vs full refactor.
+// Quasi-Newton time steppers change a few ranks' diagonal blocks per step;
+// ArdFactorization::update lets unchanged ranks skip their segment
+// factorization and corner solve. With one changed rank the critical path
+// barely moves (the changed rank still does full local work), but the
+// *total* work — the quantity that matters for throughput and energy, or
+// when ranks interleave other computation — drops toward the ~4.5x bound
+// (full local phase / modified-factor-only ratio).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/btds/generators.hpp"
+#include "src/core/ard.hpp"
+#include "src/mpsim/collectives.hpp"
+
+int main() {
+  using namespace ardbt;
+  const la::index_t n = 4096;
+  const la::index_t m = 16;
+  const auto engine = bench::virtual_engine();
+
+  std::printf("# B-abl-update: one-rank matrix change, update vs refactor (N=%lld, M=%lld)\n",
+              static_cast<long long>(n), static_cast<long long>(m));
+  bench::Table table({"P", "t_factor[s]", "t_update[s]", "flops_factor", "flops_update",
+                      "work_saved"});
+  for (int p : {2, 4, 16, 64}) {
+    btds::BlockTridiag sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
+    const btds::RowPartition part(n, p);
+    double t_factor = 0.0;
+    double t_update = 0.0;
+    std::vector<double> factor_flops(static_cast<std::size_t>(p));
+    std::vector<double> update_flops(static_cast<std::size_t>(p));
+    mpsim::run(
+        p,
+        [&](mpsim::Comm& comm) {
+          const auto rk = static_cast<std::size_t>(comm.rank());
+          mpsim::barrier(comm);
+          const double f0 = comm.stats().flops_charged;
+          const double t0 = comm.vtime();
+          auto f = core::ArdFactorization::factor(comm, sys, part);
+          mpsim::barrier(comm);
+          factor_flops[rk] = comm.stats().flops_charged - f0;
+          if (comm.rank() == 0) {
+            t_factor = comm.vtime() - t0;
+            sys.diag(0)(0, 0) += 0.25;  // rank 0's rows change
+          }
+          mpsim::barrier(comm);
+          const double f1 = comm.stats().flops_charged;
+          const double t1 = comm.vtime();
+          f.update(comm, sys, /*rows_changed=*/comm.rank() == 0);
+          mpsim::barrier(comm);
+          update_flops[rk] = comm.stats().flops_charged - f1;
+          if (comm.rank() == 0) t_update = comm.vtime() - t1;
+        },
+        engine);
+    double ff = 0.0;
+    double uf = 0.0;
+    for (int rk = 0; rk < p; ++rk) {
+      ff += factor_flops[static_cast<std::size_t>(rk)];
+      uf += update_flops[static_cast<std::size_t>(rk)];
+    }
+    table.add_row({bench::fmt_int(p), bench::fmt_sci(t_factor), bench::fmt_sci(t_update),
+                   bench::fmt_sci(ff), bench::fmt_sci(uf), bench::fmt(ff / uf)});
+  }
+  table.print();
+  std::printf("\nExpected shapes: t_update ~ t_factor (the changed rank is the critical\n"
+              "path), while work_saved grows with P toward the ~4.5x local-phase bound\n"
+              "(unchanged ranks keep only the boundary-modified factorization) until\n"
+              "the O(M^3 log P) scan merges — which update must always redo — start to\n"
+              "dominate per-rank work at large P and pull the ratio back down.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/perfmodel.hpp"
+#include "src/mpsim/engine.hpp"
+
+/// \file bench_common.hpp
+/// Shared plumbing for the experiment-reproduction binaries (one binary
+/// per table/figure of DESIGN.md section 4). Each binary prints the
+/// rows/series the paper-style experiment reports; EXPERIMENTS.md records
+/// the expected shapes.
+
+namespace ardbt::bench {
+
+/// Engine options for the virtual-time experiments: deterministic
+/// charged-flops timing on the IPDPS-2014-era machine profile, with the
+/// flop rate calibrated to this host's dense-kernel throughput so virtual
+/// seconds are meaningful. (The host kernel's thread-CPU clock ticks at
+/// ~10 ms, too coarse for per-phase measurement, so charged-flops mode is
+/// the primary mode; see DESIGN.md substitutions.)
+inline mpsim::EngineOptions virtual_engine() {
+  static const mpsim::CostModel calibrated =
+      core::PerfModel::calibrate(mpsim::CostModel::cluster2014());
+  mpsim::EngineOptions options;
+  options.cost = calibrated;
+  options.timing = mpsim::TimingMode::ChargedFlops;
+  return options;
+}
+
+/// Wall-clock timer for single-run measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Minimal fixed-width table printer (markdown-ish, easy to diff).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    print_row(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += (c == 0 ? "|" : "");
+      sep += std::string(width(c) + 2, '-') + "|";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::size_t width(std::size_t c) const {
+    std::size_t w = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) w = std::max(w, row[c].size());
+    }
+    return w;
+  }
+  void print_row(const std::vector<std::string>& row) const {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(width(c) - cell.size(), ' ') + " |";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers.
+inline std::string fmt(double v, const char* f = "%.3g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+inline std::string fmt_int(double v) { return fmt(v, "%.0f"); }
+inline std::string fmt_sci(double v) { return fmt(v, "%.2e"); }
+
+}  // namespace ardbt::bench

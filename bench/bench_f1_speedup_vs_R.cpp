@@ -1,0 +1,72 @@
+// Experiment F1 (headline): ARD speedup over classic per-RHS recursive
+// doubling as a function of the number of right-hand sides R, for several
+// block sizes M. Reproduces the paper's central claim: speedup ~ R for
+// small R, saturating near the factor/solve cost ratio (~ 2M).
+//
+// Method: one engine session per M — factor once, then solve batches of
+// width R. Classic RD solving R right-hand sides one at a time costs
+// exactly R * (t_factor + t_solve(R=1)) by construction (it is a loop of
+// identical solves); we validate that identity directly at R = 4 before
+// using it for large R, which keeps the bench inside a laptop budget.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/btds/generators.hpp"
+#include "src/core/flops.hpp"
+#include "src/core/solver.hpp"
+
+namespace {
+
+using namespace ardbt;
+
+void run_for_block_size(la::index_t m) {
+  const la::index_t n = 512;
+  const int p = 4;
+  const std::vector<la::index_t> rs = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+
+  const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
+  std::vector<la::Matrix> batches;
+  batches.reserve(rs.size());
+  for (la::index_t r : rs) batches.push_back(btds::make_rhs(n, m, r, /*seed=*/r));
+  std::vector<const la::Matrix*> batch_ptrs;
+  for (const auto& b : batches) batch_ptrs.push_back(&b);
+
+  const auto session = core::ard_session(sys, batch_ptrs, p, {}, bench::virtual_engine());
+  const double t_factor = session.factor_vtime;
+  const double t_solve1 = session.solve_vtimes[0];
+
+  // Validate the RD-per-RHS linearity identity at R = 4.
+  const auto direct = core::solve(core::Method::kRdPerRhs, sys, batches[2], p, {},
+                                  bench::virtual_engine());
+  const double t_direct = direct.solve_vtime;
+  const double t_identity = 4.0 * (t_factor + t_solve1);
+
+  std::printf("\n### F1, M = %lld (N = %lld, P = %d)\n", static_cast<long long>(m),
+              static_cast<long long>(n), p);
+  std::printf("factor = %.4gs, solve(R=1) = %.4gs; RD-per-RHS identity check at R=4: "
+              "direct %.4gs vs R*(f+s1) %.4gs (ratio %.3f)\n",
+              t_factor, t_solve1, t_direct, t_identity, t_direct / t_identity);
+
+  bench::Table table({"R", "t_ard[s]", "t_rd_per_rhs[s]", "speedup", "model_speedup"});
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const la::index_t r = rs[i];
+    const double t_ard = t_factor + session.solve_vtimes[i];
+    const double t_rd = static_cast<double>(r) * (t_factor + t_solve1);
+    table.add_row({bench::fmt_int(static_cast<double>(r)), bench::fmt_sci(t_ard),
+                   bench::fmt_sci(t_rd), bench::fmt(t_rd / t_ard),
+                   bench::fmt(core::flops::predicted_speedup(n, m, r, p))});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# F1: ARD speedup over per-RHS recursive doubling vs R\n");
+  std::printf("# (virtual time, calibrated %s)\n",
+              bench::virtual_engine().cost.name.c_str());
+  for (la::index_t m : {4, 8, 16, 32}) run_for_block_size(m);
+  return 0;
+}

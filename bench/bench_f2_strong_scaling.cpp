@@ -1,0 +1,49 @@
+// Experiment F2: strong scaling. Virtual-time runtime of RD (batched) and
+// ARD (factor + solve) versus rank count P at fixed N, M, R, alongside the
+// closed-form performance model. Expected shape: both fall like 1/P, then
+// flatten on the log P communication floor; ARD stays below RD-per-RHS by
+// the F1 factor with an identical curve shape.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/btds/generators.hpp"
+#include "src/core/perfmodel.hpp"
+#include "src/core/solver.hpp"
+
+int main() {
+  using namespace ardbt;
+  const la::index_t n = 4096;
+  const la::index_t m = 16;
+  const la::index_t r = 128;
+
+  const auto engine = bench::virtual_engine();
+  const core::PerfModel model(engine.cost);
+  const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
+  const auto b = btds::make_rhs(n, m, r);
+
+  std::printf("# F2: strong scaling, N=%lld M=%lld R=%lld (%s, flop rate %.3g/s)\n",
+              static_cast<long long>(n), static_cast<long long>(m), static_cast<long long>(r),
+              engine.cost.name.c_str(), engine.cost.flop_rate);
+  bench::Table table({"P", "t_factor[s]", "t_solve[s]", "t_ard[s]", "model_ard[s]",
+                      "model_rd_per_rhs[s]", "speedup_vs_P1", "ideal"});
+
+  double t1 = 0.0;
+  for (int p = 1; p <= 1024; p *= 2) {
+    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);
+    const double t_ard = res.factor_vtime + res.solve_vtime;
+    if (p == 1) t1 = t_ard;
+    const double model_ard =
+        model.ard_factor_seconds(n, m, p) + model.ard_solve_seconds(n, m, r, p);
+    table.add_row({bench::fmt_int(p), bench::fmt_sci(res.factor_vtime),
+                   bench::fmt_sci(res.solve_vtime), bench::fmt_sci(t_ard),
+                   bench::fmt_sci(model_ard), bench::fmt_sci(model.rd_per_rhs_seconds(n, m, r, p)),
+                   bench::fmt(t1 / t_ard), bench::fmt_int(p)});
+  }
+  table.print();
+  std::printf("\nExpected shapes: speedup_vs_P1 tracks `ideal` for small P and flattens\n"
+              "when the log P merge term dominates; engine and model columns agree on\n"
+              "shape (same flop counts, same alpha-beta charges).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Experiment F4: runtime versus block size M at fixed N, P, R. Expected
+// shape: the factor phase grows ~M^3, the per-RHS solve phase ~M^2, so
+// their ratio — the achievable amortized speedup — grows ~M.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/btds/generators.hpp"
+#include "src/core/solver.hpp"
+
+int main() {
+  using namespace ardbt;
+  const la::index_t n = 1024;
+  const la::index_t r = 64;
+  const int p = 8;
+  const auto engine = bench::virtual_engine();
+
+  std::printf("# F4: runtime vs M (N=%lld, R=%lld, P=%d)\n", static_cast<long long>(n),
+              static_cast<long long>(r), p);
+  bench::Table table({"M", "t_factor[s]", "t_solve[s]", "factor/M^3 [ns]", "solve/(M^2 R) [ns]",
+                      "factor/solve_per_rhs"});
+  for (la::index_t m : {2, 4, 8, 16, 32, 64}) {
+    const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
+    const auto b = btds::make_rhs(n, m, r);
+    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);
+    const double dm = static_cast<double>(m);
+    const double solve_per_rhs = res.solve_vtime / static_cast<double>(r);
+    table.add_row({bench::fmt_int(dm), bench::fmt_sci(res.factor_vtime),
+                   bench::fmt_sci(res.solve_vtime),
+                   bench::fmt(1e9 * res.factor_vtime / (dm * dm * dm)),
+                   bench::fmt(1e9 * res.solve_vtime / (dm * dm * static_cast<double>(r))),
+                   bench::fmt(res.factor_vtime / solve_per_rhs)});
+  }
+  table.print();
+  std::printf("\nExpected shapes: factor/M^3 and solve/(M^2 R) approach constants (cubic\n"
+              "and quadratic growth respectively); the last column — the speedup\n"
+              "saturation level of F1 — grows roughly linearly in M.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Experiment T4 (extension): factored-state memory. ARD caches one
+// boundary-reduced level (O(M^2 N/P) per rank, plus O(M^2 log P) of scan
+// caches); accelerated PCR must cache every one of its ceil(log2 N)
+// levels. This table quantifies the memory side of the F6 trade-off.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/btds/generators.hpp"
+#include "src/core/ard.hpp"
+#include "src/core/pcr.hpp"
+
+int main() {
+  using namespace ardbt;
+  std::printf("# T4: factored-state bytes per rank (rank 0)\n");
+  bench::Table table({"N", "M", "P", "ard_MB", "pcr_MB", "pcr/ard", "log2N"});
+
+  struct Config {
+    la::index_t n, m;
+    int p;
+  };
+  for (const Config& c : {Config{512, 8, 4}, Config{2048, 8, 4}, Config{8192, 8, 4},
+                          Config{2048, 16, 4}, Config{2048, 32, 4}, Config{2048, 16, 16}}) {
+    const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, c.n, c.m);
+    const btds::RowPartition part(c.n, c.p);
+    std::size_t ard_bytes = 0;
+    std::size_t pcr_bytes = 0;
+    mpsim::run(c.p, [&](mpsim::Comm& comm) {
+      const auto fa = core::ArdFactorization::factor(comm, sys, part);
+      const auto fp = core::PcrFactorization::factor(comm, sys, part);
+      if (comm.rank() == 0) {
+        ard_bytes = fa.storage_bytes();
+        pcr_bytes = fp.storage_bytes();
+      }
+    });
+    double log2n = 0;
+    for (la::index_t s = 1; s < c.n; s *= 2) log2n += 1;
+    table.add_row({bench::fmt_int(static_cast<double>(c.n)),
+                   bench::fmt_int(static_cast<double>(c.m)), bench::fmt_int(c.p),
+                   bench::fmt(static_cast<double>(ard_bytes) / 1e6),
+                   bench::fmt(static_cast<double>(pcr_bytes) / 1e6),
+                   bench::fmt(static_cast<double>(pcr_bytes) / static_cast<double>(ard_bytes)),
+                   bench::fmt_int(log2n)});
+  }
+  table.print();
+  std::printf("\nExpected shapes: ard_MB ~ 6 M^2 (N/P) doubles; pcr/ard tracks ~log2 N\n"
+              "times a small constant; both scale with M^2 and 1/P.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Krylov example: time-dependent coefficients handled with ONE frozen
+// ARD factorization as a PCG preconditioner.
+//
+// The operator of an implicit diffusion step, I + dt*L(kappa(t)), changes
+// every step as the conductivity field kappa(t) drifts. Refactoring each
+// step costs O(M^3 N/P); instead we factor the t = 0 operator once and
+// solve each step's SPD system by preconditioned CG — every iteration is
+// a halo-exchange apply plus one O(M^2 R) ARD solve, and while the
+// coefficients stay near the frozen ones PCG needs only a handful of
+// iterations. When drift accumulates, ArdFactorization::update refreshes
+// the preconditioner and the iteration count drops back.
+//
+// Everything runs on the fully distributed path: no rank ever holds a
+// global matrix or vector.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/btds/distributed.hpp"
+#include "src/btds/partition.hpp"
+#include "src/core/krylov.hpp"
+#include "src/mpsim/collectives.hpp"
+#include "src/mpsim/engine.hpp"
+
+namespace {
+
+using namespace ardbt;
+using la::index_t;
+using la::Matrix;
+
+/// Assemble this rank's rows of I + dt * L(kappa): an SPD diffusion
+/// operator whose conductivity varies in space and time.
+void assemble_local(btds::LocalBlockTridiag& sys, index_t n, index_t m, double dt, double t) {
+  const auto kappa = [&](index_t i) {
+    return 1.0 + 0.4 * std::sin(0.17 * static_cast<double>(i) + 2.0 * t);
+  };
+  for (index_t i = sys.lo(); i < sys.hi(); ++i) {
+    Matrix& d = sys.diag(i);
+    d.fill(0.0);
+    const double k = kappa(i);
+    for (index_t s = 0; s < m; ++s) {
+      d(s, s) = 1.0 + dt * 4.0 * k;
+      if (s > 0) d(s, s - 1) = -dt * k;
+      if (s + 1 < m) d(s, s + 1) = -dt * k;
+    }
+    // Symmetric off-diagonal blocks use the edge-averaged conductivity so
+    // the global operator stays SPD.
+    if (i > 0) {
+      const double ke = 0.5 * (kappa(i) + kappa(i - 1));
+      sys.lower(i).fill(0.0);
+      for (index_t s = 0; s < m; ++s) sys.lower(i)(s, s) = -dt * ke;
+    }
+    if (i + 1 < n) {
+      const double ke = 0.5 * (kappa(i) + kappa(i + 1));
+      sys.upper(i).fill(0.0);
+      for (index_t s = 0; s < m; ++s) sys.upper(i)(s, s) = -dt * ke;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const index_t n = 128, m = 8;
+  const double dt = 0.2;
+  const int steps = 30;
+  const int refresh_every = 10;  // update the preconditioner periodically
+  const int p_ranks = 4;
+
+  const btds::RowPartition part(n, p_ranks);
+  mpsim::EngineOptions engine;
+  engine.timing = mpsim::TimingMode::ChargedFlops;
+  engine.cost = mpsim::CostModel::cluster2014();
+
+  int total_iters = 0;
+  int max_iters_step = 0;
+  int factors = 0;
+  double worst_residual = 0.0;
+
+  mpsim::run(p_ranks, [&](mpsim::Comm& comm) {
+    btds::LocalBlockTridiag frozen(n, m, part, comm.rank());
+    btds::LocalBlockTridiag current(n, m, part, comm.rank());
+    assemble_local(frozen, n, m, dt, /*t=*/0.0);
+    auto precond = core::ArdFactorization::factor(comm, frozen, part);
+    int local_factors = 1;
+
+    // Initial condition: a bump owned by whichever rank holds row n/2.
+    const index_t nloc = part.count(comm.rank());
+    Matrix u(nloc * m, 1);
+    const index_t mid = n / 2;
+    if (mid >= part.begin(comm.rank()) && mid < part.end(comm.rank())) {
+      u((mid - part.begin(comm.rank())) * m + m / 2, 0) = 1.0;
+    }
+
+    Matrix x = u;
+    for (int step = 0; step < steps; ++step) {
+      const double t = dt * (step + 1);
+      assemble_local(current, n, m, dt, t);
+      if (step > 0 && step % refresh_every == 0) {
+        assemble_local(frozen, n, m, dt, t);
+        precond.update(comm, frozen, /*rows_changed=*/true);
+        ++local_factors;
+      }
+      const core::KrylovResult res =
+          core::pcg(comm, current, part, &precond, u, x, /*max_iters=*/50, /*tol=*/1e-10);
+      const double final_res =
+          btds::relative_residual_distributed(comm, current, x, u, part);
+      if (comm.rank() == 0) {
+        total_iters += res.iterations;
+        max_iters_step = std::max(max_iters_step, res.iterations);
+        worst_residual = std::max(worst_residual, final_res);
+      }
+      u = x;  // next step's right-hand side
+      mpsim::barrier(comm);
+    }
+    if (comm.rank() == 0) factors = local_factors;
+  }, engine);
+
+  std::printf("frozen-preconditioner PCG stepping: N=%lld M=%lld, %d steps, P=%d\n",
+              static_cast<long long>(n), static_cast<long long>(m), steps, p_ranks);
+  std::printf("factorizations: %d (vs %d for refactor-every-step)\n", factors, steps);
+  std::printf("PCG iterations: %.1f mean, %d max per step\n",
+              static_cast<double>(total_iters) / steps, max_iters_step);
+  std::printf("worst per-step relative residual: %.2e (tol 1e-10)\n", worst_residual);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Iterative-method example: a block tridiagonal factorization as a
+// preconditioner, generating one new right-hand side per iteration.
+//
+// The operator is T + eps * u v^T — block tridiagonal transport plus a
+// low-rank long-range coupling (e.g. an integral term), which is NOT
+// tridiagonal. Preconditioned Richardson iteration
+//
+//     x_{k+1} = x_k + T^{-1} (b - (T + eps u v^T) x_k)
+//
+// converges geometrically at rate ~ ||eps T^{-1} u v^T||, and every
+// iteration needs one solve with the SAME T — the sequential right-hand-
+// side pattern that makes ARD's factor-once/solve-many split pay off.
+//
+// Validation: geometric residual decay, and the final answer checked
+// against a dense solve of the full (non-tridiagonal) operator.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/btds/generators.hpp"
+#include "src/btds/partition.hpp"
+#include "src/btds/spmv.hpp"
+#include "src/core/ard.hpp"
+#include "src/la/blas1.hpp"
+#include "src/la/gemm.hpp"
+#include "src/la/lu.hpp"
+#include "src/la/random.hpp"
+#include "src/mpsim/collectives.hpp"
+#include "src/mpsim/engine.hpp"
+
+namespace {
+
+using namespace ardbt;
+using la::index_t;
+using la::Matrix;
+
+}  // namespace
+
+int main() {
+  const index_t n = 128;
+  const index_t m = 8;
+  const double eps = 0.05;
+  const int p_ranks = 4;
+  const int max_iters = 40;
+
+  const btds::BlockTridiag t = btds::make_problem(btds::ProblemKind::kConvectionDiffusion, n, m);
+  la::Rng rng = la::make_rng(2024);
+  const Matrix u_vec = la::random_uniform(n * m, 1, rng);
+  const Matrix v_vec = la::random_uniform(n * m, 1, rng);
+  const Matrix b = btds::make_rhs(n, m, 1);
+
+  // Full operator applied to x: T x + eps * u (v^T x).
+  const auto apply_full = [&](const Matrix& x) {
+    Matrix y = btds::apply(t, x);
+    double vtx = 0.0;
+    for (index_t i = 0; i < x.rows(); ++i) vtx += v_vec(i, 0) * x(i, 0);
+    for (index_t i = 0; i < y.rows(); ++i) y(i, 0) += eps * u_vec(i, 0) * vtx;
+    return y;
+  };
+
+  Matrix x(n * m, 1);
+  Matrix solve_out(n * m, 1);
+  Matrix r_global(n * m, 1);
+  std::vector<double> residual_norms;
+  const btds::RowPartition part(n, p_ranks);
+  double factor_vtime = 0.0;
+  double solve_vtime_sum = 0.0;
+  int iters_done = 0;
+
+  mpsim::EngineOptions engine;
+  engine.timing = mpsim::TimingMode::ChargedFlops;
+  engine.cost = mpsim::CostModel::cluster2014();
+  mpsim::run(p_ranks, [&](mpsim::Comm& comm) {
+    const double t0 = comm.vtime();
+    const auto f = core::ArdFactorization::factor(comm, t, part);
+    mpsim::barrier(comm);
+    if (comm.rank() == 0) factor_vtime = comm.vtime() - t0;
+
+    for (int k = 0; k < max_iters; ++k) {
+      // Rank 0 forms the global residual (cheap, O(N M)); a production
+      // code would keep this distributed too.
+      if (comm.rank() == 0) {
+        r_global = apply_full(x);
+        la::matrix_scal(-1.0, r_global.view());
+        la::matrix_axpy(1.0, b.view(), r_global.view());
+        residual_norms.push_back(la::norm_fro(r_global.view()));
+      }
+      mpsim::barrier(comm);
+      if (residual_norms.back() < 1e-12) break;
+
+      const double t1 = comm.vtime();
+      f.solve(comm, r_global, solve_out);
+      mpsim::barrier(comm);
+      if (comm.rank() == 0) {
+        solve_vtime_sum += comm.vtime() - t1;
+        la::matrix_axpy(1.0, solve_out.view(), x.view());
+        ++iters_done;
+      }
+      mpsim::barrier(comm);
+    }
+  }, engine);
+
+  std::printf("preconditioned Richardson on T + eps*u*v^T (N=%lld, M=%lld, eps=%.2g, P=%d)\n",
+              static_cast<long long>(n), static_cast<long long>(m), eps, p_ranks);
+  std::printf("factor once: %.3g modeled s; %d iterations, mean solve %.3g modeled s\n",
+              factor_vtime, iters_done, solve_vtime_sum / iters_done);
+  std::printf("iter   ||r||\n");
+  for (std::size_t k = 0; k < residual_norms.size(); k += 5) {
+    std::printf("%4zu   %.3e\n", k, residual_norms[k]);
+  }
+  std::printf("final  %.3e\n", residual_norms.back());
+  const double rate = std::pow(residual_norms.back() / residual_norms.front(),
+                               1.0 / static_cast<double>(iters_done));
+  std::printf("mean contraction per iteration: %.3f\n", rate);
+
+  // Cross-check against a dense solve of the full operator.
+  Matrix dense(n * m, n * m);
+  for (index_t i = 0; i < n; ++i) {
+    la::copy(t.diag(i).view(), dense.block(i * m, i * m, m, m));
+    if (i > 0) la::copy(t.lower(i).view(), dense.block(i * m, (i - 1) * m, m, m));
+    if (i + 1 < n) la::copy(t.upper(i).view(), dense.block(i * m, (i + 1) * m, m, m));
+  }
+  for (index_t i = 0; i < n * m; ++i) {
+    for (index_t j = 0; j < n * m; ++j) dense(i, j) += eps * u_vec(i, 0) * v_vec(j, 0);
+  }
+  const la::LuFactors lu = la::lu_factor(std::move(dense));
+  const Matrix x_ref = la::lu_solve(lu, b.view());
+  double err = 0.0;
+  for (index_t i = 0; i < n * m; ++i) err = std::max(err, std::abs(x(i, 0) - x_ref(i, 0)));
+  std::printf("max difference vs dense solve of the full operator: %.2e\n", err);
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Periodic-domain example: multispecies advection-diffusion-reaction on a
+// ring, stepped implicitly with one PERIODIC block tridiagonal
+// factorization reused for every step (core/periodic.hpp — the Woodbury
+// corner correction on top of ARD).
+//
+// N cells around the ring, M chemical species per cell. Species advect
+// and diffuse along the ring (periodic wrap = the corner blocks) and
+// convert into each other through a reaction matrix with zero column sums
+// (mass moves between species, never appears or disappears). The implicit
+// operator I + dt*L then has the property 1^T L = 0, so the total mass
+//   sum_cells sum_species u
+// is conserved EXACTLY by every implicit Euler step — the example checks
+// this to machine precision over 200 steps, and checks that the pulse's
+// centre of mass advects at the prescribed velocity.
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "src/btds/block_tridiag.hpp"
+#include "src/btds/partition.hpp"
+#include "src/core/periodic.hpp"
+#include "src/mpsim/collectives.hpp"
+#include "src/mpsim/engine.hpp"
+
+namespace {
+
+using namespace ardbt;
+using la::index_t;
+using la::Matrix;
+
+}  // namespace
+
+int main() {
+  const index_t cells = 96;    // N
+  const index_t species = 4;   // M
+  const double velocity = 1.0;
+  const double diffusion = 0.02;
+  const double dt = 0.01;
+  const double h = 1.0 / static_cast<double>(cells);
+  const int steps = 200;
+  const int p_ranks = 4;
+
+  // Flux coefficients (upwind advection + central diffusion), conservative:
+  //   L u |_i = (a_W u_{i-1} + a_P u_i + a_E u_{i+1}) / h
+  const double c_west = -velocity / h - diffusion / (h * h);
+  const double c_east = -diffusion / (h * h);
+  const double c_diag = velocity / h + 2.0 * diffusion / (h * h);
+
+  // Reaction matrix with zero column sums: a cycle s -> s+1 at rate k.
+  const double k_react = 2.0;
+  Matrix reaction(species, species);
+  for (index_t s = 0; s < species; ++s) {
+    reaction(s, s) += k_react;                       // loss from s
+    reaction((s + 1) % species, s) -= k_react;       // gain in s+1
+  }
+
+  // Implicit operator I + dt * (transport x I_species + I_cells x reaction).
+  btds::BlockTridiag sys(cells, species);
+  Matrix corner_lower(species, species);  // row 0 <- row N-1 (west wrap)
+  Matrix corner_upper(species, species);  // row N-1 <- row 0 (east wrap)
+  for (index_t i = 0; i < cells; ++i) {
+    Matrix& d = sys.diag(i);
+    for (index_t s = 0; s < species; ++s) {
+      d(s, s) += 1.0 + dt * c_diag;
+      for (index_t s2 = 0; s2 < species; ++s2) d(s, s2) += dt * reaction(s, s2);
+    }
+    if (i > 0) {
+      for (index_t s = 0; s < species; ++s) sys.lower(i)(s, s) = dt * c_west;
+    }
+    if (i + 1 < cells) {
+      for (index_t s = 0; s < species; ++s) sys.upper(i)(s, s) = dt * c_east;
+    }
+  }
+  for (index_t s = 0; s < species; ++s) {
+    corner_lower(s, s) = dt * c_west;  // cell 0's west neighbour is cell N-1
+    corner_upper(s, s) = dt * c_east;  // cell N-1's east neighbour is cell 0
+  }
+
+  // Initial condition: a Gaussian pulse of species 0 centred at x = 0.25.
+  Matrix u(cells * species, 1);
+  for (index_t i = 0; i < cells; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) * h;
+    u(i * species + 0, 0) = std::exp(-std::pow((x - 0.25) / 0.05, 2.0));
+  }
+  const auto total_mass = [&] {
+    double s = 0.0;
+    for (index_t i = 0; i < cells * species; ++i) s += u(i, 0);
+    return s;
+  };
+  const double mass0 = total_mass();
+
+  Matrix u_next(cells * species, 1);
+  const btds::RowPartition part(cells, p_ranks);
+  mpsim::EngineOptions engine;
+  engine.timing = mpsim::TimingMode::ChargedFlops;
+  engine.cost = mpsim::CostModel::cluster2014();
+  double factor_vtime = 0.0;
+  double solve_vtime = 0.0;
+
+  mpsim::run(p_ranks, [&](mpsim::Comm& comm) {
+    const double t0 = comm.vtime();
+    const auto f =
+        core::PeriodicArdFactorization::factor(comm, sys, corner_lower, corner_upper, part);
+    mpsim::barrier(comm);
+    if (comm.rank() == 0) factor_vtime = comm.vtime() - t0;
+    for (int step = 0; step < steps; ++step) {
+      const double t1 = comm.vtime();
+      f.solve(comm, u, u_next);
+      mpsim::barrier(comm);
+      if (comm.rank() == 0) {
+        solve_vtime += comm.vtime() - t1;
+        std::swap(u, u_next);
+      }
+      mpsim::barrier(comm);
+    }
+  });
+
+  // Diagnostics: exact mass conservation and centre-of-mass advection.
+  const double mass_err = std::abs(total_mass() - mass0) / mass0;
+
+  // Circular centre of mass over all species.
+  double cx = 0.0;
+  double sx = 0.0;
+  for (index_t i = 0; i < cells; ++i) {
+    const double angle = 2.0 * std::numbers::pi * (static_cast<double>(i) + 0.5) * h;
+    double cell_mass = 0.0;
+    for (index_t s = 0; s < species; ++s) cell_mass += u(i * species + s, 0);
+    cx += cell_mass * std::cos(angle);
+    sx += cell_mass * std::sin(angle);
+  }
+  double com = std::atan2(sx, cx) / (2.0 * std::numbers::pi);
+  if (com < 0.0) com += 1.0;
+  const double expected_com = std::fmod(0.25 + velocity * dt * steps, 1.0);
+
+  std::printf("ring advection-diffusion-reaction: %lld cells x %lld species, %d steps, P=%d\n",
+              static_cast<long long>(cells), static_cast<long long>(species), steps, p_ranks);
+  std::printf("periodic factor: %.3g modeled s; total stepping: %.3g modeled s\n", factor_vtime,
+              solve_vtime);
+  std::printf("mass conservation error after %d steps: %.3e (must be ~1e-15)\n", steps,
+              mass_err);
+  std::printf("centre of mass: %.4f (advection predicts %.4f, diffusion-flattened)\n", com,
+              expected_com);
+
+  // Species cycle: after many reaction times, mass spreads over species.
+  double per_species[8] = {};
+  for (index_t i = 0; i < cells; ++i) {
+    for (index_t s = 0; s < species; ++s) per_species[s] += u(i * species + s, 0);
+  }
+  std::printf("species mass split:");
+  for (index_t s = 0; s < species; ++s) std::printf(" %.3f", per_species[s] / mass0);
+  std::printf("  (reaction cycle equilibrates toward 1/%lld each)\n",
+              static_cast<long long>(species));
+  return 0;
+}

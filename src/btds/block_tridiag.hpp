@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "src/la/matrix.hpp"
+
+/// \file block_tridiag.hpp
+/// Storage for block tridiagonal systems
+///
+///   | D_0 C_0                    | |x_0|   |b_0|
+///   | A_1 D_1 C_1                | |x_1|   |b_1|
+///   |      ...                   | |...| = |...|
+///   |          A_{N-1} D_{N-1}   | |x_N-1| |b_N-1|
+///
+/// with N block rows of square blocks of order M. `lower(0)` and
+/// `upper(N-1)` do not exist and must not be touched. Right-hand sides and
+/// solutions with R columns are stored as dense (N*M) x R matrices; block
+/// row i of such a matrix is rows [i*M, (i+1)*M).
+
+namespace ardbt::btds {
+
+using la::index_t;
+using la::Matrix;
+
+/// Owning block tridiagonal matrix.
+class BlockTridiag {
+ public:
+  BlockTridiag() = default;
+
+  /// N zero blocks of order M on each diagonal.
+  BlockTridiag(index_t num_blocks, index_t block_size)
+      : n_(num_blocks),
+        m_(block_size),
+        lower_(static_cast<std::size_t>(num_blocks), Matrix(block_size, block_size)),
+        diag_(static_cast<std::size_t>(num_blocks), Matrix(block_size, block_size)),
+        upper_(static_cast<std::size_t>(num_blocks), Matrix(block_size, block_size)) {
+    assert(num_blocks >= 1 && block_size >= 1);
+  }
+
+  /// Number of block rows N.
+  index_t num_blocks() const { return n_; }
+  /// Block order M.
+  index_t block_size() const { return m_; }
+  /// Scalar dimension N*M.
+  index_t dim() const { return n_ * m_; }
+
+  /// Sub-diagonal block A_i, valid for 1 <= i < N.
+  Matrix& lower(index_t i) {
+    assert(i >= 1 && i < n_);
+    return lower_[static_cast<std::size_t>(i)];
+  }
+  const Matrix& lower(index_t i) const {
+    assert(i >= 1 && i < n_);
+    return lower_[static_cast<std::size_t>(i)];
+  }
+
+  /// Diagonal block D_i, valid for 0 <= i < N.
+  Matrix& diag(index_t i) {
+    assert(i >= 0 && i < n_);
+    return diag_[static_cast<std::size_t>(i)];
+  }
+  const Matrix& diag(index_t i) const {
+    assert(i >= 0 && i < n_);
+    return diag_[static_cast<std::size_t>(i)];
+  }
+
+  /// Super-diagonal block C_i, valid for 0 <= i < N-1.
+  Matrix& upper(index_t i) {
+    assert(i >= 0 && i < n_ - 1);
+    return upper_[static_cast<std::size_t>(i)];
+  }
+  const Matrix& upper(index_t i) const {
+    assert(i >= 0 && i < n_ - 1);
+    return upper_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  index_t n_ = 0;
+  index_t m_ = 0;
+  std::vector<Matrix> lower_;
+  std::vector<Matrix> diag_;
+  std::vector<Matrix> upper_;
+};
+
+/// Mutable view of block row i of an (N*M) x R right-hand-side/solution
+/// matrix.
+inline la::MatrixView block_row(Matrix& x, index_t i, index_t m) {
+  return x.block(i * m, 0, m, x.cols());
+}
+inline la::ConstMatrixView block_row(const Matrix& x, index_t i, index_t m) {
+  return x.block(i * m, 0, m, x.cols());
+}
+
+}  // namespace ardbt::btds

@@ -1,0 +1,152 @@
+#include "src/btds/distributed.hpp"
+
+#include <cstring>
+
+#include "src/mpsim/collectives.hpp"
+
+namespace ardbt::btds {
+namespace {
+
+void append_matrix(std::vector<std::byte>& buffer, const Matrix& m) {
+  const std::size_t old = buffer.size();
+  const std::size_t bytes = static_cast<std::size_t>(m.size()) * sizeof(double);
+  buffer.resize(old + bytes);
+  std::memcpy(buffer.data() + old, m.data().data(), bytes);
+}
+
+void take_matrix(std::span<const std::byte>& cursor, Matrix& out) {
+  const std::size_t bytes = static_cast<std::size_t>(out.size()) * sizeof(double);
+  assert(cursor.size() >= bytes);
+  std::memcpy(out.data().data(), cursor.data(), bytes);
+  cursor = cursor.subspan(bytes);
+}
+
+}  // namespace
+
+LocalBlockTridiag::LocalBlockTridiag(index_t num_blocks_global, index_t block_size,
+                                     const RowPartition& part, int rank)
+    : n_global_(num_blocks_global),
+      m_(block_size),
+      lo_(part.begin(rank)),
+      hi_(part.end(rank)) {
+  const auto nloc = static_cast<std::size_t>(hi_ - lo_);
+  lower_.assign(nloc, Matrix(m_, m_));
+  diag_.assign(nloc, Matrix(m_, m_));
+  upper_.assign(nloc, Matrix(m_, m_));
+}
+
+Matrix& LocalBlockTridiag::lower(index_t i) {
+  assert(i >= 1);
+  return lower_[local_of(i)];
+}
+const Matrix& LocalBlockTridiag::lower(index_t i) const {
+  assert(i >= 1);
+  return lower_[local_of(i)];
+}
+Matrix& LocalBlockTridiag::diag(index_t i) { return diag_[local_of(i)]; }
+const Matrix& LocalBlockTridiag::diag(index_t i) const { return diag_[local_of(i)]; }
+Matrix& LocalBlockTridiag::upper(index_t i) {
+  assert(i + 1 < n_global_);
+  return upper_[local_of(i)];
+}
+const Matrix& LocalBlockTridiag::upper(index_t i) const {
+  assert(i + 1 < n_global_);
+  return upper_[local_of(i)];
+}
+
+LocalBlockTridiag LocalBlockTridiag::scatter(mpsim::Comm& comm, const BlockTridiag* global,
+                                             index_t num_blocks_global, index_t block_size,
+                                             const RowPartition& part, int root) {
+  LocalBlockTridiag local(num_blocks_global, block_size, part, comm.rank());
+  const index_t n = num_blocks_global;
+
+  if (comm.rank() == root) {
+    assert(global != nullptr && global->num_blocks() == n &&
+           global->block_size() == block_size);
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == root) continue;
+      std::vector<std::byte> buffer;
+      for (index_t i = part.begin(peer); i < part.end(peer); ++i) {
+        if (i > 0) append_matrix(buffer, global->lower(i));
+        append_matrix(buffer, global->diag(i));
+        if (i + 1 < n) append_matrix(buffer, global->upper(i));
+      }
+      comm.send_bytes(peer, dist_tags::kScatterSys, buffer);
+    }
+    for (index_t i = local.lo_; i < local.hi_; ++i) {
+      if (i > 0) local.lower(i) = global->lower(i);
+      local.diag(i) = global->diag(i);
+      if (i + 1 < n) local.upper(i) = global->upper(i);
+    }
+  } else {
+    const std::vector<std::byte> raw = comm.recv_bytes(root, dist_tags::kScatterSys);
+    std::span<const std::byte> cursor(raw);
+    for (index_t i = local.lo_; i < local.hi_; ++i) {
+      if (i > 0) take_matrix(cursor, local.lower(i));
+      take_matrix(cursor, local.diag(i));
+      if (i + 1 < n) take_matrix(cursor, local.upper(i));
+    }
+    assert(cursor.empty());
+  }
+  return local;
+}
+
+LocalBlockTridiag LocalBlockTridiag::from_shared(const BlockTridiag& global,
+                                                 const RowPartition& part, int rank) {
+  LocalBlockTridiag local(global.num_blocks(), global.block_size(), part, rank);
+  for (index_t i = local.lo_; i < local.hi_; ++i) {
+    if (i > 0) local.lower(i) = global.lower(i);
+    local.diag(i) = global.diag(i);
+    if (i + 1 < global.num_blocks()) local.upper(i) = global.upper(i);
+  }
+  return local;
+}
+
+Matrix scatter_rows(mpsim::Comm& comm, const Matrix* global, index_t block_size,
+                    const RowPartition& part, int root) {
+  // Broadcast the column count so non-root ranks can size their slices.
+  double r_bcast[1] = {comm.rank() == root ? static_cast<double>(global->cols()) : 0.0};
+  mpsim::bcast(comm, r_bcast, root);
+  const auto r = static_cast<index_t>(r_bcast[0]);
+
+  const index_t nloc = part.count(comm.rank());
+  Matrix local(nloc * block_size, r);
+  if (comm.rank() == root) {
+    assert(global != nullptr && global->rows() == part.num_blocks() * block_size);
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == root) continue;
+      const index_t rows = part.count(peer) * block_size;
+      const Matrix slice =
+          la::to_matrix(global->block(part.begin(peer) * block_size, 0, rows, r));
+      comm.send(peer, dist_tags::kScatterRows, std::span<const double>(slice.data()));
+    }
+    la::copy(global->block(part.begin(root) * block_size, 0, nloc * block_size, r),
+             local.view());
+  } else {
+    comm.recv_into(root, dist_tags::kScatterRows, std::span<double>(local.data()));
+  }
+  return local;
+}
+
+void gather_rows(mpsim::Comm& comm, const Matrix& local, Matrix* global, index_t block_size,
+                 const RowPartition& part, int root) {
+  const index_t r = local.cols();
+  if (comm.rank() == root) {
+    assert(global != nullptr);
+    global->resize(part.num_blocks() * block_size, r);
+    la::copy(local.view(),
+             global->block(part.begin(root) * block_size, 0, local.rows(), r));
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == root) continue;
+      const index_t rows = part.count(peer) * block_size;
+      la::MatrixView dst = global->block(part.begin(peer) * block_size, 0, rows, r);
+      Matrix buf(rows, r);
+      comm.recv_into(peer, dist_tags::kScatterRows, std::span<double>(buf.data()));
+      la::copy(buf.view(), dst);
+    }
+  } else {
+    comm.send(root, dist_tags::kScatterRows, std::span<const double>(local.data()));
+  }
+}
+
+}  // namespace ardbt::btds

@@ -1,0 +1,129 @@
+#include "src/btds/generators.hpp"
+
+#include <cmath>
+
+#include "src/la/random.hpp"
+
+namespace ardbt::btds {
+namespace {
+
+/// Boost the diagonal of D_i so each scalar row of [A_i | D_i | C_i] is
+/// strictly dominated by its diagonal entry times `dominance`.
+void make_block_row_dominant(BlockTridiag& t, index_t i, double dominance) {
+  const index_t m = t.block_size();
+  Matrix& d = t.diag(i);
+  for (index_t r = 0; r < m; ++r) {
+    double off = 0.0;
+    if (i > 0) {
+      for (index_t c = 0; c < m; ++c) off += std::abs(t.lower(i)(r, c));
+    }
+    if (i + 1 < t.num_blocks()) {
+      for (index_t c = 0; c < m; ++c) off += std::abs(t.upper(i)(r, c));
+    }
+    for (index_t c = 0; c < m; ++c) {
+      if (c != r) off += std::abs(d(r, c));
+    }
+    const double sign = d(r, r) >= 0.0 ? 1.0 : -1.0;
+    d(r, r) = sign * (dominance * off + 1.0);
+  }
+}
+
+BlockTridiag random_blocks(index_t n, index_t m, std::uint64_t seed, double dominance) {
+  BlockTridiag t(n, m);
+  for (index_t i = 0; i < n; ++i) {
+    la::Rng rng = la::make_rng(seed, static_cast<std::uint64_t>(i));
+    if (i > 0) la::fill_uniform(t.lower(i).view(), rng);
+    la::fill_uniform(t.diag(i).view(), rng);
+    // Super-diagonal blocks must be invertible for recursive doubling;
+    // orthogonal-ish blocks keep their condition number near 1.
+    if (i + 1 < n) t.upper(i) = la::random_orthogonalish(m, rng);
+    make_block_row_dominant(t, i, dominance);
+  }
+  return t;
+}
+
+BlockTridiag poisson2d(index_t n, index_t m, double drift) {
+  BlockTridiag t(n, m);
+  for (index_t i = 0; i < n; ++i) {
+    Matrix& d = t.diag(i);
+    for (index_t r = 0; r < m; ++r) {
+      d(r, r) = 4.0;
+      if (r > 0) d(r, r - 1) = -1.0 - drift;
+      if (r + 1 < m) d(r, r + 1) = -1.0 + drift;
+    }
+    if (i > 0) {
+      Matrix& a = t.lower(i);
+      for (index_t r = 0; r < m; ++r) a(r, r) = -1.0 - drift;
+    }
+    if (i + 1 < n) {
+      Matrix& c = t.upper(i);
+      for (index_t r = 0; r < m; ++r) c(r, r) = -1.0 + drift;
+    }
+  }
+  return t;
+}
+
+BlockTridiag toeplitz(index_t n, index_t m, std::uint64_t seed) {
+  la::Rng rng = la::make_rng(seed, 0);
+  Matrix a = la::random_uniform(m, m, rng, -0.4, 0.4);
+  Matrix c = la::random_orthogonalish(m, rng);
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t cidx = 0; cidx < m; ++cidx) c(r, cidx) *= 0.4;
+  }
+  Matrix d = la::random_diag_dominant(m, rng, /*dominance=*/1.0);
+  // Extra diagonal boost covering the off-diagonal block mass.
+  for (index_t r = 0; r < m; ++r) {
+    double off = 0.0;
+    for (index_t cidx = 0; cidx < m; ++cidx) off += std::abs(a(r, cidx)) + std::abs(c(r, cidx));
+    d(r, r) += (d(r, r) >= 0.0 ? 1.0 : -1.0) * 2.0 * off;
+  }
+  BlockTridiag t(n, m);
+  for (index_t i = 0; i < n; ++i) {
+    t.diag(i) = d;
+    if (i > 0) t.lower(i) = a;
+    if (i + 1 < n) t.upper(i) = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string_view to_string(ProblemKind kind) {
+  switch (kind) {
+    case ProblemKind::kDiagDominant:
+      return "diagdom";
+    case ProblemKind::kPoisson2D:
+      return "poisson2d";
+    case ProblemKind::kConvectionDiffusion:
+      return "convdiff";
+    case ProblemKind::kToeplitz:
+      return "toeplitz";
+    case ProblemKind::kIllConditioned:
+      return "illcond";
+  }
+  return "unknown";
+}
+
+BlockTridiag make_problem(ProblemKind kind, index_t num_blocks, index_t block_size,
+                          std::uint64_t seed) {
+  switch (kind) {
+    case ProblemKind::kDiagDominant:
+      return random_blocks(num_blocks, block_size, seed, /*dominance=*/2.0);
+    case ProblemKind::kPoisson2D:
+      return poisson2d(num_blocks, block_size, /*drift=*/0.0);
+    case ProblemKind::kConvectionDiffusion:
+      return poisson2d(num_blocks, block_size, /*drift=*/0.5);
+    case ProblemKind::kToeplitz:
+      return toeplitz(num_blocks, block_size, seed);
+    case ProblemKind::kIllConditioned:
+      return random_blocks(num_blocks, block_size, seed, /*dominance=*/1.02);
+  }
+  return BlockTridiag(num_blocks, block_size);
+}
+
+Matrix make_rhs(index_t num_blocks, index_t block_size, index_t num_rhs, std::uint64_t seed) {
+  la::Rng rng = la::make_rng(seed, 1);
+  return la::random_uniform(num_blocks * block_size, num_rhs, rng);
+}
+
+}  // namespace ardbt::btds

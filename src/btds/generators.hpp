@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/btds/block_tridiag.hpp"
+
+/// \file generators.hpp
+/// Synthetic problem generators standing in for the application matrices
+/// of the paper's testbed (see DESIGN.md, substitutions table). Every
+/// generator is deterministic in (parameters, seed) and, except for the
+/// ill-conditioned dial, produces block-diagonally-dominant systems with
+/// invertible super-diagonal blocks — the classical assumptions of
+/// recursive doubling.
+
+namespace ardbt::btds {
+
+/// Problem families used by tests, examples and benchmarks.
+enum class ProblemKind {
+  /// Random blocks; diagonal block boosted until each scalar row of the
+  /// block row [A_i D_i C_i] is strictly diagonally dominant.
+  kDiagDominant,
+  /// 2-D Poisson, line (x-sweep) ordering: D = tridiag(-1, 4, -1) of order
+  /// M, A = C = -I. The canonical PDE source of block tridiagonal systems.
+  kPoisson2D,
+  /// Upwinded convection-diffusion: Poisson plus an asymmetric convection
+  /// term of strength `drift` (fixed internally).
+  kConvectionDiffusion,
+  /// Block Toeplitz: one random well-conditioned triple (A, D, C) repeated
+  /// on every block row.
+  kToeplitz,
+  /// Dominance dialed down close to 1: stresses the stability of prefix
+  /// products (used by the scaling-policy ablation and accuracy table).
+  kIllConditioned,
+};
+
+/// Short stable name for reports ("diagdom", "poisson2d", ...).
+std::string_view to_string(ProblemKind kind);
+
+/// All kinds, for parameterized tests.
+inline constexpr ProblemKind kAllProblemKinds[] = {
+    ProblemKind::kDiagDominant, ProblemKind::kPoisson2D, ProblemKind::kConvectionDiffusion,
+    ProblemKind::kToeplitz, ProblemKind::kIllConditioned,
+};
+
+/// Build an N x N block system of block order M.
+BlockTridiag make_problem(ProblemKind kind, index_t num_blocks, index_t block_size,
+                          std::uint64_t seed = 42);
+
+/// Dense (N*M) x R right-hand-side matrix with uniform entries.
+Matrix make_rhs(index_t num_blocks, index_t block_size, index_t num_rhs, std::uint64_t seed = 7);
+
+}  // namespace ardbt::btds

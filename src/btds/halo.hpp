@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+
+#include "src/btds/distributed.hpp"
+
+/// \file halo.hpp
+/// Halo exchange and fully distributed operator application.
+///
+/// Applying a block tridiagonal operator to a row-distributed vector needs
+/// each rank's first/last neighbour block rows — the one-deep "halo". With
+/// it, residual computation (and therefore iterative refinement and any
+/// outer Krylov loop) runs without any rank touching global state: the
+/// genuinely message-passing data path, complementing
+/// LocalBlockTridiag / scatter_rows / gather_rows.
+
+namespace ardbt::btds {
+
+/// Tags used by the halo helpers.
+namespace halo_tags {
+inline constexpr int kUp = 44;    ///< row sent to the next (higher) rank
+inline constexpr int kDown = 45;  ///< row sent to the previous rank
+}  // namespace halo_tags
+
+/// One-deep halo of a row-distributed (nloc*M) x R matrix: the block row
+/// just below `lo` and just above `hi-1`, when they exist.
+struct Halo {
+  std::optional<Matrix> below;  ///< block row lo-1 (absent on the first rank)
+  std::optional<Matrix> above;  ///< block row hi   (absent on the last rank)
+};
+
+/// Collective. Exchange boundary block rows of `local` with the
+/// neighbouring ranks. `local` holds this rank's rows for `part`.
+Halo exchange_halo(mpsim::Comm& comm, const Matrix& local, index_t block_size,
+                   const RowPartition& part);
+
+/// Collective. b_local := T x_local for the distributed operator: performs
+/// the halo exchange internally. Both slices belong to `part`'s layout.
+Matrix apply_distributed(mpsim::Comm& comm, const LocalBlockTridiag& sys, const Matrix& x_local,
+                         const RowPartition& part);
+
+/// Collective. || B - T X ||_F / ||B||_F over the distributed slices
+/// (allreduce of the squared norms). Every rank returns the same value.
+double relative_residual_distributed(mpsim::Comm& comm, const LocalBlockTridiag& sys,
+                                     const Matrix& x_local, const Matrix& b_local,
+                                     const RowPartition& part);
+
+}  // namespace ardbt::btds

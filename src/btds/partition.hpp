@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cassert>
+
+#include "src/la/types.hpp"
+
+/// \file partition.hpp
+/// Contiguous row-block distribution of N block rows over P ranks, the
+/// layout both distributed solvers use. Remainder rows go to the lowest
+/// ranks so counts differ by at most one.
+
+namespace ardbt::btds {
+
+/// Maps block-row indices to ranks and back.
+class RowPartition {
+ public:
+  RowPartition(la::index_t num_blocks, int nranks)
+      : n_(num_blocks), p_(static_cast<la::index_t>(nranks)) {
+    assert(num_blocks >= 0 && nranks >= 1);
+  }
+
+  la::index_t num_blocks() const { return n_; }
+  int nranks() const { return static_cast<int>(p_); }
+
+  /// First block row owned by `rank`.
+  la::index_t begin(int rank) const {
+    const la::index_t r = rank;
+    const la::index_t base = n_ / p_;
+    const la::index_t rem = n_ % p_;
+    return r * base + (r < rem ? r : rem);
+  }
+
+  /// One past the last block row owned by `rank`.
+  la::index_t end(int rank) const { return begin(rank + 1); }
+
+  /// Number of block rows owned by `rank`.
+  la::index_t count(int rank) const { return end(rank) - begin(rank); }
+
+  /// Rank owning block row `i`.
+  int owner(la::index_t i) const {
+    assert(i >= 0 && i < n_);
+    const la::index_t base = n_ / p_;
+    const la::index_t rem = n_ % p_;
+    const la::index_t big = (base + 1) * rem;  // rows held by the first `rem` ranks
+    if (i < big) return static_cast<int>(i / (base + 1));
+    return static_cast<int>(rem + (i - big) / base);
+  }
+
+ private:
+  la::index_t n_ = 0;
+  la::index_t p_ = 1;
+};
+
+}  // namespace ardbt::btds

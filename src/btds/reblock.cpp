@@ -1,0 +1,52 @@
+#include "src/btds/reblock.hpp"
+
+namespace ardbt::btds {
+
+BlockTridiag reblock_banded(const BandedMatrix& banded) {
+  const index_t q = banded.half_bandwidth;
+  assert(q >= 1 && banded.dim >= 1);
+  const index_t n_blocks = (banded.dim + q - 1) / q;
+  const index_t padded = n_blocks * q;
+
+  BlockTridiag t(n_blocks, q);
+  for (index_t i = 0; i < padded; ++i) {
+    for (index_t j = std::max<index_t>(0, i - q); j <= std::min(padded - 1, i + q); ++j) {
+      double v;
+      if (i < banded.dim && j < banded.dim) {
+        v = banded.at(i, j);
+      } else {
+        v = (i == j) ? 1.0 : 0.0;  // identity pad
+      }
+      if (v == 0.0) continue;
+      const index_t bi = i / q;
+      const index_t bj = j / q;
+      const index_t ri = i % q;
+      const index_t rj = j % q;
+      if (bi == bj) {
+        t.diag(bi)(ri, rj) = v;
+      } else if (bj + 1 == bi) {
+        t.lower(bi)(ri, rj) = v;
+      } else {
+        assert(bi + 1 == bj && "entry outside the block tridiagonal range");
+        t.upper(bi)(ri, rj) = v;
+      }
+    }
+  }
+  return t;
+}
+
+Matrix reblock_rhs(const BandedMatrix& banded, const Matrix& b) {
+  const index_t q = banded.half_bandwidth;
+  assert(b.rows() == banded.dim);
+  const index_t n_blocks = (banded.dim + q - 1) / q;
+  Matrix out(n_blocks * q, b.cols());
+  la::copy(b.view(), out.block(0, 0, banded.dim, b.cols()));
+  return out;
+}
+
+Matrix unblock_solution(const BandedMatrix& banded, const Matrix& x_blocked) {
+  assert(x_blocked.rows() >= banded.dim);
+  return la::to_matrix(x_blocked.block(0, 0, banded.dim, x_blocked.cols()));
+}
+
+}  // namespace ardbt::btds

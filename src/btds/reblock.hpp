@@ -1,0 +1,57 @@
+#pragma once
+
+#include "src/btds/block_tridiag.hpp"
+
+/// \file reblock.hpp
+/// Adapter from scalar *banded* systems to block tridiagonal form.
+///
+/// A scalar system with half-bandwidth q (entries T(i, j) = 0 for
+/// |i - j| > q) is exactly a block tridiagonal system with block size
+/// M = q: group unknowns into consecutive blocks of q; couplings reach at
+/// most one block over. This makes every banded system (pentadiagonal,
+/// heptadiagonal, ...) solvable by the library's machinery — the standard
+/// route for applications whose stencils are wider than three points.
+///
+/// The scalar dimension is padded up to a multiple of q with identity
+/// rows (x_pad = 0), which leaves the original unknowns untouched.
+
+namespace ardbt::btds {
+
+/// Scalar banded matrix in LAPACK-style band storage: `bands` has
+/// 2q+1 rows and `dim` columns; `bands(q + d, j)` holds T(j + d, j) for
+/// d in [-q, q] (out-of-range entries ignored).
+struct BandedMatrix {
+  index_t dim = 0;        ///< scalar dimension
+  index_t half_bandwidth = 0;  ///< q
+  Matrix bands;           ///< (2q+1) x dim band storage
+
+  BandedMatrix() = default;
+  BandedMatrix(index_t n, index_t q)
+      : dim(n), half_bandwidth(q), bands(2 * q + 1, n) {}
+
+  /// Entry accessor (returns 0 outside the band).
+  double at(index_t i, index_t j) const {
+    const index_t d = i - j;
+    if (d < -half_bandwidth || d > half_bandwidth) return 0.0;
+    return bands(half_bandwidth + d, j);
+  }
+  /// Mutable accessor; (i, j) must lie inside the band.
+  double& at(index_t i, index_t j) {
+    const index_t d = i - j;
+    assert(d >= -half_bandwidth && d <= half_bandwidth);
+    return bands(half_bandwidth + d, j);
+  }
+};
+
+/// Reblock a banded system into block tridiagonal form with M = q.
+/// The result has ceil(dim / q) block rows; padded diagonal entries are 1.
+BlockTridiag reblock_banded(const BandedMatrix& banded);
+
+/// Expand a scalar right-hand side (dim x R) to the padded block layout
+/// (ceil(dim/q)*q x R, zeros in the pad).
+Matrix reblock_rhs(const BandedMatrix& banded, const Matrix& b);
+
+/// Extract the original dim rows from a padded block-layout solution.
+Matrix unblock_solution(const BandedMatrix& banded, const Matrix& x_blocked);
+
+}  // namespace ardbt::btds

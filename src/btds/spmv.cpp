@@ -1,0 +1,41 @@
+#include "src/btds/spmv.hpp"
+
+#include <cassert>
+
+#include "src/la/blas1.hpp"
+#include "src/la/gemm.hpp"
+
+namespace ardbt::btds {
+
+Matrix apply(const BlockTridiag& t, const Matrix& x) {
+  const index_t n = t.num_blocks();
+  const index_t m = t.block_size();
+  assert(x.rows() == t.dim());
+  Matrix b(x.rows(), x.cols());
+  for (index_t i = 0; i < n; ++i) {
+    la::MatrixView bi = block_row(b, i, m);
+    la::gemm(1.0, t.diag(i).view(), block_row(x, i, m), 0.0, bi);
+    if (i > 0) la::gemm(1.0, t.lower(i).view(), block_row(x, i - 1, m), 1.0, bi);
+    if (i + 1 < n) la::gemm(1.0, t.upper(i).view(), block_row(x, i + 1, m), 1.0, bi);
+  }
+  return b;
+}
+
+double residual_fro(const BlockTridiag& t, const Matrix& x, const Matrix& b) {
+  Matrix r = apply(t, x);
+  la::matrix_axpy(-1.0, b.view(), r.view());
+  return la::norm_fro(r.view());
+}
+
+double relative_residual(const BlockTridiag& t, const Matrix& x, const Matrix& b) {
+  const double bn = la::norm_fro(b.view());
+  const double rn = residual_fro(t, x, b);
+  return bn > 0.0 ? rn / bn : rn;
+}
+
+double apply_flops(index_t num_blocks, index_t block_size, index_t num_rhs) {
+  const double per_gemm = la::gemm_flops(block_size, num_rhs, block_size);
+  return (3.0 * static_cast<double>(num_blocks) - 2.0) * per_gemm;
+}
+
+}  // namespace ardbt::btds

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "src/btds/block_tridiag.hpp"
+
+/// \file spmv.hpp
+/// Block tridiagonal matrix application and residual checks — the ground
+/// truth every solver in the library is verified against.
+
+namespace ardbt::btds {
+
+/// Returns T * X for X of shape (N*M) x R.
+Matrix apply(const BlockTridiag& t, const Matrix& x);
+
+/// Frobenius norm of (B - T X).
+double residual_fro(const BlockTridiag& t, const Matrix& x, const Matrix& b);
+
+/// ||B - T X||_F / ||B||_F, the solver acceptance metric used throughout
+/// tests and the accuracy table (T3).
+double relative_residual(const BlockTridiag& t, const Matrix& x, const Matrix& b);
+
+/// Flops of one application (three block gemms per row, minus boundaries).
+double apply_flops(index_t num_blocks, index_t block_size, index_t num_rhs);
+
+}  // namespace ardbt::btds

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "src/btds/block_tridiag.hpp"
+#include "src/la/cholesky.hpp"
+#include "src/la/lu.hpp"
+
+/// \file thomas.hpp
+/// Sequential block Thomas algorithm (block LU without inter-block
+/// pivoting) — the serial baseline of experiment F5 and the accuracy
+/// reference of T3. Split into a factor-once object so its multi-RHS
+/// amortization matches the accelerated solver's (factor O(N M^3), each
+/// solve O(N M^2 R)).
+///
+/// Requires the pivot blocks D'_i = D_i - A_i D'_{i-1}^{-1} C_{i-1} to be
+/// invertible, which holds for block-diagonally-dominant systems.
+
+namespace ardbt::btds {
+
+/// How the pivot blocks D'_i are factored.
+enum class PivotKind {
+  kLu,        ///< LU with partial pivoting (default; any invertible pivots)
+  kCholesky,  ///< Cholesky — pivots must be SPD (true for SPD systems,
+              ///< whose block-LU pivots are Schur complements); ~2x less
+              ///< pivot-factor work and unconditionally stable
+};
+
+/// Factor-once / solve-many block Thomas factorization.
+class ThomasFactorization {
+ public:
+  /// Factor the system. Keeps a reference-free copy of the off-diagonal
+  /// blocks it needs. Throws std::runtime_error on a singular pivot block
+  /// (kLu) or a non-SPD pivot block (kCholesky).
+  static ThomasFactorization factor(const BlockTridiag& t, PivotKind pivot = PivotKind::kLu);
+
+  /// Solve for all columns of B; returns X with the same shape.
+  Matrix solve(const Matrix& b) const;
+
+  index_t num_blocks() const { return n_; }
+  index_t block_size() const { return m_; }
+
+  /// Flop counts for the cost model / T1. The factor count depends on the
+  /// pivot kind (Cholesky halves the pivot-factorization share).
+  static double factor_flops(index_t n, index_t m, PivotKind pivot = PivotKind::kLu);
+  static double solve_flops(index_t n, index_t m, index_t r);
+
+  /// Bytes of factored state (pivot LU, couplings, sub-diagonal copies).
+  std::size_t storage_bytes() const;
+
+ private:
+  /// D'_i^{-1} applied to a block, dispatching on the pivot kind.
+  void pivot_solve(index_t i, la::MatrixView b) const;
+
+  index_t n_ = 0;
+  index_t m_ = 0;
+  PivotKind pivot_ = PivotKind::kLu;
+  std::vector<la::LuFactors> pivot_lu_;          // LU of D'_i (kLu)
+  std::vector<la::CholeskyFactors> pivot_chol_;  // Cholesky of D'_i (kCholesky)
+  std::vector<Matrix> g_;                        // G_i = D'_i^{-1} C_i, i < N-1
+  std::vector<Matrix> lower_;                    // copies of A_i, i >= 1
+};
+
+/// One-shot convenience: factor + solve.
+Matrix thomas_solve(const BlockTridiag& t, const Matrix& b);
+
+}  // namespace ardbt::btds

@@ -1,0 +1,205 @@
+#include "src/core/ard.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "src/la/blas1.hpp"
+#include "src/la/gemm.hpp"
+
+namespace ardbt::core {
+namespace {
+
+using btds::BlockTridiag;
+using btds::ThomasFactorization;
+using la::Matrix;
+
+/// Copy this rank's block rows out of a global (N*M) x R matrix.
+Matrix extract_local(const Matrix& global, la::index_t lo, la::index_t nloc, la::index_t m) {
+  Matrix local(nloc * m, global.cols());
+  la::copy(global.block(lo * m, 0, nloc * m, global.cols()), local.view());
+  return local;
+}
+
+/// Copy this rank's rows of `sys` into a standalone segment system.
+template <typename SysView>
+BlockTridiag copy_segment(const SysView& sys, la::index_t lo, la::index_t nloc, la::index_t m) {
+  BlockTridiag tloc(nloc, m);
+  for (la::index_t k = 0; k < nloc; ++k) {
+    tloc.diag(k) = sys.diag(lo + k);
+    if (k > 0) tloc.lower(k) = sys.lower(lo + k);
+    if (k + 1 < nloc) tloc.upper(k) = sys.upper(lo + k);
+  }
+  return tloc;
+}
+
+}  // namespace
+
+template <typename SysView>
+void ArdFactorization::local_phase(mpsim::Comm& comm, const SysView& sys) {
+  const la::index_t m = m_;
+  const la::index_t nloc = hi_ - lo_;
+
+  // --- 1. Local segment copy and its block-Thomas factorization.
+  const BlockTridiag tloc = copy_segment(sys, lo_, nloc, m);
+  unmodified_ = ThomasFactorization::factor(tloc, opts_.pivot);
+  comm.charge_flops(ThomasFactorization::factor_flops(nloc, m, opts_.pivot));
+
+  // --- 2. Two-port corner blocks via a 2M-column local solve: columns
+  // [0, M) carry the unit load on the first block row, columns [M, 2M)
+  // on the last, so the corners of the solution are the corner blocks of
+  // T_loc^{-1}.
+  Matrix e(nloc * m, 2 * m);
+  for (la::index_t i = 0; i < m; ++i) {
+    e(i, i) = 1.0;
+    e((nloc - 1) * m + i, m + i) = 1.0;
+  }
+  const Matrix w = unmodified_.solve(e);
+  comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, 2 * m));
+
+  tp_.P = la::to_matrix(w.block(0, 0, m, m));
+  tp_.Q = la::to_matrix(w.block(0, m, m, m));
+  tp_.R = la::to_matrix(w.block((nloc - 1) * m, 0, m, m));
+  tp_.S = la::to_matrix(w.block((nloc - 1) * m, m, m, m));
+  tp_.a_first = (lo_ > 0) ? sys.lower(lo_) : Matrix(m, m);
+  tp_.c_last = (hi_ < n_) ? sys.upper(hi_ - 1) : Matrix(m, m);
+  a_lo_ = tp_.a_first;
+  c_hi_ = tp_.c_last;
+}
+
+template <typename SysView>
+void ArdFactorization::global_phase(mpsim::Comm& comm, const SysView& sys) {
+  const la::index_t m = m_;
+  const la::index_t nloc = hi_ - lo_;
+
+  // --- 3. Forward and backward two-port prefix scans (the log P term).
+  fwd_ = CachedScan<TwoPortOp>::factor(comm, ScanDirection::kForward, TwoPortOp::Context{m}, tp_,
+                                       ard_tags::kFwdFactor);
+  bwd_ = CachedScan<TwoPortOpReversed>::factor(comm, ScanDirection::kBackward,
+                                               TwoPortOp::Context{m}, tp_, ard_tags::kBwdFactor);
+
+  // --- 4. Fold the boundary relations into the segment's corner diagonal
+  // blocks and factor the modified segment:
+  //   D'_lo     = D_lo     - A_lo S_pre C_{lo-1}
+  //   D'_{hi-1} = D_{hi-1} - C_{hi-1} P_suf A_hi
+  BlockTridiag tloc = copy_segment(sys, lo_, nloc, m);
+  if (fwd_.has_incoming()) {
+    const TwoPort& pre = fwd_.incoming_mat();
+    const Matrix as = la::matmul(a_lo_.view(), pre.S.view());
+    la::gemm(-1.0, as.view(), pre.c_last.view(), 1.0, tloc.diag(0).view());
+    comm.charge_flops(2.0 * la::gemm_flops(m, m, m));
+  }
+  if (bwd_.has_incoming()) {
+    const TwoPort& suf = bwd_.incoming_mat();
+    const Matrix cp = la::matmul(c_hi_.view(), suf.P.view());
+    la::gemm(-1.0, cp.view(), suf.a_first.view(), 1.0, tloc.diag(nloc - 1).view());
+    comm.charge_flops(2.0 * la::gemm_flops(m, m, m));
+  }
+  modified_ = ThomasFactorization::factor(tloc, opts_.pivot);
+  comm.charge_flops(ThomasFactorization::factor_flops(nloc, m, opts_.pivot));
+}
+
+template <typename SysView>
+ArdFactorization ArdFactorization::factor_impl(mpsim::Comm& comm, const SysView& sys,
+                                               const btds::RowPartition& part,
+                                               const ArdOptions& opts) {
+  ArdFactorization f;
+  f.rank_ = comm.rank();
+  f.opts_ = opts;
+  f.n_ = sys.num_blocks();
+  f.m_ = sys.block_size();
+  f.lo_ = part.begin(comm.rank());
+  f.hi_ = part.end(comm.rank());
+  assert(part.nranks() == comm.size());
+  if (f.hi_ - f.lo_ < 1) {
+    throw std::runtime_error("ARD: every rank needs at least one block row (N >= P)");
+  }
+  f.local_phase(comm, sys);
+  f.global_phase(comm, sys);
+  return f;
+}
+
+ArdFactorization ArdFactorization::factor(mpsim::Comm& comm, const btds::BlockTridiag& sys,
+                                          const btds::RowPartition& part,
+                                          const ArdOptions& opts) {
+  return factor_impl(comm, sys, part, opts);
+}
+
+ArdFactorization ArdFactorization::factor(mpsim::Comm& comm,
+                                          const btds::LocalBlockTridiag& sys,
+                                          const btds::RowPartition& part,
+                                          const ArdOptions& opts) {
+  assert(part.begin(comm.rank()) == sys.lo() && part.end(comm.rank()) == sys.hi());
+  return factor_impl(comm, sys, part, opts);
+}
+
+void ArdFactorization::update(mpsim::Comm& comm, const btds::BlockTridiag& sys,
+                              bool rows_changed) {
+  if (rows_changed) local_phase(comm, sys);
+  global_phase(comm, sys);
+}
+
+void ArdFactorization::update(mpsim::Comm& comm, const btds::LocalBlockTridiag& sys,
+                              bool rows_changed) {
+  if (rows_changed) local_phase(comm, sys);
+  global_phase(comm, sys);
+}
+
+void ArdFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix& x) const {
+  const la::index_t m = m_;
+  const la::index_t nloc = hi_ - lo_;
+  const la::index_t r = b.cols();
+  assert(b.rows() == n_ * m_ && x.rows() == b.rows() && x.cols() == r);
+  const la::Matrix xloc = solve_local(comm, extract_local(b, lo_, nloc, m));
+  la::copy(xloc.view(), x.block(lo_ * m, 0, nloc * m, r));
+}
+
+la::Matrix ArdFactorization::solve_local(mpsim::Comm& comm, const la::Matrix& b_local) const {
+  const la::index_t m = m_;
+  const la::index_t nloc = hi_ - lo_;
+  const la::index_t r = b_local.cols();
+  assert(b_local.rows() == nloc * m);
+
+  Matrix bloc = b_local;
+
+  if (comm.size() > 1) {
+    // Segment vector two-port: first/last blocks of T_loc^{-1} b_loc.
+    const Matrix t = unmodified_.solve(bloc);
+    comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, r));
+    TwoPortVec v{.p = la::to_matrix(t.block(0, 0, m, r)),
+                 .q = la::to_matrix(t.block((nloc - 1) * m, 0, m, r))};
+
+    const std::optional<TwoPortVec> pre = fwd_.solve(comm, v, ard_tags::kFwdSolve);
+    const std::optional<TwoPortVec> suf = bwd_.solve(comm, std::move(v), ard_tags::kBwdSolve);
+
+    // Boundary corrections: b'_lo -= A_lo q_pre, b'_{hi-1} -= C_{hi-1} p_suf.
+    if (pre) {
+      la::gemm(-1.0, a_lo_.view(), pre->q.view(), 1.0, bloc.block(0, 0, m, r));
+      comm.charge_flops(la::gemm_flops(m, r, m));
+    }
+    if (suf) {
+      la::gemm(-1.0, c_hi_.view(), suf->p.view(), 1.0, bloc.block((nloc - 1) * m, 0, m, r));
+      comm.charge_flops(la::gemm_flops(m, r, m));
+    }
+  }
+
+  Matrix xloc = modified_.solve(bloc);
+  comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, r));
+  return xloc;
+}
+
+std::size_t ArdFactorization::storage_bytes() const {
+  const auto scan_cache = [&](std::size_t rounds) {
+    // Up to two merge events per round, four M x M matrices each.
+    return rounds * 2 * 4 * static_cast<std::size_t>(m_ * m_) * sizeof(double);
+  };
+  const auto tp_bytes = static_cast<std::size_t>(tp_.P.size() + tp_.Q.size() + tp_.R.size() +
+                                                 tp_.S.size() + tp_.a_first.size() +
+                                                 tp_.c_last.size()) *
+                        sizeof(double);
+  return unmodified_.storage_bytes() + modified_.storage_bytes() +
+         scan_cache(fwd_.num_rounds()) + scan_cache(bwd_.num_rounds()) + tp_bytes +
+         static_cast<std::size_t>(a_lo_.size() + c_hi_.size()) * sizeof(double);
+}
+
+}  // namespace ardbt::core

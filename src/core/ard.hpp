@@ -1,0 +1,149 @@
+#pragma once
+
+#include <optional>
+
+#include "src/btds/block_tridiag.hpp"
+#include "src/btds/distributed.hpp"
+#include "src/btds/partition.hpp"
+#include "src/btds/thomas.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/twoport.hpp"
+#include "src/mpsim/comm.hpp"
+
+/// \file ard.hpp
+/// The accelerated recursive doubling (ARD) solver — the library's
+/// production implementation of the paper's contribution (S. Seal,
+/// IPDPS 2014).
+///
+/// ARD splits a recursive-doubling solve into a right-hand-side-independent
+/// *factor* phase, run once per matrix, and a cheap *solve* phase, run once
+/// per right-hand-side batch:
+///
+///   factor — O(M^3 (N/P + log P)) work, O(M^2 (N/P + log P)) memory:
+///     1. block-Thomas factorization of this rank's row segment;
+///     2. the segment's two-port reduction (corner blocks of its inverse,
+///        via a 2M-column local solve);
+///     3. forward and backward hypercube prefix scans over two-ports
+///        (CachedScan<TwoPortOp>, log P rounds of O(M^3) merges, caching
+///        the per-round matrices);
+///     4. the prefix scans deliver exact boundary relations
+///            x_{lo-1} = -S_pre C_{lo-1} x_lo     + q_pre(b)
+///            x_hi     = -P_suf A_hi     x_{hi-1} + p_suf(b),
+///        whose matrix parts fold into this rank's first/last diagonal
+///        blocks; the modified segment is Thomas-factored as well.
+///
+///   solve — O(M^2 R (N/P + log P)) for R right-hand sides:
+///     one local solve for the segment's (p, q), a vector-only replay of
+///     both scans (cached matrices, M x R exchanges), right-hand-side
+///     boundary corrections, and one local solve of the modified segment.
+///
+/// Classic RD re-runs the factor phase on every solve; amortized over R
+/// right-hand sides ARD is therefore ~R/(1 + c R/M) times faster — the
+/// abstract's O(R) improvement (experiment F1).
+///
+/// All entry points are SPMD-collective: every rank calls with the same
+/// global arguments; rank r reads/writes only the block rows its
+/// partition assigns. Ranks share the address space (mpsim), so global
+/// inputs are passed by const reference and each rank writes disjoint row
+/// ranges of the output.
+
+namespace ardbt::core {
+
+/// Tag space used by the production solver.
+namespace ard_tags {
+inline constexpr int kFwdFactor = 70;
+inline constexpr int kBwdFactor = 71;
+inline constexpr int kFwdSolve = 72;
+inline constexpr int kBwdSolve = 73;
+}  // namespace ard_tags
+
+/// Solver knobs.
+struct ArdOptions {
+  /// Consumed by the transfer-matrix ablation (see transfer_rd.hpp) when
+  /// driven through the same options; the two-port solver needs no
+  /// rescaling.
+  bool rescale = true;
+  /// Pivot factorization of the local segments. kCholesky halves the
+  /// pivot-factor work and is unconditionally stable, but requires an SPD
+  /// system (symmetric with A_{i+1} = C_i^T); the boundary-modified
+  /// segment is then a Schur complement of the global SPD matrix, hence
+  /// SPD as well.
+  btds::PivotKind pivot = btds::PivotKind::kLu;
+};
+
+/// Factor-once / solve-many distributed factorization.
+class ArdFactorization {
+ public:
+  ArdFactorization() = default;
+
+  /// Collective. Factor the system (phase 1). Throws std::runtime_error
+  /// on singular segment or interface pivots (system not block-LU
+  /// factorizable; cannot happen for block-diagonally-dominant input).
+  static ArdFactorization factor(mpsim::Comm& comm, const btds::BlockTridiag& sys,
+                                 const btds::RowPartition& part, const ArdOptions& opts = {});
+
+  /// Collective. Factor from truly distributed storage — each rank reads
+  /// only the block rows it owns (see btds/distributed.hpp). This is the
+  /// path a real MPI deployment uses; the shared-global overload above is
+  /// a convenience for in-process runs.
+  static ArdFactorization factor(mpsim::Comm& comm, const btds::LocalBlockTridiag& sys,
+                                 const btds::RowPartition& part, const ArdOptions& opts = {});
+
+  /// Collective. Solve for all columns of `b` (phase 2); writes this
+  /// rank's block rows of `x`. `b` and `x` are global (N*M) x R matrices;
+  /// `x` must be preallocated with the shape of `b`.
+  void solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix& x) const;
+
+  /// Collective. Local-slice variant: `b_local` holds only this rank's
+  /// (nloc*M) x R rows (e.g. from btds::scatter_rows); the matching slice
+  /// of the solution is returned.
+  la::Matrix solve_local(mpsim::Comm& comm, const la::Matrix& b_local) const;
+
+  /// Collective. Cheap refactorization after the matrix changed on *some*
+  /// ranks. Pass `rows_changed = true` on ranks whose block rows differ
+  /// from what was factored; those redo the full local phase, unchanged
+  /// ranks reuse their segment factorization and two-port (~80% of the
+  /// local work) and only replay the O(M^3 log P) scans plus one segment
+  /// factorization. The partition must be unchanged.
+  void update(mpsim::Comm& comm, const btds::BlockTridiag& sys, bool rows_changed);
+  void update(mpsim::Comm& comm, const btds::LocalBlockTridiag& sys, bool rows_changed);
+
+  la::index_t num_blocks() const { return n_; }
+  la::index_t block_size() const { return m_; }
+  la::index_t local_rows() const { return hi_ - lo_; }
+
+  /// Approximate bytes of factored state held by this rank (T1's memory
+  /// column): two segment factorizations plus the scan caches.
+  std::size_t storage_bytes() const;
+
+ private:
+  /// Storage-agnostic implementation pieces (defined in ard.cpp; the
+  /// public overloads instantiate them there). The factor phase splits
+  /// into a purely local part (segment factorization + two-port, the
+  /// O(M^3 N/P) term) and a global part (scans + boundary-modified
+  /// factorization) so `update` can skip the former on unchanged ranks.
+  template <typename SysView>
+  static ArdFactorization factor_impl(mpsim::Comm& comm, const SysView& sys,
+                                      const btds::RowPartition& part, const ArdOptions& opts);
+  template <typename SysView>
+  void local_phase(mpsim::Comm& comm, const SysView& sys);
+  template <typename SysView>
+  void global_phase(mpsim::Comm& comm, const SysView& sys);
+
+  int rank_ = 0;
+  ArdOptions opts_{};
+  la::index_t n_ = 0;   // global block rows
+  la::index_t m_ = 0;   // block size
+  la::index_t lo_ = 0;  // first local block row
+  la::index_t hi_ = 0;  // one past last local block row
+
+  btds::ThomasFactorization unmodified_;  // T_loc (for two-port vector parts)
+  btds::ThomasFactorization modified_;    // T_loc with boundary-folded corners
+  TwoPort tp_;                            // this segment's two-port (kept for update())
+  la::Matrix a_lo_;                       // A_{lo} (zero on rank owning row 0)
+  la::Matrix c_hi_;                       // C_{hi-1} (zero on rank owning row N-1)
+  CachedScan<TwoPortOp> fwd_;
+  CachedScan<TwoPortOpReversed> bwd_;
+};
+
+}  // namespace ardbt::core

@@ -1,0 +1,199 @@
+#include "src/core/krylov.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/la/blas1.hpp"
+#include "src/mpsim/collectives.hpp"
+
+namespace ardbt::core {
+namespace {
+
+using la::index_t;
+using la::Matrix;
+
+/// Column-wise dot products <a_j, b_j> over the distributed slices: one
+/// allreduce of R doubles.
+std::vector<double> column_dots(mpsim::Comm& comm, const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  std::vector<double> dots(static_cast<std::size_t>(a.cols()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      dots[static_cast<std::size_t>(j)] += a(i, j) * b(i, j);
+    }
+  }
+  mpsim::allreduce_sum(comm, dots);
+  return dots;
+}
+
+/// a(:, j) += s[j] * b(:, j) column-wise.
+void columns_axpy(const std::vector<double>& s, const Matrix& b, Matrix& a) {
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      a(i, j) += s[static_cast<std::size_t>(j)] * b(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+KrylovResult pcg(mpsim::Comm& comm, const btds::LocalBlockTridiag& op,
+                 const btds::RowPartition& part, const ArdFactorization* precond,
+                 const la::Matrix& b_local, la::Matrix& x_local, int max_iters, double tol) {
+  const index_t rows = b_local.rows();
+  const index_t r = b_local.cols();
+  if (x_local.rows() != rows || x_local.cols() != r) x_local.resize(rows, r);
+
+  KrylovResult result;
+  const auto b_norm2 = column_dots(comm, b_local, b_local);
+
+  // r0 = b - A x0.
+  Matrix residual = btds::apply_distributed(comm, op, x_local, part);
+  la::matrix_scal(-1.0, residual.view());
+  la::matrix_axpy(1.0, b_local.view(), residual.view());
+
+  // z = M^{-1} r, p = z.
+  Matrix z = precond ? precond->solve_local(comm, residual) : residual;
+  Matrix p = z;
+  std::vector<double> rz = column_dots(comm, residual, z);
+
+  const auto max_rel = [&](const std::vector<double>& r2) {
+    double mx = 0.0;
+    for (std::size_t j = 0; j < r2.size(); ++j) {
+      const double denom = b_norm2[j] > 0.0 ? b_norm2[j] : 1.0;
+      mx = std::max(mx, std::sqrt(std::max(r2[j], 0.0) / denom));
+    }
+    return mx;
+  };
+
+  for (int it = 0; it < max_iters; ++it) {
+    const auto r2 = column_dots(comm, residual, residual);
+    result.residual_norms.push_back(max_rel(r2));
+    if (result.residual_norms.back() <= tol) {
+      result.converged = true;
+      break;
+    }
+
+    const Matrix ap = btds::apply_distributed(comm, op, p, part);
+    const auto pap = column_dots(comm, p, ap);
+    std::vector<double> alpha(static_cast<std::size_t>(r));
+    std::vector<double> neg_alpha(static_cast<std::size_t>(r));
+    for (std::size_t j = 0; j < alpha.size(); ++j) {
+      alpha[j] = pap[j] != 0.0 ? rz[j] / pap[j] : 0.0;
+      neg_alpha[j] = -alpha[j];
+    }
+    columns_axpy(alpha, p, x_local);
+    columns_axpy(neg_alpha, ap, residual);
+
+    z = precond ? precond->solve_local(comm, residual) : residual;
+    const auto rz_new = column_dots(comm, residual, z);
+    std::vector<double> beta(static_cast<std::size_t>(r));
+    for (std::size_t j = 0; j < beta.size(); ++j) {
+      beta[j] = rz[j] != 0.0 ? rz_new[j] / rz[j] : 0.0;
+    }
+    rz = rz_new;
+    // p = z + beta p (column-wise).
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t j = 0; j < r; ++j) {
+        p(i, j) = z(i, j) + beta[static_cast<std::size_t>(j)] * p(i, j);
+      }
+    }
+    ++result.iterations;
+  }
+
+  // Exact final residual (the recurrence can drift).
+  Matrix final_res = btds::apply_distributed(comm, op, x_local, part);
+  la::matrix_scal(-1.0, final_res.view());
+  la::matrix_axpy(1.0, b_local.view(), final_res.view());
+  const auto fr2 = column_dots(comm, final_res, final_res);
+  if (!result.residual_norms.empty() || true) result.residual_norms.push_back(max_rel(fr2));
+  result.converged = result.residual_norms.back() <= tol;
+  return result;
+}
+
+KrylovResult bicgstab(mpsim::Comm& comm, const btds::LocalBlockTridiag& op,
+                      const btds::RowPartition& part, const ArdFactorization* precond,
+                      const la::Matrix& b_local, la::Matrix& x_local, int max_iters,
+                      double tol) {
+  const index_t rows = b_local.rows();
+  const index_t r = b_local.cols();
+  const auto ur = static_cast<std::size_t>(r);
+  if (x_local.rows() != rows || x_local.cols() != r) x_local.resize(rows, r);
+
+  KrylovResult result;
+  const auto b_norm2 = column_dots(comm, b_local, b_local);
+  const auto max_rel = [&](const std::vector<double>& r2) {
+    double mx = 0.0;
+    for (std::size_t j = 0; j < r2.size(); ++j) {
+      const double denom = b_norm2[j] > 0.0 ? b_norm2[j] : 1.0;
+      mx = std::max(mx, std::sqrt(std::max(r2[j], 0.0) / denom));
+    }
+    return mx;
+  };
+
+  // r = b - A x; rhat = r (shadow residual).
+  Matrix residual = btds::apply_distributed(comm, op, x_local, part);
+  la::matrix_scal(-1.0, residual.view());
+  la::matrix_axpy(1.0, b_local.view(), residual.view());
+  const Matrix rhat = residual;
+
+  std::vector<double> rho(ur, 1.0), alpha(ur, 1.0), omega(ur, 1.0);
+  Matrix v(rows, r), p(rows, r);
+
+  for (int it = 0; it < max_iters; ++it) {
+    const auto r2 = column_dots(comm, residual, residual);
+    result.residual_norms.push_back(max_rel(r2));
+    if (result.residual_norms.back() <= tol) {
+      result.converged = true;
+      break;
+    }
+
+    const auto rho_new = column_dots(comm, rhat, residual);
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t j = 0; j < r; ++j) {
+        const auto uj = static_cast<std::size_t>(j);
+        const double beta =
+            (rho[uj] != 0.0 && omega[uj] != 0.0) ? (rho_new[uj] / rho[uj]) * (alpha[uj] / omega[uj])
+                                                 : 0.0;
+        p(i, j) = residual(i, j) + beta * (p(i, j) - omega[uj] * v(i, j));
+      }
+    }
+    rho = rho_new;
+
+    const Matrix p_hat = precond ? precond->solve_local(comm, p) : p;
+    v = btds::apply_distributed(comm, op, p_hat, part);
+    const auto rhat_v = column_dots(comm, rhat, v);
+    for (std::size_t j = 0; j < ur; ++j) alpha[j] = rhat_v[j] != 0.0 ? rho[j] / rhat_v[j] : 0.0;
+
+    Matrix s = residual;
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t j = 0; j < r; ++j) s(i, j) -= alpha[static_cast<std::size_t>(j)] * v(i, j);
+    }
+
+    const Matrix s_hat = precond ? precond->solve_local(comm, s) : s;
+    const Matrix t = btds::apply_distributed(comm, op, s_hat, part);
+    const auto ts = column_dots(comm, t, s);
+    const auto tt = column_dots(comm, t, t);
+    for (std::size_t j = 0; j < ur; ++j) omega[j] = tt[j] != 0.0 ? ts[j] / tt[j] : 0.0;
+
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t j = 0; j < r; ++j) {
+        const auto uj = static_cast<std::size_t>(j);
+        x_local(i, j) += alpha[uj] * p_hat(i, j) + omega[uj] * s_hat(i, j);
+        residual(i, j) = s(i, j) - omega[uj] * t(i, j);
+      }
+    }
+    ++result.iterations;
+  }
+
+  // Exact final residual.
+  Matrix final_res = btds::apply_distributed(comm, op, x_local, part);
+  la::matrix_scal(-1.0, final_res.view());
+  la::matrix_axpy(1.0, b_local.view(), final_res.view());
+  const auto fr2 = column_dots(comm, final_res, final_res);
+  result.residual_norms.push_back(max_rel(fr2));
+  result.converged = result.residual_norms.back() <= tol;
+  return result;
+}
+
+}  // namespace ardbt::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "src/core/scan.hpp"
+#include "src/core/serde.hpp"
+#include "src/la/gemm.hpp"
+
+/// \file ops_affine.hpp
+/// CachedScan operator for first-order affine recurrences
+///     v_i = F_i v_{i-1} + g_i.
+/// A segment's state is (F, g) with F the product of its element matrices
+/// and g its output from a zero entry value. Composition (left covering
+/// earlier elements) is
+///     F = F_r F_l,   g = F_r g_l + g_r,
+/// so the vector merge only needs the right operand's matrix — that is
+/// the whole per-event cache. Used by the transfer-matrix recursive
+/// doubling solver's triangular sweeps (transfer_rd.hpp).
+
+namespace ardbt::core {
+
+struct AffineOp {
+  struct Context {
+    la::index_t m = 0;  ///< matrix order (block size)
+  };
+  using Mat = la::Matrix;  // m x m
+  using Vec = la::Matrix;  // m x r
+
+  struct Cache {
+    la::Matrix f_right;
+  };
+
+  static Mat merge_mat(const Context& ctx, const Mat& left, const Mat& right, Cache& cache,
+                       mpsim::Comm& comm) {
+    Mat out(ctx.m, ctx.m);
+    la::gemm(1.0, right.view(), left.view(), 0.0, out.view());
+    comm.charge_flops(la::gemm_flops(ctx.m, ctx.m, ctx.m));
+    cache.f_right = right;
+    return out;
+  }
+
+  static Vec merge_vec(const Context& ctx, const Cache& cache, const Vec& left, const Vec& right,
+                       mpsim::Comm& comm) {
+    Vec out = right;
+    la::gemm(1.0, cache.f_right.view(), left.view(), 1.0, out.view());
+    comm.charge_flops(la::gemm_flops(ctx.m, left.cols(), ctx.m));
+    return out;
+  }
+
+  static std::vector<std::byte> ser_mat(const Context&, const Mat& m) { return ser_matrix(m); }
+  static Mat des_mat(const Context& ctx, std::span<const std::byte> bytes) {
+    return des_matrix(bytes, ctx.m, ctx.m);
+  }
+  static std::vector<std::byte> ser_vec(const Context&, const Vec& v) { return ser_matrix(v); }
+  static Vec des_vec(const Context& ctx, std::span<const std::byte> bytes) {
+    const auto r = static_cast<la::index_t>(bytes.size() / sizeof(double)) / ctx.m;
+    return des_matrix(bytes, ctx.m, r);
+  }
+};
+
+}  // namespace ardbt::core

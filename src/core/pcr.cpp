@@ -1,0 +1,306 @@
+#include "src/core/pcr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "src/la/blas1.hpp"
+#include "src/la/gemm.hpp"
+
+namespace ardbt::core {
+namespace {
+
+using btds::RowPartition;
+using la::index_t;
+using la::Matrix;
+
+/// Presence pattern of the level-entry couplings (see header): at step s,
+/// row j still couples downward iff j >= s and upward iff j + s <= N-1.
+bool has_a(index_t j, index_t s) { return j >= s; }
+bool has_c(index_t j, index_t s, index_t n) { return j + s <= n - 1; }
+
+/// Global rows owned by [lo, hi) that the rank owning [plo, phi) needs at
+/// step s (its -s and +s shifted windows, clipped to the domain). The two
+/// windows can only overlap inside [plo, phi) itself, so no duplicates.
+std::vector<index_t> rows_for_window(index_t plo, index_t phi, index_t s, index_t lo, index_t hi,
+                                     index_t n) {
+  std::vector<index_t> rows;
+  const auto add = [&](index_t a, index_t b) {
+    a = std::max({a, lo, index_t{0}});
+    b = std::min({b, hi, n});
+    for (index_t i = a; i < b; ++i) rows.push_back(i);
+  };
+  add(plo - s, phi - s);
+  add(plo + s, phi + s);
+  return rows;
+}
+
+/// One deterministic message per (sender, receiver) pair: the sender packs
+/// `bytes_for_row` for every row the receiver's windows cover; the
+/// receiver unpacks with the identical row list derived from the
+/// partition.
+template <typename PackFn, typename UnpackFn>
+void exchange_rows(mpsim::Comm& comm, const RowPartition& part, index_t s, index_t n, int tag,
+                   PackFn&& pack, UnpackFn&& unpack) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const index_t lo = part.begin(me);
+  const index_t hi = part.end(me);
+
+  for (int peer = 0; peer < p; ++peer) {
+    if (peer == me) continue;
+    const auto rows = rows_for_window(part.begin(peer), part.end(peer), s, lo, hi, n);
+    if (rows.empty()) continue;
+    std::vector<std::byte> buffer;
+    for (index_t i : rows) pack(i, buffer);
+    comm.send_bytes(peer, tag, buffer);
+  }
+  for (int peer = 0; peer < p; ++peer) {
+    if (peer == me) continue;
+    const auto rows = rows_for_window(lo, hi, s, part.begin(peer), part.end(peer), n);
+    if (rows.empty()) continue;
+    const std::vector<std::byte> raw = comm.recv_bytes(peer, tag);
+    std::span<const std::byte> cursor(raw);
+    for (index_t i : rows) unpack(i, cursor);
+    assert(cursor.empty());
+  }
+}
+
+void append_matrix(std::vector<std::byte>& buffer, const Matrix& m) {
+  const std::size_t old = buffer.size();
+  buffer.resize(old + static_cast<std::size_t>(m.size()) * sizeof(double));
+  std::memcpy(buffer.data() + old, m.data().data(),
+              static_cast<std::size_t>(m.size()) * sizeof(double));
+}
+
+Matrix take_matrix(std::span<const std::byte>& cursor, index_t rows, index_t cols) {
+  Matrix m(rows, cols);
+  const std::size_t bytes = static_cast<std::size_t>(m.size()) * sizeof(double);
+  assert(cursor.size() >= bytes);
+  std::memcpy(m.data().data(), cursor.data(), bytes);
+  cursor = cursor.subspan(bytes);
+  return m;
+}
+
+}  // namespace
+
+template <typename SysView>
+PcrFactorization PcrFactorization::factor_impl(mpsim::Comm& comm, const SysView& sys,
+                                               const RowPartition& part) {
+  PcrFactorization f;
+  f.n_ = sys.num_blocks();
+  f.m_ = sys.block_size();
+  f.lo_ = part.begin(comm.rank());
+  f.hi_ = part.end(comm.rank());
+  f.part_ = part;
+  const index_t n = f.n_;
+  const index_t m = f.m_;
+  const index_t nloc = f.hi_ - f.lo_;
+  if (nloc < 1) throw std::runtime_error("PCR: every rank needs at least one block row");
+  const auto uz = [](index_t k) { return static_cast<std::size_t>(k); };
+
+  // Working copies of this rank's current-level blocks.
+  std::vector<Matrix> a_cur(uz(nloc)), d_cur(uz(nloc)), c_cur(uz(nloc));
+  for (index_t k = 0; k < nloc; ++k) {
+    const index_t i = f.lo_ + k;
+    d_cur[uz(k)] = sys.diag(i);
+    if (i > 0) a_cur[uz(k)] = sys.lower(i);
+    if (i + 1 < n) c_cur[uz(k)] = sys.upper(i);
+  }
+
+  for (index_t s = 1; s < n; s *= 2) {
+    Level level;
+    level.step = s;
+    level.rows.resize(uz(nloc));
+
+    // Local half-updates ha = D^{-1} A, hc = D^{-1} C, cached per row.
+    std::vector<Matrix> ha(uz(nloc)), hc(uz(nloc));
+    for (index_t k = 0; k < nloc; ++k) {
+      const index_t j = f.lo_ + k;
+      la::LuFactors lu = la::lu_factor(d_cur[uz(k)].view());
+      comm.charge_flops(la::lu_factor_flops(m));
+      if (!lu.ok()) {
+        throw std::runtime_error("PCR: singular diagonal block at level step " +
+                                 std::to_string(s));
+      }
+      if (has_a(j, s)) {
+        ha[uz(k)] = la::lu_solve(lu, a_cur[uz(k)].view());
+        comm.charge_flops(la::lu_solve_flops(m, m));
+      }
+      if (has_c(j, s, n)) {
+        hc[uz(k)] = la::lu_solve(lu, c_cur[uz(k)].view());
+        comm.charge_flops(la::lu_solve_flops(m, m));
+      }
+      level.rows[uz(k)] =
+          RowCache{.d_lu = std::move(lu), .a = a_cur[uz(k)], .c = c_cur[uz(k)]};
+    }
+
+    // Fetch remote neighbours' half-updates.
+    std::map<index_t, std::pair<Matrix, Matrix>> remote;  // j -> (ha_j, hc_j)
+    exchange_rows(
+        comm, part, s, n, pcr_tags::kFactor,
+        [&](index_t j, std::vector<std::byte>& buffer) {
+          const index_t k = j - f.lo_;
+          if (has_a(j, s)) append_matrix(buffer, ha[uz(k)]);
+          if (has_c(j, s, n)) append_matrix(buffer, hc[uz(k)]);
+        },
+        [&](index_t j, std::span<const std::byte>& cursor) {
+          std::pair<Matrix, Matrix> entry;
+          if (has_a(j, s)) entry.first = take_matrix(cursor, m, m);
+          if (has_c(j, s, n)) entry.second = take_matrix(cursor, m, m);
+          remote.emplace(j, std::move(entry));
+        });
+
+    const auto get_ha = [&](index_t j) -> const Matrix& {
+      if (j >= f.lo_ && j < f.hi_) return ha[uz(j - f.lo_)];
+      return remote.at(j).first;
+    };
+    const auto get_hc = [&](index_t j) -> const Matrix& {
+      if (j >= f.lo_ && j < f.hi_) return hc[uz(j - f.lo_)];
+      return remote.at(j).second;
+    };
+
+    // Level update (reads the cached level-entry coefficients).
+    for (index_t k = 0; k < nloc; ++k) {
+      const index_t i = f.lo_ + k;
+      const RowCache& row = level.rows[uz(k)];
+      Matrix d_new = d_cur[uz(k)];
+      Matrix a_new, c_new;
+      if (has_a(i, s)) {
+        la::gemm(-1.0, row.a.view(), get_hc(i - s).view(), 1.0, d_new.view());
+        comm.charge_flops(la::gemm_flops(m, m, m));
+        if (has_a(i, 2 * s)) {
+          a_new = Matrix(m, m);
+          la::gemm(-1.0, row.a.view(), get_ha(i - s).view(), 0.0, a_new.view());
+          comm.charge_flops(la::gemm_flops(m, m, m));
+        }
+      }
+      if (has_c(i, s, n)) {
+        la::gemm(-1.0, row.c.view(), get_ha(i + s).view(), 1.0, d_new.view());
+        comm.charge_flops(la::gemm_flops(m, m, m));
+        if (has_c(i, 2 * s, n)) {
+          c_new = Matrix(m, m);
+          la::gemm(-1.0, row.c.view(), get_hc(i + s).view(), 0.0, c_new.view());
+          comm.charge_flops(la::gemm_flops(m, m, m));
+        }
+      }
+      d_cur[uz(k)] = std::move(d_new);
+      a_cur[uz(k)] = std::move(a_new);
+      c_cur[uz(k)] = std::move(c_new);
+    }
+    f.levels_.push_back(std::move(level));
+  }
+
+  // Fully decoupled: factor the final diagonals.
+  f.final_lu_.resize(uz(nloc));
+  for (index_t k = 0; k < nloc; ++k) {
+    f.final_lu_[uz(k)] = la::lu_factor(std::move(d_cur[uz(k)]));
+    comm.charge_flops(la::lu_factor_flops(m));
+    if (!f.final_lu_[uz(k)].ok()) {
+      throw std::runtime_error("PCR: singular decoupled diagonal block");
+    }
+  }
+  return f;
+}
+
+PcrFactorization PcrFactorization::factor(mpsim::Comm& comm, const btds::BlockTridiag& sys,
+                                          const RowPartition& part) {
+  return factor_impl(comm, sys, part);
+}
+
+PcrFactorization PcrFactorization::factor(mpsim::Comm& comm, const btds::LocalBlockTridiag& sys,
+                                          const RowPartition& part) {
+  return factor_impl(comm, sys, part);
+}
+
+void PcrFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix& x) const {
+  const index_t n = n_;
+  const index_t m = m_;
+  const index_t nloc = hi_ - lo_;
+  const index_t r = b.cols();
+  assert(b.rows() == n * m && x.rows() == b.rows() && x.cols() == r);
+  const auto uz = [](index_t k) { return static_cast<std::size_t>(k); };
+
+  Matrix b_cur(nloc * m, r);
+  la::copy(b.block(lo_ * m, 0, nloc * m, r), b_cur.view());
+
+  for (const Level& level : levels_) {
+    const index_t s = level.step;
+    // h_j = D_j^{-1} b_j with the cached level LU.
+    Matrix h(nloc * m, r);
+    for (index_t k = 0; k < nloc; ++k) {
+      la::MatrixView hk = h.block(k * m, 0, m, r);
+      la::copy(b_cur.block(k * m, 0, m, r), hk);
+      la::lu_solve_inplace(level.rows[uz(k)].d_lu, hk);
+      comm.charge_flops(la::lu_solve_flops(m, r));
+    }
+    std::map<index_t, Matrix> remote;
+    exchange_rows(
+        comm, part_, s, n, pcr_tags::kSolve,
+        [&](index_t j, std::vector<std::byte>& buffer) {
+          append_matrix(buffer, la::to_matrix(h.block((j - lo_) * m, 0, m, r)));
+        },
+        [&](index_t j, std::span<const std::byte>& cursor) {
+          remote.emplace(j, take_matrix(cursor, m, r));
+        });
+    const auto get_h = [&](index_t j) -> la::ConstMatrixView {
+      if (j >= lo_ && j < hi_) return h.block((j - lo_) * m, 0, m, r);
+      return remote.at(j).view();
+    };
+
+    for (index_t k = 0; k < nloc; ++k) {
+      const index_t i = lo_ + k;
+      la::MatrixView bk = b_cur.block(k * m, 0, m, r);
+      if (has_a(i, s)) {
+        la::gemm(-1.0, level.rows[uz(k)].a.view(), get_h(i - s), 1.0, bk);
+        comm.charge_flops(la::gemm_flops(m, r, m));
+      }
+      if (has_c(i, s, n)) {
+        la::gemm(-1.0, level.rows[uz(k)].c.view(), get_h(i + s), 1.0, bk);
+        comm.charge_flops(la::gemm_flops(m, r, m));
+      }
+    }
+  }
+
+  for (index_t k = 0; k < nloc; ++k) {
+    la::MatrixView xk = x.block((lo_ + k) * m, 0, m, r);
+    la::copy(b_cur.block(k * m, 0, m, r), xk);
+    la::lu_solve_inplace(final_lu_[uz(k)], xk);
+    comm.charge_flops(la::lu_solve_flops(m, r));
+  }
+}
+
+std::size_t PcrFactorization::storage_bytes() const {
+  std::size_t doubles = 0;
+  for (const Level& level : levels_) {
+    for (const RowCache& row : level.rows) {
+      doubles += static_cast<std::size_t>(row.d_lu.lu.size() + row.a.size() + row.c.size());
+    }
+  }
+  for (const auto& lu : final_lu_) doubles += static_cast<std::size_t>(lu.lu.size());
+  return doubles * sizeof(double);
+}
+
+double PcrFactorization::factor_flops(index_t n, index_t m, int p) {
+  // Per row per level: one LU (2/3), two M-RHS solves (4), up to four
+  // gemms (8) => ~12.7 M^3; ceil(log2 N) levels.
+  const double m3 = static_cast<double>(m) * static_cast<double>(m) * static_cast<double>(m);
+  double levels = 0;
+  for (index_t s = 1; s < n; s *= 2) levels += 1;
+  return std::ceil(static_cast<double>(n) / p) * (2.0 / 3.0 + 4.0 + 8.0) * m3 * levels;
+}
+
+double PcrFactorization::solve_flops(index_t n, index_t m, index_t r, int p) {
+  // Per row per level: one solve (2 M^2 R) + two gemms (4 M^2 R), plus the
+  // final decoupled solves.
+  const double m2r = static_cast<double>(m) * static_cast<double>(m) * static_cast<double>(r);
+  double levels = 0;
+  for (index_t s = 1; s < n; s *= 2) levels += 1;
+  return std::ceil(static_cast<double>(n) / p) * m2r * (6.0 * levels + 2.0);
+}
+
+}  // namespace ardbt::core

@@ -1,0 +1,40 @@
+#include "src/core/perfmodel.hpp"
+
+#include <chrono>
+
+#include "src/la/gemm.hpp"
+#include "src/la/random.hpp"
+
+namespace ardbt::core {
+
+double PerfModel::thomas_seconds(la::index_t n, la::index_t m, la::index_t r) const {
+  const double dn = static_cast<double>(n);
+  const double dm = static_cast<double>(m);
+  const double dr = static_cast<double>(r);
+  const double factor = dn * (2.0 / 3.0 + 2.0 + 2.0) * dm * dm * dm;
+  const double solve = dn * 6.0 * dm * dm * dr;
+  return (factor + solve) / machine_.flop_rate;
+}
+
+mpsim::CostModel PerfModel::calibrate(mpsim::CostModel base, la::index_t block_size) {
+  const la::index_t m = 2 * block_size;  // transfer matrices are 2M x 2M
+  la::Rng rng = la::make_rng(1234);
+  const la::Matrix a = la::random_uniform(m, m, rng);
+  const la::Matrix b = la::random_uniform(m, m, rng);
+  la::Matrix c(m, m);
+
+  // Warm up, then time enough repetitions for a stable estimate.
+  la::gemm(1.0, a.view(), b.view(), 0.0, c.view());
+  const int reps = 20;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) la::gemm(1.0, a.view(), b.view(), 1.0, c.view());
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double flops = reps * la::gemm_flops(m, m, m);
+
+  base.flop_rate = flops / seconds;
+  base.name += "+calibrated";
+  return base;
+}
+
+}  // namespace ardbt::core

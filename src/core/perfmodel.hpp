@@ -1,0 +1,58 @@
+#pragma once
+
+#include "src/core/flops.hpp"
+#include "src/mpsim/costmodel.hpp"
+
+/// \file perfmodel.hpp
+/// Analytic runtime predictions: flops at a calibrated rate plus alpha-beta
+/// communication. Used to (a) sanity-check the virtual-time engine on
+/// strong-scaling curves (F2) and (b) extrapolate beyond the host's core
+/// count, standing in for the paper's cluster (DESIGN.md substitutions).
+
+namespace ardbt::core {
+
+/// Machine-parameterized closed-form model of the solvers.
+class PerfModel {
+ public:
+  explicit PerfModel(mpsim::CostModel machine) : machine_(machine) {}
+
+  const mpsim::CostModel& machine() const { return machine_; }
+
+  /// Seconds for the ARD factor phase.
+  double ard_factor_seconds(la::index_t n, la::index_t m, int p) const {
+    return flops::ard_factor(n, m, p) / machine_.flop_rate +
+           flops::ard_factor_messages(p) * machine_.alpha +
+           flops::ard_factor_bytes(m, p) * machine_.beta;
+  }
+
+  /// Seconds for one ARD solve of R right-hand sides.
+  double ard_solve_seconds(la::index_t n, la::index_t m, la::index_t r, int p) const {
+    return flops::ard_solve(n, m, r, p) / machine_.flop_rate +
+           flops::ard_solve_messages(p) * machine_.alpha +
+           flops::ard_solve_bytes(m, r, p) * machine_.beta;
+  }
+
+  /// Seconds for classic RD with all R right-hand sides batched.
+  double rd_batched_seconds(la::index_t n, la::index_t m, la::index_t r, int p) const {
+    return ard_factor_seconds(n, m, p) + ard_solve_seconds(n, m, r, p);
+  }
+
+  /// Seconds for classic RD run once per right-hand side.
+  double rd_per_rhs_seconds(la::index_t n, la::index_t m, la::index_t r, int p) const {
+    return static_cast<double>(r) * (ard_factor_seconds(n, m, p) + ard_solve_seconds(n, m, 1, p));
+  }
+
+  /// Seconds for the sequential block Thomas baseline (factor + R-column
+  /// solve; always P = 1).
+  double thomas_seconds(la::index_t n, la::index_t m, la::index_t r) const;
+
+  /// Measure this host's effective flop rate with a short dense-kernel
+  /// loop at a representative block size, returning a CostModel whose
+  /// flop_rate matches the host (alpha/beta taken from `base`).
+  static mpsim::CostModel calibrate(mpsim::CostModel base, la::index_t block_size = 32);
+
+ private:
+  mpsim::CostModel machine_;
+};
+
+}  // namespace ardbt::core

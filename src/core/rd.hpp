@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/core/ard.hpp"
+
+/// \file rd.hpp
+/// Classic recursive doubling — the baseline the accelerated algorithm is
+/// measured against. Classic RD has no notion of a persistent
+/// factorization: every solve re-runs the full Theta(M^3 (N/P + log P))
+/// transfer-matrix prefix. Internally it executes the same phases as ARD
+/// (that is precisely the point: ARD does not change the arithmetic of a
+/// single solve, it removes its repetition), so correctness is shared and
+/// benchmarks compare pure algorithmic policy:
+///
+///   rd_solve          — one factor + one batched solve (RD given all R
+///                       right-hand sides up front);
+///   rd_solve_per_rhs  — R separate single-RHS recursive-doubling solves,
+///                       the natural baseline when right-hand sides arrive
+///                       one at a time (time stepping, iterative methods);
+///                       the paper's O(R) claim is against this.
+
+namespace ardbt::core {
+
+/// Collective. Solve T X = B by classic recursive doubling with all
+/// right-hand sides batched into one pass. Writes this rank's block rows
+/// of `x` (preallocated, shape of `b`).
+void rd_solve(mpsim::Comm& comm, const btds::BlockTridiag& sys, const btds::RowPartition& part,
+              const la::Matrix& b, la::Matrix& x, const ArdOptions& opts = {});
+
+/// Collective. Solve T X = B as R independent single-RHS recursive
+/// doubling solves (factor phase repeated R times).
+void rd_solve_per_rhs(mpsim::Comm& comm, const btds::BlockTridiag& sys,
+                      const btds::RowPartition& part, const la::Matrix& b, la::Matrix& x,
+                      const ArdOptions& opts = {});
+
+}  // namespace ardbt::core

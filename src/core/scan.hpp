@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/mpsim/collectives.hpp"
+#include "src/mpsim/comm.hpp"
+
+/// \file scan.hpp
+/// Generic factor-once / replay-many cross-rank exclusive scan — the
+/// mechanism behind the accelerated solver's O(R) win.
+///
+/// Many parallel solver recurrences combine with an associative operator
+/// whose state splits into a *matrix part* (Theta(M^3) to merge,
+/// independent of the right-hand sides) and a *vector part* (Theta(M^2 R)
+/// to merge). CachedScan runs the hypercube exscan once over matrix parts,
+/// recording per merge event exactly what later vector merges need; every
+/// subsequent solve replays the same schedule exchanging only vector
+/// parts.
+///
+/// The operator is supplied as a policy type:
+///
+///   struct Op {
+///     struct Context { ... };              // shapes etc., both phases
+///     using Mat = ...;                     // matrix part of the state
+///     using Vec = ...;                     // vector part of the state
+///     struct Cache { ... };                // per-merge-event cache
+///     // Merge matrix parts; `left` covers lower sequence positions.
+///     static Mat merge_mat(const Context&, const Mat& left, const Mat& right,
+///                          Cache& cache, mpsim::Comm&);
+///     // Merge vector parts of the same (left, right) pair.
+///     static Vec merge_vec(const Context&, const Cache&, const Vec& left,
+///                          const Vec& right, mpsim::Comm&);
+///     static std::vector<std::byte> ser_mat(const Context&, const Mat&);
+///     static Mat des_mat(const Context&, std::span<const std::byte>);
+///     static std::vector<std::byte> ser_vec(const Context&, const Vec&);
+///     // des_vec must infer the RHS width from the byte count — solves
+///     // with different widths replay the same factored scan.
+///     static Vec des_vec(const Context&, std::span<const std::byte>);
+///   };
+///
+/// Direction::kBackward runs the scan over reversed rank order (for
+/// sweeps that flow from the last block row to the first).
+
+namespace ardbt::core {
+
+enum class ScanDirection { kForward, kBackward };
+
+template <typename Op>
+class CachedScan {
+ public:
+  using Context = typename Op::Context;
+  using Mat = typename Op::Mat;
+  using Vec = typename Op::Vec;
+  using Cache = typename Op::Cache;
+
+  CachedScan() = default;
+
+  /// Phase A: exscan over matrix parts. `seg` is this rank's segment
+  /// total. Collective; `tag` must be unique per in-flight scan.
+  static CachedScan factor(mpsim::Comm& comm, ScanDirection dir, Context ctx, Mat seg, int tag) {
+    CachedScan scan;
+    scan.dir_ = dir;
+    scan.ctx_ = ctx;
+    const int size = comm.size();
+    const int seq = seq_of(comm.rank(), size, dir);
+
+    Mat partial = std::move(seg);
+    std::optional<Mat> result;
+
+    for (const mpsim::ScanStep& step : mpsim::exscan_schedule(seq, size)) {
+      Round round;
+      round.partner = rank_of(step.partner, size, dir);
+      round.partner_is_lower = step.partner_is_lower;
+
+      comm.send_bytes(round.partner, tag, Op::ser_mat(ctx, partial));
+      const auto raw = comm.recv_bytes(round.partner, tag);
+      Mat tmp = Op::des_mat(ctx, raw);
+
+      if (step.partner_is_lower) {
+        round.result_was_set = result.has_value();
+        if (result) {
+          round.cache_result.emplace();
+          result = Op::merge_mat(ctx, tmp, *result, *round.cache_result, comm);
+        }
+        Mat merged = Op::merge_mat(ctx, tmp, partial, round.cache_partial, comm);
+        partial = std::move(merged);
+        if (!round.result_was_set) result = std::move(tmp);
+      } else {
+        partial = Op::merge_mat(ctx, partial, tmp, round.cache_partial, comm);
+      }
+      scan.rounds_.push_back(std::move(round));
+    }
+    scan.has_result_ = result.has_value();
+    if (result) scan.result_mat_ = std::move(*result);
+    return scan;
+  }
+
+  /// Phase B: replay with this rank's segment vector part. Returns the
+  /// exclusive-prefix vector part for this rank, or nullopt on the
+  /// sequence-first rank (which has no incoming prefix). Collective.
+  std::optional<Vec> solve(mpsim::Comm& comm, Vec seg_vec, int tag) const {
+    Vec partial = std::move(seg_vec);
+    std::optional<Vec> result;
+
+    for (const Round& round : rounds_) {
+      comm.send_bytes(round.partner, tag, Op::ser_vec(ctx_, partial));
+      const auto raw = comm.recv_bytes(round.partner, tag);
+      Vec tmp = Op::des_vec(ctx_, raw);
+
+      if (round.partner_is_lower) {
+        if (round.result_was_set) {
+          result = Op::merge_vec(ctx_, *round.cache_result, tmp, *result, comm);
+        }
+        Vec merged = Op::merge_vec(ctx_, round.cache_partial, tmp, partial, comm);
+        partial = std::move(merged);
+        if (!round.result_was_set) result = std::move(tmp);
+      } else {
+        partial = Op::merge_vec(ctx_, round.cache_partial, partial, tmp, comm);
+      }
+    }
+    return result;
+  }
+
+  /// Whether this rank has a non-trivial exclusive prefix (false only for
+  /// the sequence-first rank).
+  bool has_incoming() const { return has_result_; }
+
+  /// Matrix part of the exclusive prefix (valid when has_incoming()).
+  const Mat& incoming_mat() const { return result_mat_; }
+
+  const Context& context() const { return ctx_; }
+  ScanDirection direction() const { return dir_; }
+  std::size_t num_rounds() const { return rounds_.size(); }
+
+ private:
+  struct Round {
+    int partner = -1;
+    bool partner_is_lower = false;
+    bool result_was_set = false;
+    Cache cache_partial{};
+    std::optional<Cache> cache_result;
+  };
+
+  static int seq_of(int rank, int size, ScanDirection dir) {
+    return dir == ScanDirection::kForward ? rank : size - 1 - rank;
+  }
+  static int rank_of(int seq, int size, ScanDirection dir) {
+    return dir == ScanDirection::kForward ? seq : size - 1 - seq;
+  }
+
+  ScanDirection dir_ = ScanDirection::kForward;
+  Context ctx_{};
+  bool has_result_ = false;
+  Mat result_mat_{};
+  std::vector<Round> rounds_;
+};
+
+}  // namespace ardbt::core

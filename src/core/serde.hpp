@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/la/matrix.hpp"
+
+/// \file serde.hpp
+/// Raw wire format for matrices of known shape: the payload is just the
+/// row-major doubles; both sides agree on dimensions out of band (they
+/// always do in the solvers — every exchanged operator has a fixed shape).
+
+namespace ardbt::core {
+
+/// Matrix -> bytes (row-major doubles, no header).
+inline std::vector<std::byte> ser_matrix(const la::Matrix& m) {
+  std::vector<std::byte> bytes(static_cast<std::size_t>(m.size()) * sizeof(double));
+  std::memcpy(bytes.data(), m.data().data(), bytes.size());
+  return bytes;
+}
+
+/// Bytes -> matrix of shape (rows, cols); sizes must match exactly.
+inline la::Matrix des_matrix(std::span<const std::byte> bytes, la::index_t rows,
+                             la::index_t cols) {
+  la::Matrix m(rows, cols);
+  assert(bytes.size() == static_cast<std::size_t>(m.size()) * sizeof(double));
+  std::memcpy(m.data().data(), bytes.data(), bytes.size());
+  return m;
+}
+
+}  // namespace ardbt::core

@@ -1,0 +1,121 @@
+#include "src/core/solver.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "src/core/pcr.hpp"
+#include "src/core/rd.hpp"
+#include "src/core/transfer_rd.hpp"
+#include "src/mpsim/collectives.hpp"
+
+namespace ardbt::core {
+
+std::string_view to_string(Method method) {
+  switch (method) {
+    case Method::kRdBatched:
+      return "rd";
+    case Method::kRdPerRhs:
+      return "rd-per-rhs";
+    case Method::kArd:
+      return "ard";
+    case Method::kTransferRd:
+      return "transfer-rd";
+    case Method::kPcr:
+      return "pcr";
+  }
+  return "unknown";
+}
+
+DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
+                   const ArdOptions& opts, const mpsim::EngineOptions& engine) {
+  DriverResult result;
+  result.x.resize(b.rows(), b.cols());
+  const btds::RowPartition part(sys.num_blocks(), nranks);
+
+  result.report = mpsim::run(
+      nranks,
+      [&](mpsim::Comm& comm) {
+        mpsim::barrier(comm);
+        const double t0 = comm.vtime();
+        switch (method) {
+          case Method::kRdBatched:
+            rd_solve(comm, sys, part, b, result.x, opts);
+            break;
+          case Method::kRdPerRhs:
+            rd_solve_per_rhs(comm, sys, part, b, result.x, opts);
+            break;
+          case Method::kArd: {
+            const ArdFactorization f = ArdFactorization::factor(comm, sys, part, opts);
+            mpsim::barrier(comm);
+            if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
+            const double t1 = comm.vtime();
+            f.solve(comm, b, result.x);
+            mpsim::barrier(comm);
+            if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
+            return;
+          }
+          case Method::kPcr: {
+            const PcrFactorization f = PcrFactorization::factor(comm, sys, part);
+            mpsim::barrier(comm);
+            if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
+            const double t1 = comm.vtime();
+            f.solve(comm, b, result.x);
+            mpsim::barrier(comm);
+            if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
+            return;
+          }
+          case Method::kTransferRd: {
+            const TransferRdOptions topts{.rescale = opts.rescale};
+            const TransferRdFactorization f =
+                TransferRdFactorization::factor(comm, sys, part, topts);
+            mpsim::barrier(comm);
+            if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
+            const double t1 = comm.vtime();
+            f.solve(comm, b, result.x);
+            mpsim::barrier(comm);
+            if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
+            return;
+          }
+        }
+        mpsim::barrier(comm);
+        if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t0;
+      },
+      engine);
+  return result;
+}
+
+SessionResult ard_session(const btds::BlockTridiag& sys,
+                          const std::vector<const la::Matrix*>& batches, int nranks,
+                          const ArdOptions& opts, const mpsim::EngineOptions& engine) {
+  SessionResult result;
+  result.x.reserve(batches.size());
+  for (const la::Matrix* batch : batches) {
+    if (batch == nullptr) throw std::invalid_argument("ard_session: null batch");
+    result.x.emplace_back(batch->rows(), batch->cols());
+  }
+  result.solve_vtimes.assign(batches.size(), 0.0);
+  const btds::RowPartition part(sys.num_blocks(), nranks);
+
+  result.report = mpsim::run(
+      nranks,
+      [&](mpsim::Comm& comm) {
+        mpsim::barrier(comm);
+        const double t0 = comm.vtime();
+        const ArdFactorization f = ArdFactorization::factor(comm, sys, part, opts);
+        mpsim::barrier(comm);
+        if (comm.rank() == 0) {
+          result.factor_vtime = comm.vtime() - t0;
+          result.storage_bytes = f.storage_bytes();
+        }
+        for (std::size_t s = 0; s < batches.size(); ++s) {
+          const double t1 = comm.vtime();
+          f.solve(comm, *batches[s], result.x[s]);
+          mpsim::barrier(comm);
+          if (comm.rank() == 0) result.solve_vtimes[s] = comm.vtime() - t1;
+        }
+      },
+      engine);
+  return result;
+}
+
+}  // namespace ardbt::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "src/btds/block_tridiag.hpp"
+#include "src/core/ard.hpp"
+#include "src/mpsim/engine.hpp"
+
+/// \file solver.hpp
+/// One-call driver API: spins up a P-rank engine run, executes a solver
+/// SPMD, and returns the solution with phase timings. This is the entry
+/// point the examples use; benchmarks and advanced users drive the
+/// rank-level API (ard.hpp / rd.hpp) inside their own engine runs.
+
+namespace ardbt::core {
+
+/// Which distributed algorithm to run.
+enum class Method {
+  kRdBatched,   ///< classic recursive doubling, one batched pass
+  kRdPerRhs,    ///< classic recursive doubling, one pass per right-hand side
+  kArd,         ///< accelerated: factor once, solve once
+  kTransferRd,  ///< transfer-matrix ablation (numerically unstable at large N)
+  kPcr,         ///< parallel cyclic reduction (factor/solve split), the
+                ///< classic O(M^3 (N/P) log N) competitor
+};
+
+/// Short stable name ("rd", "rd-per-rhs", "ard").
+std::string_view to_string(Method method);
+
+/// Result of a driver call.
+struct DriverResult {
+  la::Matrix x;                ///< solution, shape of b
+  mpsim::RunReport report;     ///< engine counters
+  double factor_vtime = 0.0;   ///< modeled seconds in the factor phase
+  double solve_vtime = 0.0;    ///< modeled seconds in the solve phase(s)
+};
+
+/// Solve T X = B on `nranks` simulated ranks with the given method.
+DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
+                   const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});
+
+/// Result of an ARD session (factor once, many solve batches).
+struct SessionResult {
+  std::vector<la::Matrix> x;        ///< one solution per batch
+  mpsim::RunReport report;          ///< engine counters
+  double factor_vtime = 0.0;        ///< modeled factor seconds
+  std::vector<double> solve_vtimes; ///< modeled seconds per batch
+  std::size_t storage_bytes = 0;    ///< factored state on rank 0
+};
+
+/// Factor once, then solve every batch in order — the incremental
+/// right-hand-side arrival pattern (time stepping) that motivates ARD.
+SessionResult ard_session(const btds::BlockTridiag& sys,
+                          const std::vector<const la::Matrix*>& batches, int nranks,
+                          const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});
+
+}  // namespace ardbt::core

@@ -1,0 +1,71 @@
+#include "src/la/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ardbt::la {
+
+CholeskyFactors cholesky_factor(ConstMatrixView a) {
+  assert(a.rows() == a.cols());
+  const index_t n = a.rows();
+  CholeskyFactors f;
+  f.l = Matrix(n, n);
+  Matrix& l = f.l;
+
+  for (index_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (index_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      if (f.info == 0) f.info = j + 1;
+      return f;
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return f;
+}
+
+void cholesky_solve_inplace(const CholeskyFactors& f, MatrixView b) {
+  assert(f.ok() && "solving with a failed Cholesky factorization");
+  const index_t n = f.n();
+  assert(b.rows() == n);
+  const ConstMatrixView l = f.l.view();
+
+  // Forward: L y = b.
+  for (index_t i = 0; i < n; ++i) {
+    double* bi = b.row_ptr(i);
+    for (index_t k = 0; k < i; ++k) {
+      const double lik = l(i, k);
+      if (lik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (index_t j = 0; j < b.cols(); ++j) bi[j] -= lik * bk[j];
+    }
+    const double inv = 1.0 / l(i, i);
+    for (index_t j = 0; j < b.cols(); ++j) bi[j] *= inv;
+  }
+  // Backward: L^T x = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    double* bi = b.row_ptr(i);
+    for (index_t k = i + 1; k < n; ++k) {
+      const double lki = l(k, i);  // (L^T)(i, k)
+      if (lki == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (index_t j = 0; j < b.cols(); ++j) bi[j] -= lki * bk[j];
+    }
+    const double inv = 1.0 / l(i, i);
+    for (index_t j = 0; j < b.cols(); ++j) bi[j] *= inv;
+  }
+}
+
+Matrix cholesky_solve(const CholeskyFactors& f, ConstMatrixView b) {
+  Matrix x = to_matrix(b);
+  cholesky_solve_inplace(f, x.view());
+  return x;
+}
+
+}  // namespace ardbt::la

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "src/la/matrix.hpp"
+
+/// \file cholesky.hpp
+/// Cholesky factorization A = L L^T for symmetric positive definite
+/// matrices (LAPACK potrf/potrs contract): roughly half the work of LU
+/// and unconditionally stable — the fast path for SPD pivot blocks (e.g.
+/// symmetric diffusion operators); see ThomasFactorization's pivot option.
+
+namespace ardbt::la {
+
+/// Lower-triangular factor; `info == 0` on success, `info == k+1` when
+/// the leading k x k minor is not positive definite.
+struct CholeskyFactors {
+  Matrix l;  ///< lower triangle holds L; strict upper triangle is zero
+  index_t info = 0;
+
+  bool ok() const { return info == 0; }
+  index_t n() const { return l.rows(); }
+};
+
+/// Factor a copy of the symmetric matrix `a` (only its lower triangle is
+/// read).
+CholeskyFactors cholesky_factor(ConstMatrixView a);
+
+/// B := A^{-1} B via two triangular solves.
+void cholesky_solve_inplace(const CholeskyFactors& f, MatrixView b);
+
+/// Returns A^{-1} B.
+Matrix cholesky_solve(const CholeskyFactors& f, ConstMatrixView b);
+
+/// Flop count (n^3 / 3).
+inline double cholesky_factor_flops(index_t n) {
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn / 3.0;
+}
+
+}  // namespace ardbt::la

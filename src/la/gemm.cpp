@@ -1,0 +1,97 @@
+#include "src/la/gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ardbt::la {
+namespace {
+
+// Tile sizes chosen so one (MB x KB) panel of A plus a (KB x NB) panel of B
+// fit comfortably in L1/L2 on commodity x86. Not auto-tuned; the library's
+// claims are about flop-count ratios, not absolute GEMM throughput.
+constexpr index_t kMB = 64;
+constexpr index_t kKB = 128;
+constexpr index_t kNB = 256;
+
+// Inner kernel: C[i0:i1, j0:j1] += alpha * A[i0:i1, k0:k1] * B[k0:k1, j0:j1]
+// using the saxpy (i,k,j) ordering so the j-loop streams along rows of B and
+// C and auto-vectorizes.
+void block_kernel(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c, index_t i0,
+                  index_t i1, index_t k0, index_t k1, index_t j0, index_t j1) {
+  for (index_t i = i0; i < i1; ++i) {
+    double* ci = c.row_ptr(i);
+    const double* ai = a.row_ptr(i);
+    for (index_t k = k0; k < k1; ++k) {
+      const double aik = alpha * ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (index_t j = j0; j < j1; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void scale_c(double beta, MatrixView c) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    for (index_t i = 0; i < c.rows(); ++i) std::fill(c.row_ptr(i), c.row_ptr(i) + c.cols(), 0.0);
+    return;
+  }
+  for (index_t i = 0; i < c.rows(); ++i) {
+    double* ci = c.row_ptr(i);
+    for (index_t j = 0; j < c.cols(); ++j) ci[j] *= beta;
+  }
+}
+
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c) {
+  assert(a.rows() == c.rows());
+  assert(a.cols() == b.rows());
+  assert(b.cols() == c.cols());
+  assert(a.data() != c.data() && b.data() != c.data() && "gemm output must not alias inputs");
+
+  scale_c(beta, c);
+  if (alpha == 0.0) return;
+
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = a.cols();
+
+  // Small problems: skip the blocking control flow entirely.
+  if (m <= kMB && n <= kNB && k <= kKB) {
+    block_kernel(alpha, a, b, c, 0, m, 0, k, 0, n);
+    return;
+  }
+
+  for (index_t kk = 0; kk < k; kk += kKB) {
+    const index_t k1 = std::min(kk + kKB, k);
+    for (index_t ii = 0; ii < m; ii += kMB) {
+      const index_t i1 = std::min(ii + kMB, m);
+      for (index_t jj = 0; jj < n; jj += kNB) {
+        const index_t j1 = std::min(jj + kNB, n);
+        block_kernel(alpha, a, b, c, ii, i1, kk, k1, jj, j1);
+      }
+    }
+  }
+}
+
+void gemm_naive(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c) {
+  assert(a.rows() == c.rows());
+  assert(a.cols() == b.rows());
+  assert(b.cols() == c.cols());
+  for (index_t i = 0; i < c.rows(); ++i) {
+    for (index_t j = 0; j < c.cols(); ++j) {
+      double s = 0.0;
+      for (index_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+  }
+}
+
+Matrix matmul(ConstMatrixView a, ConstMatrixView b) {
+  Matrix c(a.rows(), b.cols());
+  gemm(1.0, a, b, 0.0, c.view());
+  return c;
+}
+
+}  // namespace ardbt::la

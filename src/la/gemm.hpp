@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/la/matrix.hpp"
+#include "src/la/views.hpp"
+
+/// \file gemm.hpp
+/// General dense matrix-matrix multiply. The cache-blocked kernel is the
+/// workhorse of the whole library: both the Theta(M^3) transfer-matrix
+/// compositions of recursive doubling and the Theta(M^2 R) right-hand-side
+/// updates of the accelerated algorithm reduce to calls here.
+
+namespace ardbt::la {
+
+/// C = alpha * A * B + beta * C. Shapes: A (m x k), B (k x n), C (m x n).
+/// C must not alias A or B.
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c);
+
+/// Reference triple-loop implementation (same contract as gemm). Kept for
+/// correctness tests and the B-abl-gemm substrate ablation.
+void gemm_naive(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c);
+
+/// Convenience: returns A * B as a fresh matrix.
+Matrix matmul(ConstMatrixView a, ConstMatrixView b);
+
+/// Flop count of one gemm call (2*m*n*k).
+inline double gemm_flops(index_t m, index_t n, index_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+}
+
+}  // namespace ardbt::la

@@ -1,0 +1,35 @@
+#include "src/la/gemv.hpp"
+
+#include <cassert>
+
+namespace ardbt::la {
+
+void gemv(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
+          std::span<double> y) {
+  assert(static_cast<index_t>(x.size()) == a.cols());
+  assert(static_cast<index_t>(y.size()) == a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    double s = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) s += ai[j] * x[static_cast<std::size_t>(j)];
+    auto& yi = y[static_cast<std::size_t>(i)];
+    yi = alpha * s + beta * yi;
+  }
+}
+
+void gemv_t(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
+            std::span<double> y) {
+  assert(static_cast<index_t>(x.size()) == a.rows());
+  assert(static_cast<index_t>(y.size()) == a.cols());
+  if (beta != 1.0) {
+    for (auto& v : y) v *= beta;
+  }
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const double axi = alpha * x[static_cast<std::size_t>(i)];
+    if (axi == 0.0) continue;
+    const double* ai = a.row_ptr(i);
+    for (index_t j = 0; j < a.cols(); ++j) y[static_cast<std::size_t>(j)] += axi * ai[j];
+  }
+}
+
+}  // namespace ardbt::la

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+
+#include "src/la/views.hpp"
+
+/// \file gemv.hpp
+/// Dense matrix-vector products.
+
+namespace ardbt::la {
+
+/// y = alpha * A * x + beta * y. Shapes: A (m x n), x (n), y (m).
+void gemv(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
+          std::span<double> y);
+
+/// y = alpha * A^T * x + beta * y. Shapes: A (m x n), x (m), y (n).
+void gemv_t(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
+            std::span<double> y);
+
+/// Flop count of one gemv call (2*m*n).
+inline double gemv_flops(index_t m, index_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n);
+}
+
+}  // namespace ardbt::la

@@ -1,0 +1,166 @@
+#include "src/la/lu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/la/blas1.hpp"
+
+namespace ardbt::la {
+
+LuFactors lu_factor(Matrix a) {
+  assert(a.rows() == a.cols());
+  const index_t n = a.rows();
+  LuFactors f;
+  f.piv.resize(static_cast<std::size_t>(n));
+  MatrixView m = a.view();
+
+  for (index_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    index_t p = k;
+    double best = std::abs(m(k, k));
+    for (index_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(m(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    f.piv[static_cast<std::size_t>(k)] = p;
+    if (p != k) {
+      for (index_t j = 0; j < n; ++j) std::swap(m(k, j), m(p, j));
+    }
+    const double pivot = m(k, k);
+    if (pivot == 0.0) {
+      if (f.info == 0) f.info = k + 1;
+      continue;  // complete the factorization LAPACK-style
+    }
+    const double inv_pivot = 1.0 / pivot;
+    for (index_t i = k + 1; i < n; ++i) {
+      const double lik = m(i, k) * inv_pivot;
+      m(i, k) = lik;
+      if (lik == 0.0) continue;
+      double* mi = m.row_ptr(i);
+      const double* mk = m.row_ptr(k);
+      for (index_t j = k + 1; j < n; ++j) mi[j] -= lik * mk[j];
+    }
+  }
+  f.lu = std::move(a);
+  return f;
+}
+
+LuFactors lu_factor(ConstMatrixView a) { return lu_factor(to_matrix(a)); }
+
+void lu_solve_inplace(const LuFactors& f, MatrixView b) {
+  assert(f.ok() && "solving with a singular LU factorization");
+  const index_t n = f.n();
+  assert(b.rows() == n);
+  const ConstMatrixView lu = f.lu.view();
+
+  // Apply the row permutation: b := P b.
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = f.piv[static_cast<std::size_t>(k)];
+    if (p != k) {
+      for (index_t j = 0; j < b.cols(); ++j) std::swap(b(k, j), b(p, j));
+    }
+  }
+  // Forward substitution with unit-lower L.
+  for (index_t i = 1; i < n; ++i) {
+    double* bi = b.row_ptr(i);
+    const double* li = lu.row_ptr(i);
+    for (index_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (index_t j = 0; j < b.cols(); ++j) bi[j] -= lik * bk[j];
+    }
+  }
+  // Back substitution with U.
+  for (index_t i = n - 1; i >= 0; --i) {
+    double* bi = b.row_ptr(i);
+    const double* ui = lu.row_ptr(i);
+    for (index_t k = i + 1; k < n; ++k) {
+      const double uik = ui[k];
+      if (uik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (index_t j = 0; j < b.cols(); ++j) bi[j] -= uik * bk[j];
+    }
+    const double inv_uii = 1.0 / ui[i];
+    for (index_t j = 0; j < b.cols(); ++j) bi[j] *= inv_uii;
+  }
+}
+
+Matrix lu_solve(const LuFactors& f, ConstMatrixView b) {
+  Matrix x = to_matrix(b);
+  lu_solve_inplace(f, x.view());
+  return x;
+}
+
+void lu_solve_inplace(const LuFactors& f, std::span<double> b) {
+  MatrixView v(b.data(), static_cast<index_t>(b.size()), 1, 1);
+  lu_solve_inplace(f, v);
+}
+
+void lu_solve_transposed_inplace(const LuFactors& f, MatrixView b) {
+  assert(f.ok() && "solving with a singular LU factorization");
+  const index_t n = f.n();
+  assert(b.rows() == n);
+  const ConstMatrixView lu = f.lu.view();
+
+  // Forward substitution with U^T (lower triangular, diagonal from U).
+  for (index_t i = 0; i < n; ++i) {
+    double* bi = b.row_ptr(i);
+    const double inv_uii = 1.0 / lu(i, i);
+    for (index_t j = 0; j < b.cols(); ++j) bi[j] *= inv_uii;
+    for (index_t k = i + 1; k < n; ++k) {
+      const double uik = lu(i, k);  // (U^T)(k,i)
+      if (uik == 0.0) continue;
+      double* bk = b.row_ptr(k);
+      for (index_t j = 0; j < b.cols(); ++j) bk[j] -= uik * bi[j];
+    }
+  }
+  // Back substitution with L^T (unit upper triangular).
+  for (index_t i = n - 1; i >= 0; --i) {
+    const double* bi = b.row_ptr(i);
+    for (index_t k = 0; k < i; ++k) {
+      const double lik = lu(i, k);  // (L^T)(k,i)
+      if (lik == 0.0) continue;
+      double* bk = b.row_ptr(k);
+      for (index_t j = 0; j < b.cols(); ++j) bk[j] -= lik * bi[j];
+    }
+  }
+  // b := P^{-1} b (undo the factorization's swaps in reverse order).
+  for (index_t k = n - 1; k >= 0; --k) {
+    const index_t p = f.piv[static_cast<std::size_t>(k)];
+    if (p != k) {
+      for (index_t j = 0; j < b.cols(); ++j) std::swap(b(k, j), b(p, j));
+    }
+  }
+}
+
+Matrix right_divide(ConstMatrixView b, const LuFactors& f) {
+  Matrix bt = transposed(b);
+  lu_solve_transposed_inplace(f, bt.view());
+  return transposed(bt.view());
+}
+
+Matrix inverse(ConstMatrixView a) {
+  assert(a.rows() == a.cols());
+  const LuFactors f = lu_factor(a);
+  assert(f.ok());
+  Matrix inv = Matrix::identity(a.rows());
+  lu_solve_inplace(f, inv.view());
+  return inv;
+}
+
+double condition_inf(ConstMatrixView a) {
+  const LuFactors f = lu_factor(a);
+  if (!f.ok()) return std::numeric_limits<double>::infinity();
+  Matrix inv = Matrix::identity(a.rows());
+  lu_solve_inplace(f, inv.view());
+  return norm_inf(a) * norm_inf(inv.view());
+}
+
+}  // namespace ardbt::la

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/la/matrix.hpp"
+
+/// \file lu.hpp
+/// LU factorization with partial (row) pivoting and multi-right-hand-side
+/// solves. Mirrors the LAPACK getrf/getrs contract: `info == 0` on success,
+/// `info == k+1` when the k-th pivot is exactly zero (the factorization is
+/// still completed and solves with it are undefined).
+
+namespace ardbt::la {
+
+/// Packed LU factorization of a square matrix: `P A = L U` with unit-lower
+/// L and upper U stored in `lu`, and `piv[k]` the row swapped with row k at
+/// step k.
+struct LuFactors {
+  Matrix lu;
+  std::vector<index_t> piv;
+  index_t info = 0;
+
+  /// True when no exactly-zero pivot was met.
+  bool ok() const { return info == 0; }
+  index_t n() const { return lu.rows(); }
+};
+
+/// Factor a square matrix (taken by value; moved into the result).
+LuFactors lu_factor(Matrix a);
+
+/// Factor a copy of a square view.
+LuFactors lu_factor(ConstMatrixView a);
+
+/// B := A^{-1} B for a factored A; B has n rows and any number of columns.
+void lu_solve_inplace(const LuFactors& f, MatrixView b);
+
+/// Returns A^{-1} B without modifying B.
+Matrix lu_solve(const LuFactors& f, ConstMatrixView b);
+
+/// Single right-hand side, in place.
+void lu_solve_inplace(const LuFactors& f, std::span<double> b);
+
+/// B := A^{-T} B using the same factors (getrs with trans='T'):
+/// A^T = U^T L^T P, so solve U^T s = B, L^T t = s, B = P^{-1} t.
+void lu_solve_transposed_inplace(const LuFactors& f, MatrixView b);
+
+/// Right division: returns X = B A^{-1} (i.e. solves X A = B) via the
+/// transposed system. B has any number of rows and n columns.
+Matrix right_divide(ConstMatrixView b, const LuFactors& f);
+
+/// Explicit inverse via LU (test/diagnostic utility; solvers never call it).
+Matrix inverse(ConstMatrixView a);
+
+/// Cheap infinity-norm condition estimate via the explicit inverse.
+/// Intended for the small (M x M, 2M x 2M) blocks this library handles.
+double condition_inf(ConstMatrixView a);
+
+/// Flop counts (LAPACK conventions).
+inline double lu_factor_flops(index_t n) {
+  const double dn = static_cast<double>(n);
+  return 2.0 / 3.0 * dn * dn * dn;
+}
+inline double lu_solve_flops(index_t n, index_t nrhs) {
+  return 2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(nrhs);
+}
+
+}  // namespace ardbt::la

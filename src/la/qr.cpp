@@ -1,0 +1,106 @@
+#include "src/la/qr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ardbt::la {
+namespace {
+
+/// Apply H_k = I - tau v v^T to b (v packed in column k of qr below the
+/// diagonal with implicit leading 1).
+void apply_reflector(const Matrix& qr, double tau, index_t k, MatrixView b) {
+  if (tau == 0.0) return;
+  const index_t m = qr.rows();
+  for (index_t j = 0; j < b.cols(); ++j) {
+    // w = v^T b(:, j)
+    double w = b(k, j);
+    for (index_t i = k + 1; i < m; ++i) w += qr(i, k) * b(i, j);
+    w *= tau;
+    b(k, j) -= w;
+    for (index_t i = k + 1; i < m; ++i) b(i, j) -= w * qr(i, k);
+  }
+}
+
+}  // namespace
+
+QrFactors qr_factor(ConstMatrixView a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  assert(m >= n && "qr_factor requires rows >= cols");
+  QrFactors f;
+  f.qr = to_matrix(a);
+  f.tau.assign(static_cast<std::size_t>(n), 0.0);
+  Matrix& qr = f.qr;
+
+  for (index_t k = 0; k < n; ++k) {
+    // Householder vector for column k below (and including) the diagonal.
+    double norm2 = 0.0;
+    for (index_t i = k; i < m; ++i) norm2 += qr(i, k) * qr(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) {
+      f.tau[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    const double alpha = qr(k, k);
+    const double beta = alpha >= 0.0 ? -norm : norm;  // avoid cancellation
+    const double v0 = alpha - beta;
+    // Normalize so v has implicit leading 1.
+    for (index_t i = k + 1; i < m; ++i) qr(i, k) /= v0;
+    const double tau = (beta - alpha) / beta;  // = -v0 / beta
+    f.tau[static_cast<std::size_t>(k)] = tau;
+    qr(k, k) = beta;
+
+    // Update trailing columns: A := H_k A.
+    for (index_t j = k + 1; j < n; ++j) {
+      double w = qr(k, j);
+      for (index_t i = k + 1; i < m; ++i) w += qr(i, k) * qr(i, j);
+      w *= tau;
+      qr(k, j) -= w;
+      for (index_t i = k + 1; i < m; ++i) qr(i, j) -= w * qr(i, k);
+    }
+  }
+  return f;
+}
+
+void apply_qt(const QrFactors& f, MatrixView b) {
+  assert(b.rows() == f.rows());
+  for (index_t k = 0; k < f.cols(); ++k) {
+    apply_reflector(f.qr, f.tau[static_cast<std::size_t>(k)], k, b);
+  }
+}
+
+void apply_q(const QrFactors& f, MatrixView b) {
+  assert(b.rows() == f.rows());
+  for (index_t k = f.cols() - 1; k >= 0; --k) {
+    apply_reflector(f.qr, f.tau[static_cast<std::size_t>(k)], k, b);
+  }
+}
+
+Matrix qr_solve(const QrFactors& f, ConstMatrixView b) {
+  assert(b.rows() == f.rows());
+  Matrix work = to_matrix(b);
+  apply_qt(f, work.view());
+
+  const index_t n = f.cols();
+  Matrix x(n, b.cols());
+  for (index_t i = n - 1; i >= 0; --i) {
+    const double rii = f.qr(i, i);
+    if (rii == 0.0) throw std::runtime_error("qr_solve: rank-deficient R");
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double s = work(i, j);
+      for (index_t k = i + 1; k < n; ++k) s -= f.qr(i, k) * x(k, j);
+      x(i, j) = s / rii;
+    }
+  }
+  return x;
+}
+
+Matrix qr_q(const QrFactors& f) {
+  Matrix q(f.rows(), f.cols());
+  for (index_t j = 0; j < f.cols(); ++j) q(j, j) = 1.0;
+  apply_q(f, q.view());
+  return q;
+}
+
+}  // namespace ardbt::la

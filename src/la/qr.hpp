@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "src/la/matrix.hpp"
+
+/// \file qr.hpp
+/// Householder QR factorization (LAPACK geqrf/ormqr-style) for m x n
+/// matrices with m >= n. Used for least-squares solves, orthonormal bases
+/// and as a numerically robust alternative to LU on badly scaled square
+/// blocks.
+
+namespace ardbt::la {
+
+/// Packed Householder QR: R in the upper triangle of `qr`, reflector v_k
+/// (with implicit leading 1) below the diagonal of column k, scaled by
+/// tau[k]: H_k = I - tau_k v_k v_k^T, A = H_0 H_1 ... H_{n-1} R.
+struct QrFactors {
+  Matrix qr;
+  std::vector<double> tau;
+
+  index_t rows() const { return qr.rows(); }
+  index_t cols() const { return qr.cols(); }
+};
+
+/// Factor a copy of `a` (rows >= cols required).
+QrFactors qr_factor(ConstMatrixView a);
+
+/// B := Q^T B (apply the adjoint of Q to `rows()` x k block).
+void apply_qt(const QrFactors& f, MatrixView b);
+
+/// B := Q B.
+void apply_q(const QrFactors& f, MatrixView b);
+
+/// Least-squares / square solve: returns the `cols()` x k X minimizing
+/// ||A X - B||_F (exact solve when A is square and nonsingular). Throws
+/// std::runtime_error on an exactly rank-deficient R.
+Matrix qr_solve(const QrFactors& f, ConstMatrixView b);
+
+/// Explicit thin Q (rows x cols, orthonormal columns).
+Matrix qr_q(const QrFactors& f);
+
+/// Flop count of the factorization (2 n^2 (m - n/3)).
+inline double qr_factor_flops(index_t m, index_t n) {
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * (dm - dn / 3.0);
+}
+
+}  // namespace ardbt::la

@@ -1,0 +1,67 @@
+#include "src/la/random.hpp"
+
+#include <cmath>
+
+#include "src/la/blas1.hpp"
+
+namespace ardbt::la {
+
+Rng make_rng(std::uint64_t seed, std::uint64_t stream) {
+  // splitmix64-style mixing of (seed, stream) into one 64-bit state.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+void fill_uniform(MatrixView a, Rng& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (double& v : a.row(i)) v = dist(rng);
+  }
+}
+
+Matrix random_uniform(index_t rows, index_t cols, Rng& rng, double lo, double hi) {
+  Matrix m(rows, cols);
+  fill_uniform(m.view(), rng, lo, hi);
+  return m;
+}
+
+Matrix random_diag_dominant(index_t n, Rng& rng, double dominance) {
+  Matrix m = random_uniform(n, n, rng);
+  for (index_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      if (j != i) off += std::abs(m(i, j));
+    }
+    const double sign = m(i, i) >= 0.0 ? 1.0 : -1.0;
+    m(i, i) = sign * (dominance * off + 1.0);
+  }
+  return m;
+}
+
+Matrix random_orthogonalish(index_t n, Rng& rng) {
+  Matrix m = random_uniform(n, n, rng);
+  // Modified Gram-Schmidt over columns. Uniform random columns in general
+  // position are (numerically) independent for the small n used here.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (index_t i = 0; i < n; ++i) proj += m(i, j) * m(i, k);
+      for (index_t i = 0; i < n; ++i) m(i, j) -= proj * m(i, k);
+    }
+    double nrm = 0.0;
+    for (index_t i = 0; i < n; ++i) nrm += m(i, j) * m(i, j);
+    nrm = std::sqrt(nrm);
+    if (nrm < 1e-12) {
+      // Degenerate draw: replace with a unit basis column.
+      for (index_t i = 0; i < n; ++i) m(i, j) = (i == j) ? 1.0 : 0.0;
+    } else {
+      for (index_t i = 0; i < n; ++i) m(i, j) /= nrm;
+    }
+  }
+  return m;
+}
+
+}  // namespace ardbt::la

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "src/la/matrix.hpp"
+
+/// \file random.hpp
+/// Deterministic pseudo-random fills. Every generator takes an explicit
+/// engine so tests and benchmarks are reproducible across runs and ranks.
+
+namespace ardbt::la {
+
+/// The library-wide PRNG engine type.
+using Rng = std::mt19937_64;
+
+/// Engine seeded from a base seed and a stream id (e.g. block index or MPI
+/// rank) so independent streams never share state.
+Rng make_rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+/// Fill with i.i.d. uniform values in [lo, hi).
+void fill_uniform(MatrixView a, Rng& rng, double lo = -1.0, double hi = 1.0);
+
+/// Fresh rows x cols uniform matrix.
+Matrix random_uniform(index_t rows, index_t cols, Rng& rng, double lo = -1.0, double hi = 1.0);
+
+/// Random square matrix made strictly row-diagonally dominant:
+/// |a_ii| >= dominance * sum_{j != i} |a_ij| with dominance > 1.
+Matrix random_diag_dominant(index_t n, Rng& rng, double dominance = 2.0);
+
+/// Random well-conditioned square matrix: Q-like orthogonalized columns via
+/// modified Gram-Schmidt on a uniform fill (condition number close to 1).
+Matrix random_orthogonalish(index_t n, Rng& rng);
+
+}  // namespace ardbt::la

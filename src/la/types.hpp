@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.hpp
+/// Shared scalar/index typedefs for the dense linear-algebra substrate.
+
+namespace ardbt::la {
+
+/// Index type used throughout the library. Signed so that reverse loops and
+/// differences are well defined (C++ Core Guidelines ES.100/ES.102).
+using index_t = std::int64_t;
+
+}  // namespace ardbt::la

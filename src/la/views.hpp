@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "src/la/types.hpp"
+
+/// \file views.hpp
+/// Non-owning strided 2-D views over row-major storage. All dense kernels
+/// (GEMM, GEMV, LU, ...) operate on these views so that sub-blocks of a
+/// larger matrix can be used without copies.
+
+namespace ardbt::la {
+
+/// Mutable view of a `rows x cols` block with leading dimension `ld`
+/// (row-major: element (i,j) lives at `ptr[i*ld + j]`, `ld >= cols`).
+class MatrixView {
+ public:
+  MatrixView() = default;
+
+  MatrixView(double* ptr, index_t rows, index_t cols, index_t ld)
+      : ptr_(ptr), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= cols);
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Contiguous view (leading dimension == cols).
+  MatrixView(double* ptr, index_t rows, index_t cols)
+      : MatrixView(ptr, rows, cols, cols) {}
+
+  double& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return ptr_[i * ld_ + j];
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  double* data() const { return ptr_; }
+
+  /// Pointer to the start of row `i`.
+  double* row_ptr(index_t i) const {
+    assert(i >= 0 && i < rows_);
+    return ptr_ + i * ld_;
+  }
+
+  /// Row `i` as a span of `cols()` elements.
+  std::span<double> row(index_t i) const { return {row_ptr(i), static_cast<std::size_t>(cols_)}; }
+
+  /// Sub-block view starting at (r0, c0) of shape (nr, nc).
+  MatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    return {ptr_ + r0 * ld_ + c0, nr, nc, ld_};
+  }
+
+  /// True when rows are stored back to back (no inter-row gap).
+  bool contiguous() const { return ld_ == cols_; }
+
+ private:
+  double* ptr_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Read-only counterpart of MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+
+  ConstMatrixView(const double* ptr, index_t rows, index_t cols, index_t ld)
+      : ptr_(ptr), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= cols);
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  ConstMatrixView(const double* ptr, index_t rows, index_t cols)
+      : ConstMatrixView(ptr, rows, cols, cols) {}
+
+  /// Implicit widening from a mutable view (mirrors `span<T>` ->
+  /// `span<const T>`).
+  ConstMatrixView(MatrixView v)  // NOLINT(google-explicit-constructor)
+      : ConstMatrixView(v.data(), v.rows(), v.cols(), v.ld()) {}
+
+  double operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return ptr_[i * ld_ + j];
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  const double* data() const { return ptr_; }
+
+  const double* row_ptr(index_t i) const {
+    assert(i >= 0 && i < rows_);
+    return ptr_ + i * ld_;
+  }
+
+  std::span<const double> row(index_t i) const {
+    return {row_ptr(i), static_cast<std::size_t>(cols_)};
+  }
+
+  ConstMatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    return {ptr_ + r0 * ld_ + c0, nr, nc, ld_};
+  }
+
+  bool contiguous() const { return ld_ == cols_; }
+
+ private:
+  const double* ptr_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+}  // namespace ardbt::la

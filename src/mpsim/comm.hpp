@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "src/mpsim/costmodel.hpp"
+#include "src/mpsim/mailbox.hpp"
+#include "src/mpsim/stats.hpp"
+
+/// \file comm.hpp
+/// Rank-local communication endpoint. Each rank function receives a Comm&
+/// giving MPI-like point-to-point primitives plus the virtual clock. Sends
+/// are eager (buffered, never block); receives block until a matching
+/// message exists. Tags and sources are always explicit; matching is FIFO
+/// per (source, tag), mirroring MPI's non-overtaking guarantee.
+
+namespace ardbt::mpsim {
+
+/// How virtual time advances between communication events.
+enum class TimingMode {
+  /// Charge measured per-thread CPU seconds (CLOCK_THREAD_CPUTIME_ID).
+  /// Accurate on oversubscribed hosts because blocked threads accrue none.
+  MeasuredCpu,
+  /// Charge only explicitly reported flops at CostModel::flop_rate.
+  /// Fully deterministic; used for model-mode scaling studies and tests.
+  ChargedFlops,
+};
+
+class Engine;
+
+/// Shared state of one engine run. Internal to mpsim.
+struct World {
+  int nranks = 0;
+  CostModel cost;
+  TimingMode timing = TimingMode::MeasuredCpu;
+  std::vector<Mailbox> mailboxes;
+  std::atomic<bool> aborted{false};
+
+  explicit World(int n, CostModel c, TimingMode t)
+      : nranks(n), cost(c), timing(t), mailboxes(static_cast<std::size_t>(n)) {}
+};
+
+/// Per-rank endpoint handed to the rank function by Engine::run.
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(&world), rank_(rank) { reset_cpu_baseline(); }
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return world_->nranks; }
+  const CostModel& cost() const { return world_->cost; }
+
+  /// Untyped eager send of a byte payload.
+  void send_bytes(int dst, int tag, std::span<const std::byte> payload);
+
+  /// Blocking receive of the next message from (src, tag).
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  /// Typed send of a span of trivially copyable elements.
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, std::as_bytes(data));
+  }
+
+  /// Typed send of one value.
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    send(dst, tag, std::span<const T>(&v, 1));
+  }
+
+  /// Typed receive into a caller-provided span (size must match exactly).
+  template <typename T>
+  void recv_into(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = recv_bytes(src, tag);
+    assert(raw.size() == out.size_bytes() && "received size mismatch");
+    std::memcpy(out.data(), raw.data(), raw.size());
+  }
+
+  /// Typed receive of one value.
+  template <typename T>
+  T recv_value(int src, int tag) {
+    T v{};
+    recv_into(src, tag, std::span<T>(&v, 1));
+    return v;
+  }
+
+  /// Symmetric exchange with one peer: eager send, then receive. Safe for
+  /// pairwise exchange patterns because sends never block.
+  template <typename T>
+  void sendrecv(int peer, int tag, std::span<const T> out, std::span<T> in) {
+    send(peer, tag, out);
+    recv_into(peer, tag, in);
+  }
+
+  /// Report `f` floating-point operations performed since the last event.
+  /// Always counted in stats; advances the clock in ChargedFlops mode.
+  void charge_flops(double f);
+
+  /// Current virtual time in seconds.
+  double vtime() const { return vtime_; }
+
+  /// Per-rank counters (final values collected by the engine).
+  const RankStats& stats() const { return stats_; }
+
+  /// Fold measured CPU time since the last event into the clock. Called
+  /// automatically by send/recv; exposed so timing sections can close
+  /// before reading vtime().
+  void sync_compute();
+
+ private:
+  void reset_cpu_baseline();
+  double cpu_now() const;
+
+  World* world_;
+  int rank_;
+  double vtime_ = 0.0;
+  double cpu_baseline_ = 0.0;
+  RankStats stats_;
+};
+
+}  // namespace ardbt::mpsim

@@ -1,0 +1,70 @@
+#include "src/mpsim/engine.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace ardbt::mpsim {
+
+double RunReport::max_virtual_time() const {
+  double m = 0.0;
+  for (const auto& r : ranks) m = std::max(m, r.virtual_time);
+  return m;
+}
+
+RankStats RunReport::totals() const {
+  RankStats t;
+  for (const auto& r : ranks) t.merge_max(r);
+  return t;
+}
+
+RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
+  if (nranks <= 0) throw std::invalid_argument("mpsim::run: nranks must be positive");
+
+  World world(nranks, options.cost, options.timing);
+  RunReport report;
+  report.ranks.resize(static_cast<std::size_t>(nranks));
+
+  std::mutex error_mutex;
+  // Root-cause error (anything but AbortedError) takes precedence over the
+  // AbortedError cascades it triggers in peer ranks.
+  std::exception_ptr first_error;
+  std::exception_ptr first_abort;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        fn(comm);
+        comm.sync_compute();  // fold trailing compute into the clock
+      } catch (const AbortedError&) {
+        std::lock_guard lock(error_mutex);
+        if (!first_abort) first_abort = std::current_exception();
+      } catch (...) {
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world.aborted.store(true, std::memory_order_relaxed);
+        for (auto& mb : world.mailboxes) mb.interrupt();
+      }
+      RankStats s = comm.stats();
+      s.virtual_time = comm.vtime();
+      report.ranks[static_cast<std::size_t>(r)] = s;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  if (first_error) std::rethrow_exception(first_error);
+  if (first_abort) std::rethrow_exception(first_abort);
+  return report;
+}
+
+}  // namespace ardbt::mpsim

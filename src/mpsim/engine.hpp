@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/mpsim/comm.hpp"
+#include "src/mpsim/costmodel.hpp"
+#include "src/mpsim/stats.hpp"
+
+/// \file engine.hpp
+/// Launches P logical ranks as host threads and runs a rank function on
+/// each, MPI "SPMD" style. The engine owns all shared state; ranks only
+/// see their Comm endpoint. If any rank throws, the run is aborted: blocked
+/// receives wake with AbortedError, all threads are joined, and the first
+/// exception is rethrown to the caller.
+
+namespace ardbt::mpsim {
+
+/// Configuration of one run.
+struct EngineOptions {
+  CostModel cost{};
+  TimingMode timing = TimingMode::MeasuredCpu;
+};
+
+/// Result of one run.
+struct RunReport {
+  std::vector<RankStats> ranks;
+  /// Wall-clock seconds of the whole run (host time, oversubscription-y).
+  double wall_seconds = 0.0;
+
+  /// Modeled parallel runtime: the maximum rank virtual clock.
+  double max_virtual_time() const;
+  /// Aggregate counters over all ranks (sums; virtual fields are maxima).
+  RankStats totals() const;
+};
+
+/// The SPMD rank body. Must be thread-safe with respect to its peers; all
+/// inter-rank interaction goes through Comm.
+using RankFn = std::function<void(Comm&)>;
+
+/// Run `fn` on `nranks` logical ranks and collect per-rank statistics.
+/// Blocks until all ranks finish. Rethrows the first rank exception.
+RunReport run(int nranks, const RankFn& fn, const EngineOptions& options = {});
+
+}  // namespace ardbt::mpsim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+/// \file mailbox.hpp
+/// Per-rank message queue. One mailbox per rank; senders push, the owning
+/// rank pops by (source, tag). Matching is deterministic: among messages
+/// with the same (source, tag), FIFO order is preserved (MPI
+/// non-overtaking rule).
+
+namespace ardbt::mpsim {
+
+/// Thrown inside ranks when the run is aborted because some rank failed.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("mpsim run aborted by a failing rank") {}
+};
+
+/// A delivered message. `available_vtime` is the virtual instant at which
+/// the payload is fully visible to the receiver (alpha-beta model).
+struct Message {
+  int source = -1;
+  int tag = -1;
+  std::vector<std::byte> payload;
+  double available_vtime = 0.0;
+};
+
+/// MPMC-push / single-consumer-pop queue with (source, tag) matching.
+class Mailbox {
+ public:
+  /// Enqueue a message (called by sender threads).
+  void push(Message msg) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until a message from `source` with `tag` is present, then remove
+  /// and return it. Throws AbortedError if `aborted` becomes true.
+  Message pop(int source, int tag, const std::atomic<bool>& aborted) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->source == source && it->tag == tag) {
+          Message msg = std::move(*it);
+          queue_.erase(it);
+          return msg;
+        }
+      }
+      if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Wake any blocked pop so it can observe an abort.
+  void interrupt() { cv_.notify_all(); }
+
+  /// Number of queued (unreceived) messages; for tests.
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace ardbt::mpsim

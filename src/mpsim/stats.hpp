@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file stats.hpp
+/// Per-rank counters gathered by the engine after a run.
+
+namespace ardbt::mpsim {
+
+/// Communication/computation counters for one rank. Plain aggregates so
+/// they can be reduced/merged trivially.
+struct RankStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_received = 0;
+  /// Flops explicitly charged via Comm::charge_flops.
+  double flops_charged = 0.0;
+  /// Thread CPU seconds measured between communication events.
+  double cpu_seconds = 0.0;
+  /// Final virtual clock (seconds).
+  double virtual_time = 0.0;
+  /// Virtual seconds spent blocked waiting for messages.
+  double virtual_wait = 0.0;
+
+  /// Elementwise max/sum merge used for run-level summaries.
+  void merge_max(const RankStats& o) {
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+    msgs_received += o.msgs_received;
+    bytes_received += o.bytes_received;
+    flops_charged += o.flops_charged;
+    cpu_seconds += o.cpu_seconds;
+    virtual_time = virtual_time > o.virtual_time ? virtual_time : o.virtual_time;
+    virtual_wait = virtual_wait > o.virtual_wait ? virtual_wait : o.virtual_wait;
+  }
+};
+
+}  // namespace ardbt::mpsim

@@ -1,0 +1,105 @@
+#include "src/la/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/la/blas1.hpp"
+#include "src/la/random.hpp"
+
+namespace ardbt::la {
+namespace {
+
+double max_diff(const Matrix& a, const Matrix& b) {
+  double d = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) d = std::max(d, std::abs(a(i, j) - b(i, j)));
+  }
+  return d;
+}
+
+TEST(Gemm, TinyKnownProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = matmul(a.view(), b.view());
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+/// The blocked kernel must agree with the reference triple loop on shapes
+/// that hit both the small-problem fast path and the tiled loop.
+class GemmShapes : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng = make_rng(5, static_cast<std::uint64_t>(m * 10000 + n * 100 + k));
+  const Matrix a = random_uniform(m, k, rng);
+  const Matrix b = random_uniform(k, n, rng);
+  Matrix c_fast = random_uniform(m, n, rng);
+  Matrix c_ref = c_fast;
+  gemm(1.3, a.view(), b.view(), -0.7, c_fast.view());
+  gemm_naive(1.3, a.view(), b.view(), -0.7, c_ref.view());
+  EXPECT_LT(max_diff(c_fast, c_ref), 1e-11 * static_cast<double>(k)) << m << "x" << n << "x" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(std::tuple<index_t, index_t, index_t>{1, 1, 1},
+                                           std::tuple<index_t, index_t, index_t>{2, 3, 4},
+                                           std::tuple<index_t, index_t, index_t>{16, 16, 16},
+                                           std::tuple<index_t, index_t, index_t>{65, 33, 129},
+                                           std::tuple<index_t, index_t, index_t>{70, 300, 140},
+                                           std::tuple<index_t, index_t, index_t>{128, 1, 128},
+                                           std::tuple<index_t, index_t, index_t>{1, 257, 64}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  const Matrix a = Matrix::identity(2);
+  const Matrix b{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix c(2, 2);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  gemm(1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_EQ(c(1, 0), 3.0);
+}
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  const Matrix a{{1.0}};
+  const Matrix b{{1.0}};
+  Matrix c{{4.0}};
+  gemm(0.0, a.view(), b.view(), 0.5, c.view());
+  EXPECT_EQ(c(0, 0), 2.0);
+}
+
+TEST(Gemm, AccumulatesWithBetaOne) {
+  const Matrix a = Matrix::identity(2);
+  const Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  Matrix c{{1.0, 0.0}, {0.0, 1.0}};
+  gemm(2.0, a.view(), b.view(), 1.0, c.view());
+  EXPECT_EQ(c(0, 0), 3.0);
+  EXPECT_EQ(c(0, 1), 2.0);
+}
+
+TEST(Gemm, WorksOnStridedSubBlocks) {
+  Rng rng = make_rng(9);
+  Matrix big_a = random_uniform(6, 6, rng);
+  Matrix big_b = random_uniform(6, 6, rng);
+  Matrix big_c(6, 6);
+
+  gemm(1.0, big_a.block(1, 1, 3, 2), big_b.block(0, 2, 2, 4), 0.0, big_c.block(2, 1, 3, 4));
+
+  Matrix a_copy = to_matrix(big_a.block(1, 1, 3, 2));
+  Matrix b_copy = to_matrix(big_b.block(0, 2, 2, 4));
+  const Matrix ref = matmul(a_copy.view(), b_copy.view());
+  EXPECT_LT(max_diff(to_matrix(big_c.block(2, 1, 3, 4)), ref), 1e-13);
+  // Untouched elements stay zero.
+  EXPECT_EQ(big_c(0, 0), 0.0);
+  EXPECT_EQ(big_c(5, 5), 0.0);
+}
+
+TEST(Gemm, FlopFormula) {
+  EXPECT_EQ(gemm_flops(2, 3, 4), 48.0);
+  EXPECT_EQ(gemm_flops(1, 1, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace ardbt::la

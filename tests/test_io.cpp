@@ -1,0 +1,125 @@
+#include "src/btds/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/btds/generators.hpp"
+#include "src/la/random.hpp"
+
+namespace ardbt::btds {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Io, MatrixRoundTripIsExact) {
+  la::Rng rng = la::make_rng(81);
+  const Matrix m = la::random_uniform(7, 5, rng, -1e9, 1e9);
+  const std::string path = temp_path("matrix.ardbt");
+  save_matrix(path, m);
+  const Matrix back = load_matrix(path);
+  EXPECT_TRUE(m == back);  // bitwise
+  std::remove(path.c_str());
+}
+
+TEST(Io, EmptyAndSingleElementMatrices) {
+  const std::string path = temp_path("tiny.ardbt");
+  for (const Matrix& m : {Matrix(0, 0), Matrix(1, 1), Matrix(0, 5)}) {
+    save_matrix(path, m);
+    const Matrix back = load_matrix(path);
+    EXPECT_TRUE(m == back);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, BlockTridiagRoundTripIsExact) {
+  const BlockTridiag t = make_problem(ProblemKind::kDiagDominant, 6, 3, /*seed=*/5);
+  const std::string path = temp_path("system.ardbt");
+  save_block_tridiag(path, t);
+  const BlockTridiag back = load_block_tridiag(path);
+  ASSERT_EQ(back.num_blocks(), 6);
+  ASSERT_EQ(back.block_size(), 3);
+  for (la::index_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(back.diag(i) == t.diag(i));
+    if (i > 0) {
+      EXPECT_TRUE(back.lower(i) == t.lower(i));
+    }
+    if (i + 1 < 6) {
+      EXPECT_TRUE(back.upper(i) == t.upper(i));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, SingleBlockRowSystem) {
+  const BlockTridiag t = make_problem(ProblemKind::kToeplitz, 1, 4);
+  const std::string path = temp_path("onerow.ardbt");
+  save_block_tridiag(path, t);
+  const BlockTridiag back = load_block_tridiag(path);
+  EXPECT_TRUE(back.diag(0) == t.diag(0));
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_matrix("/nonexistent/nowhere.ardbt"), std::runtime_error);
+  EXPECT_THROW(load_block_tridiag("/nonexistent/nowhere.ardbt"), std::runtime_error);
+}
+
+TEST(Io, BadMagicThrows) {
+  const std::string path = temp_path("garbage.ardbt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAFILEATALL_____";
+  }
+  EXPECT_THROW(load_matrix(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Io, WrongKindMagicThrows) {
+  la::Rng rng = la::make_rng(83);
+  const Matrix m = la::random_uniform(2, 2, rng);
+  const std::string path = temp_path("kind.ardbt");
+  save_matrix(path, m);
+  EXPECT_THROW(load_block_tridiag(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Io, TruncatedFileThrows) {
+  la::Rng rng = la::make_rng(87);
+  const Matrix m = la::random_uniform(8, 8, rng);
+  const std::string path = temp_path("trunc.ardbt");
+  save_matrix(path, m);
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(load_matrix(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Io, CsvValuesRoundTripThroughParsing) {
+  la::Rng rng = la::make_rng(91);
+  const Matrix m = la::random_uniform(3, 4, rng);
+  const std::string path = temp_path("matrix.csv");
+  save_matrix_csv(path, m);
+  std::ifstream in(path);
+  Matrix back(3, 4);
+  std::string cell;
+  for (la::index_t i = 0; i < 3; ++i) {
+    for (la::index_t j = 0; j < 4; ++j) {
+      std::getline(in, cell, j + 1 < 4 ? ',' : '\n');
+      back(i, j) = std::stod(cell);
+    }
+  }
+  EXPECT_TRUE(m == back);  // %.17g preserves doubles exactly
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ardbt::btds

@@ -1,0 +1,209 @@
+#include "src/mpsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace ardbt::mpsim {
+namespace {
+
+TEST(Engine, RunsAllRanks) {
+  std::atomic<int> count{0};
+  const RunReport report = run(5, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 5);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 5);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 5);
+  EXPECT_EQ(report.ranks.size(), 5u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(Engine, RejectsNonPositiveRankCount) {
+  EXPECT_THROW(run(0, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Engine, PointToPointDeliversPayload) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double data[] = {1.5, 2.5, 3.5};
+      comm.send(1, /*tag=*/7, std::span<const double>(data, 3));
+    } else {
+      std::vector<double> buf(3);
+      comm.recv_into(0, 7, std::span<double>(buf));
+      EXPECT_EQ(buf[0], 1.5);
+      EXPECT_EQ(buf[2], 3.5);
+    }
+  });
+}
+
+TEST(Engine, TypedValueRoundTrip) {
+  run(2, [](Comm& comm) {
+    struct Payload {
+      int a;
+      double b;
+    };
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, Payload{42, 2.5});
+    } else {
+      const auto p = comm.recv_value<Payload>(0, 1);
+      EXPECT_EQ(p.a, 42);
+      EXPECT_EQ(p.b, 2.5);
+    }
+  });
+}
+
+TEST(Engine, FifoOrderPerSourceAndTag) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send_value(1, 3, i);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(Engine, TagsMatchIndependently) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, /*tag=*/1, 100);
+      comm.send_value(1, /*tag=*/2, 200);
+    } else {
+      // Receive in the opposite order of sending: tag matching must pick
+      // the right message regardless of queue position.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(Engine, SelfSendWorks) {
+  run(1, [](Comm& comm) {
+    comm.send_value(0, 5, 3.25);
+    EXPECT_EQ(comm.recv_value<double>(0, 5), 3.25);
+  });
+}
+
+TEST(Engine, ExceptionPropagatesAndUnblocksPeers) {
+  EXPECT_THROW(run(3,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       throw std::runtime_error("rank 0 boom");
+                     }
+                     // Ranks 1, 2 block forever waiting for a message that
+                     // never comes; the abort must wake them.
+                     (void)comm.recv_bytes((comm.rank() + 1) % 3, 9);
+                   }),
+               std::runtime_error);
+}
+
+TEST(Engine, StatsCountMessagesAndBytes) {
+  const RunReport report = run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double data[16] = {};
+      comm.send(1, 1, std::span<const double>(data, 16));
+    } else {
+      std::vector<double> buf(16);
+      comm.recv_into(0, 1, std::span<double>(buf));
+    }
+  });
+  EXPECT_EQ(report.ranks[0].msgs_sent, 1u);
+  EXPECT_EQ(report.ranks[0].bytes_sent, 16u * 8u);
+  EXPECT_EQ(report.ranks[1].msgs_received, 1u);
+  EXPECT_EQ(report.ranks[1].bytes_received, 16u * 8u);
+}
+
+TEST(Engine, ChargedFlopsModeIsDeterministic) {
+  EngineOptions options;
+  options.timing = TimingMode::ChargedFlops;
+  options.cost.flop_rate = 1e9;
+  options.cost.alpha = 1e-6;
+  options.cost.beta = 1e-9;
+
+  auto body = [](Comm& comm) {
+    comm.charge_flops(2e9);  // 2 virtual seconds of compute
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 1);
+    } else {
+      (void)comm.recv_value<int>(0, 1);
+    }
+  };
+  const RunReport r1 = run(2, body, options);
+  const RunReport r2 = run(2, body, options);
+  EXPECT_DOUBLE_EQ(r1.ranks[0].virtual_time, r2.ranks[0].virtual_time);
+  EXPECT_DOUBLE_EQ(r1.ranks[1].virtual_time, r2.ranks[1].virtual_time);
+  // Rank 0: 2 s compute + alpha send overhead.
+  EXPECT_NEAR(r1.ranks[0].virtual_time, 2.0 + 1e-6, 1e-12);
+  // Rank 1: its own 2 s dominate the message availability (2 s + alpha +
+  // 4 bytes * beta), so no wait is added beyond its own clock.
+  EXPECT_NEAR(r1.ranks[1].virtual_time, 2.0 + 1e-6 + 4e-9, 1e-9);
+}
+
+TEST(Engine, VirtualWaitChargedWhenReceiverIsEarly) {
+  EngineOptions options;
+  options.timing = TimingMode::ChargedFlops;
+  options.cost.flop_rate = 1e9;
+  options.cost.alpha = 0.5;  // exaggerated latency
+  options.cost.beta = 0.0;
+
+  const RunReport report = run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.charge_flops(1e9);  // sender works 1 virtual second first
+      comm.send_value(1, 1, 1);
+    } else {
+      (void)comm.recv_value<int>(0, 1);  // receiver posts at t = 0
+    }
+  }, options);
+  // Message available at 1.0 + 0.5; receiver waited that long.
+  EXPECT_NEAR(report.ranks[1].virtual_time, 1.5, 1e-9);
+  EXPECT_NEAR(report.ranks[1].virtual_wait, 1.5, 1e-9);
+}
+
+TEST(Engine, MeasuredCpuModeAccumulatesCpuSeconds) {
+  const RunReport report = run(1, [](Comm& comm) {
+    // Busy-loop in chunks until the thread CPU clock registers progress;
+    // some kernels tick it as coarsely as 10 ms.
+    volatile double sink = 0.0;
+    for (int chunk = 0; chunk < 100 && comm.vtime() == 0.0; ++chunk) {
+      for (int i = 0; i < 4000000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+      comm.sync_compute();
+    }
+    EXPECT_GT(comm.vtime(), 0.0);
+  });
+  EXPECT_GT(report.ranks[0].cpu_seconds, 0.0);
+  EXPECT_NEAR(report.ranks[0].virtual_time, report.ranks[0].cpu_seconds, 1e-6);
+}
+
+TEST(Engine, TotalsAggregate) {
+  const RunReport report = run(3, [](Comm& comm) {
+    comm.charge_flops(100.0);
+    if (comm.rank() > 0) comm.send_value(0, 1, comm.rank());
+    if (comm.rank() == 0) {
+      (void)comm.recv_value<int>(1, 1);
+      (void)comm.recv_value<int>(2, 1);
+    }
+  });
+  const RankStats totals = report.totals();
+  EXPECT_EQ(totals.msgs_sent, 2u);
+  EXPECT_EQ(totals.msgs_received, 2u);
+  EXPECT_DOUBLE_EQ(totals.flops_charged, 300.0);
+  EXPECT_EQ(report.max_virtual_time(),
+            std::max({report.ranks[0].virtual_time, report.ranks[1].virtual_time,
+                      report.ranks[2].virtual_time}));
+}
+
+TEST(CostModel, MessageTimeAndProfiles) {
+  CostModel m;
+  m.alpha = 1e-6;
+  m.beta = 1e-9;
+  EXPECT_DOUBLE_EQ(m.message_time(1000), 1e-6 + 1e-6);
+  EXPECT_GT(CostModel::cluster2014().flop_rate, 0.0);
+  EXPECT_GT(CostModel::slow_ethernet().alpha, CostModel::cluster2014().alpha);
+  EXPECT_EQ(CostModel::free_comm().alpha, 0.0);
+}
+
+}  // namespace
+}  // namespace ardbt::mpsim

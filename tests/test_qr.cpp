@@ -1,0 +1,94 @@
+#include "src/la/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/la/blas1.hpp"
+#include "src/la/gemm.hpp"
+#include "src/la/random.hpp"
+
+namespace ardbt::la {
+namespace {
+
+TEST(Qr, ReconstructsSquareMatrix) {
+  Rng rng = make_rng(41);
+  for (index_t n : {1, 2, 5, 12}) {
+    const Matrix a = random_uniform(n, n, rng);
+    const QrFactors f = qr_factor(a.view());
+    // Q R == A.
+    Matrix r_upper(n, n);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i; j < n; ++j) r_upper(i, j) = f.qr(i, j);
+    }
+    Matrix qr_prod = r_upper;
+    apply_q(f, qr_prod.view());
+    matrix_axpy(-1.0, a.view(), qr_prod.view());
+    EXPECT_LT(norm_fro(qr_prod.view()), 1e-12 * norm_fro(a.view()) + 1e-14) << n;
+  }
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  Rng rng = make_rng(43);
+  const Matrix a = random_uniform(9, 4, rng);
+  const QrFactors f = qr_factor(a.view());
+  const Matrix q = qr_q(f);
+  EXPECT_EQ(q.rows(), 9);
+  EXPECT_EQ(q.cols(), 4);
+  const Matrix qt = transposed(q.view());
+  Matrix gram = matmul(qt.view(), q.view());
+  matrix_axpy(-1.0, Matrix::identity(4).view(), gram.view());
+  EXPECT_LT(norm_fro(gram.view()), 1e-12);
+}
+
+TEST(Qr, SolvesSquareSystem) {
+  Rng rng = make_rng(47);
+  const Matrix a = random_diag_dominant(7, rng);
+  const Matrix b = random_uniform(7, 3, rng);
+  const QrFactors f = qr_factor(a.view());
+  const Matrix x = qr_solve(f, b.view());
+  Matrix res = matmul(a.view(), x.view());
+  matrix_axpy(-1.0, b.view(), res.view());
+  EXPECT_LT(norm_fro(res.view()), 1e-11 * norm_fro(b.view()));
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  Rng rng = make_rng(53);
+  const Matrix a = random_uniform(10, 3, rng);
+  const Matrix b = random_uniform(10, 1, rng);
+  const QrFactors f = qr_factor(a.view());
+  const Matrix x = qr_solve(f, b.view());
+  // The residual must be orthogonal to range(A): A^T (A x - b) = 0.
+  Matrix res = matmul(a.view(), x.view());
+  matrix_axpy(-1.0, b.view(), res.view());
+  const Matrix at = transposed(a.view());
+  const Matrix atr = matmul(at.view(), res.view());
+  EXPECT_LT(norm_fro(atr.view()), 1e-11);
+}
+
+TEST(Qr, HandlesBadlyScaledColumns) {
+  // LU without full pivoting struggles here; QR must not.
+  Matrix a{{1e-12, 1.0}, {1.0, 1.0}};
+  const QrFactors f = qr_factor(a.view());
+  const Matrix b{{1.0}, {2.0}};
+  const Matrix x = qr_solve(f, b.view());
+  Matrix res = matmul(a.view(), x.view());
+  matrix_axpy(-1.0, b.view(), res.view());
+  EXPECT_LT(norm_fro(res.view()), 1e-12);
+}
+
+TEST(Qr, RankDeficientThrowsOnSolve) {
+  // A 3-4-5 column pair keeps the arithmetic exact, so R(1,1) is exactly
+  // zero and the rank check must fire.
+  Matrix a{{3.0, 6.0}, {4.0, 8.0}};
+  const QrFactors f = qr_factor(a.view());
+  EXPECT_EQ(f.qr(1, 1), 0.0);
+  const Matrix b{{1.0}, {1.0}};
+  EXPECT_THROW(qr_solve(f, b.view()), std::runtime_error);
+}
+
+TEST(Qr, FlopFormula) {
+  EXPECT_GT(qr_factor_flops(10, 10), 0.0);
+  EXPECT_GT(qr_factor_flops(20, 10), qr_factor_flops(10, 10));
+}
+
+}  // namespace
+}  // namespace ardbt::la

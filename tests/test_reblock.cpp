@@ -1,0 +1,124 @@
+#include "src/btds/reblock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/btds/spmv.hpp"
+#include "src/core/solver.hpp"
+#include "src/la/blas1.hpp"
+#include "src/la/gemm.hpp"
+#include "src/la/lu.hpp"
+#include "src/la/random.hpp"
+
+namespace ardbt::btds {
+namespace {
+
+using la::index_t;
+using la::Matrix;
+
+/// Random diagonally dominant banded matrix.
+BandedMatrix random_banded(index_t dim, index_t q, std::uint64_t seed) {
+  BandedMatrix banded(dim, q);
+  la::Rng rng = la::make_rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (index_t i = 0; i < dim; ++i) {
+    double off = 0.0;
+    for (index_t j = std::max<index_t>(0, i - q); j <= std::min(dim - 1, i + q); ++j) {
+      if (j == i) continue;
+      banded.at(i, j) = dist(rng);
+      off += std::abs(banded.at(i, j));
+    }
+    banded.at(i, i) = 2.0 * off + 1.0;
+  }
+  return banded;
+}
+
+Matrix to_dense(const BandedMatrix& banded) {
+  Matrix dense(banded.dim, banded.dim);
+  for (index_t i = 0; i < banded.dim; ++i) {
+    for (index_t j = 0; j < banded.dim; ++j) dense(i, j) = banded.at(i, j);
+  }
+  return dense;
+}
+
+TEST(Reblock, BandAccessors) {
+  BandedMatrix banded(5, 2);
+  banded.at(0, 2) = 3.0;
+  banded.at(4, 2) = -1.0;
+  EXPECT_EQ(banded.at(0, 2), 3.0);
+  EXPECT_EQ(banded.at(4, 2), -1.0);
+  // Outside the band: only the const accessor is defined there.
+  EXPECT_EQ(std::as_const(banded).at(0, 4), 0.0);
+}
+
+TEST(Reblock, BlockedOperatorMatchesDense) {
+  for (index_t dim : {6, 7, 11}) {  // exact multiple, remainder cases
+    const index_t q = 3;
+    const BandedMatrix banded = random_banded(dim, q, 5);
+    const BlockTridiag t = reblock_banded(banded);
+    EXPECT_EQ(t.block_size(), q);
+    EXPECT_EQ(t.num_blocks(), (dim + q - 1) / q);
+
+    // Apply both forms to the same padded vector and compare.
+    la::Rng rng = la::make_rng(6);
+    const Matrix x_scalar = la::random_uniform(dim, 2, rng);
+    Matrix x_padded(t.dim(), 2);
+    la::copy(x_scalar.view(), x_padded.block(0, 0, dim, 2));
+
+    const Matrix b_blocked = apply(t, x_padded);
+    const Matrix b_dense = la::matmul(to_dense(banded).view(), x_scalar.view());
+    for (index_t i = 0; i < dim; ++i) {
+      for (index_t j = 0; j < 2; ++j) {
+        EXPECT_NEAR(b_blocked(i, j), b_dense(i, j), 1e-12) << "dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST(Reblock, PentadiagonalSolveViaArd) {
+  // Half-bandwidth 2 (pentadiagonal), solved through the block machinery.
+  const index_t dim = 50, q = 2;
+  const BandedMatrix banded = random_banded(dim, q, 11);
+  const BlockTridiag t = reblock_banded(banded);
+
+  la::Rng rng = la::make_rng(12);
+  const Matrix b_scalar = la::random_uniform(dim, 3, rng);
+  const Matrix b = reblock_rhs(banded, b_scalar);
+  const Matrix x_blocked = core::solve(core::Method::kArd, t, b, 4).x;
+  const Matrix x = unblock_solution(banded, x_blocked);
+
+  // Residual against the dense assembly.
+  Matrix res = la::matmul(to_dense(banded).view(), x.view());
+  la::matrix_axpy(-1.0, b_scalar.view(), res.view());
+  EXPECT_LT(la::norm_fro(res.view()), 1e-10 * la::norm_fro(b_scalar.view()));
+}
+
+TEST(Reblock, WideBandHeptadiagonal) {
+  const index_t dim = 41, q = 3;  // heptadiagonal, padded (41 -> 42)
+  const BandedMatrix banded = random_banded(dim, q, 17);
+  const BlockTridiag t = reblock_banded(banded);
+  la::Rng rng = la::make_rng(18);
+  const Matrix b_resized = la::random_uniform(dim, 2, rng);
+  const Matrix b = reblock_rhs(banded, b_resized);
+  const Matrix x_blocked = core::solve(core::Method::kArd, t, b, 3).x;
+  const Matrix x = unblock_solution(banded, x_blocked);
+
+  const la::LuFactors lu = la::lu_factor(to_dense(banded).view());
+  const Matrix x_ref = la::lu_solve(lu, b_resized.view());
+  for (index_t i = 0; i < dim; ++i) {
+    for (index_t j = 0; j < 2; ++j) EXPECT_NEAR(x(i, j), x_ref(i, j), 1e-9);
+  }
+}
+
+TEST(Reblock, TridiagonalRoundTripsAsBlocksizeOne) {
+  const index_t dim = 9, q = 1;
+  const BandedMatrix banded = random_banded(dim, q, 23);
+  const BlockTridiag t = reblock_banded(banded);
+  EXPECT_EQ(t.block_size(), 1);
+  EXPECT_EQ(t.num_blocks(), 9);
+  EXPECT_EQ(t.diag(4)(0, 0), banded.at(4, 4));
+  EXPECT_EQ(t.lower(4)(0, 0), banded.at(4, 3));
+  EXPECT_EQ(t.upper(4)(0, 0), banded.at(4, 5));
+}
+
+}  // namespace
+}  // namespace ardbt::btds

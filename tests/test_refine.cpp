@@ -1,0 +1,110 @@
+#include "src/core/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/btds/generators.hpp"
+#include "src/btds/spmv.hpp"
+#include "src/la/lu.hpp"
+#include "src/mpsim/engine.hpp"
+
+namespace ardbt::core {
+namespace {
+
+using btds::BlockTridiag;
+using btds::make_problem;
+using btds::make_rhs;
+using btds::ProblemKind;
+using la::Matrix;
+
+TEST(Refine, ResidualDecreasesMonotonicallyAndConverges) {
+  const BlockTridiag sys = make_problem(ProblemKind::kIllConditioned, 64, 4);
+  const Matrix b = make_rhs(64, 4, 3);
+  Matrix x(b.rows(), b.cols());
+  RefineResult result;
+  const btds::RowPartition part(64, 4);
+  mpsim::run(4, [&](mpsim::Comm& comm) {
+    const auto f = ArdFactorization::factor(comm, sys, part);
+    // tol = 0 forces every step so the monotonicity of the recorded
+    // residual norms can be checked.
+    const RefineResult local = solve_refined(comm, f, sys, part, b, x, /*max_steps=*/3,
+                                             /*tol=*/0.0);
+    if (comm.rank() == 0) result = local;
+  });
+  ASSERT_GE(result.residual_norms.size(), 2u);
+  for (std::size_t i = 1; i < result.residual_norms.size(); ++i) {
+    EXPECT_LE(result.residual_norms[i], result.residual_norms[i - 1] * 1.5);
+  }
+  EXPECT_LT(btds::relative_residual(sys, x, b), 1e-13);
+}
+
+TEST(Refine, StopsEarlyWhenAlreadyConverged) {
+  const BlockTridiag sys = make_problem(ProblemKind::kDiagDominant, 16, 2);
+  const Matrix b = make_rhs(16, 2, 1);
+  Matrix x(b.rows(), b.cols());
+  RefineResult result;
+  const btds::RowPartition part(16, 2);
+  mpsim::run(2, [&](mpsim::Comm& comm) {
+    const auto f = ArdFactorization::factor(comm, sys, part);
+    const RefineResult local =
+        solve_refined(comm, f, sys, part, b, x, /*max_steps=*/10, /*tol=*/1e-12);
+    if (comm.rank() == 0) result = local;
+  });
+  // A well-conditioned solve is already at machine precision; refinement
+  // must stop immediately rather than run 10 rounds.
+  EXPECT_LE(result.steps, 1);
+  EXPECT_LT(btds::relative_residual(sys, x, b), 1e-12);
+}
+
+TEST(Refine, WorksOnSingleRank) {
+  const BlockTridiag sys = make_problem(ProblemKind::kPoisson2D, 12, 3);
+  const Matrix b = make_rhs(12, 3, 2);
+  Matrix x(b.rows(), b.cols());
+  const btds::RowPartition part(12, 1);
+  mpsim::run(1, [&](mpsim::Comm& comm) {
+    const auto f = ArdFactorization::factor(comm, sys, part);
+    solve_refined(comm, f, sys, part, b, x);
+  });
+  EXPECT_LT(btds::relative_residual(sys, x, b), 1e-13);
+}
+
+TEST(ConditionEstimate, MatchesDenseOrderOfMagnitude) {
+  const la::index_t n = 12, m = 3;
+  const BlockTridiag sys = make_problem(ProblemKind::kPoisson2D, n, m);
+  double estimate = 0.0;
+  const btds::RowPartition part(n, 3);
+  mpsim::run(3, [&](mpsim::Comm& comm) {
+    const auto f = ArdFactorization::factor(comm, sys, part);
+    const double local = condition_estimate(comm, f, sys, part, /*iters=*/10);
+    if (comm.rank() == 0) estimate = local;
+  });
+
+  // Dense reference kappa_inf.
+  Matrix dense(n * m, n * m);
+  for (la::index_t i = 0; i < n; ++i) {
+    la::copy(sys.diag(i).view(), dense.block(i * m, i * m, m, m));
+    if (i > 0) la::copy(sys.lower(i).view(), dense.block(i * m, (i - 1) * m, m, m));
+    if (i + 1 < n) la::copy(sys.upper(i).view(), dense.block(i * m, (i + 1) * m, m, m));
+  }
+  const double exact = la::condition_inf(dense.view());
+  EXPECT_GT(estimate, exact / 30.0);
+  EXPECT_LT(estimate, exact * 30.0);
+}
+
+TEST(ConditionEstimate, DistinguishesWellFromIllConditioned) {
+  double well = 0.0;
+  double ill = 0.0;
+  for (auto [kind, out] :
+       {std::pair{ProblemKind::kDiagDominant, &well}, {ProblemKind::kIllConditioned, &ill}}) {
+    const BlockTridiag sys = make_problem(kind, 32, 4);
+    const btds::RowPartition part(32, 2);
+    mpsim::run(2, [&, kind = kind, out = out](mpsim::Comm& comm) {
+      const auto f = ArdFactorization::factor(comm, sys, part);
+      const double est = condition_estimate(comm, f, sys, part);
+      if (comm.rank() == 0) *out = est;
+    });
+  }
+  EXPECT_GT(ill, well);
+}
+
+}  // namespace
+}  // namespace ardbt::core

@@ -1,0 +1,91 @@
+#include "src/core/transfer_rd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/btds/generators.hpp"
+#include "src/btds/spmv.hpp"
+#include "src/core/solver.hpp"
+#include "src/mpsim/engine.hpp"
+
+namespace ardbt::core {
+namespace {
+
+using btds::BlockTridiag;
+using btds::make_problem;
+using btds::make_rhs;
+using btds::ProblemKind;
+using la::Matrix;
+
+double transfer_residual(const BlockTridiag& sys, const Matrix& b, int p, bool rescale = true) {
+  const Matrix x = solve(Method::kTransferRd, sys, b, p, ArdOptions{.rescale = rescale}).x;
+  return btds::relative_residual(sys, x, b);
+}
+
+TEST(TransferRd, AccurateForSmallN) {
+  for (ProblemKind kind : {ProblemKind::kDiagDominant, ProblemKind::kPoisson2D,
+                           ProblemKind::kToeplitz}) {
+    for (int p : {1, 2, 3, 4}) {
+      const BlockTridiag sys = make_problem(kind, 8, 3);
+      const Matrix b = make_rhs(8, 3, 2);
+      EXPECT_LT(transfer_residual(sys, b, p), 1e-10) << btds::to_string(kind) << " P=" << p;
+    }
+  }
+}
+
+TEST(TransferRd, ScalarBlocksStayAccurateAtLargeN) {
+  // With M = 1 there is a single growing mode, no intra-block spread, so
+  // the pair representation does not degrade — the classical reason
+  // scalar recursive doubling is a textbook algorithm.
+  const BlockTridiag sys = make_problem(ProblemKind::kPoisson2D, 2048, 1);
+  const Matrix b = make_rhs(2048, 1, 2);
+  EXPECT_LT(transfer_residual(sys, b, 4), 1e-10);
+}
+
+TEST(TransferRd, BlockSpreadDegradesAccuracyWithN) {
+  // The documented instability (DESIGN.md 1.2): error grows geometrically
+  // in N for block systems with spread block spectra. This test pins the
+  // qualitative behaviour: fine at N=8, degraded by several orders at
+  // N=32, useless by N=40.
+  const auto residual_at = [&](la::index_t n) {
+    const BlockTridiag sys = make_problem(ProblemKind::kPoisson2D, n, 3);
+    const Matrix b = make_rhs(n, 3, 1);
+    return transfer_residual(sys, b, 2);
+  };
+  const double r8 = residual_at(8);
+  const double r32 = residual_at(32);
+  EXPECT_LT(r8, 1e-12);
+  EXPECT_GT(r32, r8 * 1e3);  // at least three orders lost
+}
+
+TEST(TransferRd, MatchesArdWhereStable) {
+  const BlockTridiag sys = make_problem(ProblemKind::kDiagDominant, 12, 2);
+  const Matrix b = make_rhs(12, 2, 3);
+  const Matrix x_ard = solve(Method::kArd, sys, b, 3).x;
+  const Matrix x_trd = solve(Method::kTransferRd, sys, b, 3).x;
+  for (la::index_t i = 0; i < b.rows(); ++i) {
+    for (la::index_t j = 0; j < b.cols(); ++j) EXPECT_NEAR(x_trd(i, j), x_ard(i, j), 1e-8);
+  }
+}
+
+TEST(TransferRd, RescalingKeepsPrefixesFinite) {
+  // Scalar Poisson transfer matrices have spectral radius ~3.7; without
+  // rescaling the prefix overflows around N ~ 540 (1e308 ~ 3.7^540) and
+  // the solve dies; with rescaling it stays accurate.
+  const BlockTridiag sys = make_problem(ProblemKind::kPoisson2D, 1200, 1);
+  const Matrix b = make_rhs(1200, 1, 1);
+  EXPECT_LT(transfer_residual(sys, b, 2, /*rescale=*/true), 1e-10);
+
+  bool failed = false;
+  try {
+    const double r = transfer_residual(sys, b, 2, /*rescale=*/false);
+    failed = !(r < 1e-6) || !std::isfinite(r);
+  } catch (const std::runtime_error&) {
+    failed = true;  // singular pivot from overflowed prefix
+  }
+  EXPECT_TRUE(failed) << "expected the unscaled prefix to overflow";
+}
+
+}  // namespace
+}  // namespace ardbt::core

@@ -1,0 +1,191 @@
+// ardbt — command-line driver for the solver library.
+//
+// Runs any solver on a generated problem and reports timing, work and
+// accuracy. Examples:
+//
+//   ardbt --method ard --kind poisson2d --n 2048 --m 16 --p 8 --r 64
+//   ardbt --method rd-per-rhs --n 512 --m 8 --r 32 --timing measured
+//   ardbt --list
+//
+// Flags (all optional):
+//   --method  ard | rd | rd-per-rhs | transfer-rd | pcr     [ard]
+//   --kind    diagdom | poisson2d | convdiff | toeplitz | illcond [diagdom]
+//   --n / --m / --p / --r   problem shape                   [1024/8/4/16]
+//   --seed    generator seed                                [42]
+//   --timing  charged (deterministic virtual clock) | measured [charged]
+//   --refine  extra iterative-refinement steps (ard only)   [0]
+//   --load-sys PATH   solve a system saved with save_block_tridiag
+//                     (overrides --kind/--n/--m)
+//   --save-sys PATH   save the generated system
+//   --save-x PATH     save the solution (binary; .csv suffix -> CSV)
+//   --list    print available methods/kinds and exit
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/btds/generators.hpp"
+#include "src/btds/io.hpp"
+#include "src/btds/spmv.hpp"
+#include "src/core/flops.hpp"
+#include "src/core/refine.hpp"
+#include "src/core/solver.hpp"
+
+namespace {
+
+using namespace ardbt;
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "ardbt: %s (try --list)\n", message.c_str());
+  std::exit(2);
+}
+
+core::Method parse_method(const std::string& s) {
+  if (s == "ard") return core::Method::kArd;
+  if (s == "rd") return core::Method::kRdBatched;
+  if (s == "rd-per-rhs") return core::Method::kRdPerRhs;
+  if (s == "transfer-rd") return core::Method::kTransferRd;
+  if (s == "pcr") return core::Method::kPcr;
+  die("unknown method '" + s + "'");
+}
+
+btds::ProblemKind parse_kind(const std::string& s) {
+  for (btds::ProblemKind kind : btds::kAllProblemKinds) {
+    if (s == btds::to_string(kind)) return kind;
+  }
+  die("unknown problem kind '" + s + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Method method = core::Method::kArd;
+  btds::ProblemKind kind = btds::ProblemKind::kDiagDominant;
+  la::index_t n = 1024, m = 8, r = 16;
+  int p = 4;
+  std::uint64_t seed = 42;
+  int refine_steps = 0;
+  std::string load_sys, save_sys, save_x;
+  mpsim::EngineOptions engine;
+  engine.timing = mpsim::TimingMode::ChargedFlops;
+  engine.cost = mpsim::CostModel::cluster2014();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value after " + flag);
+      return argv[++i];
+    };
+    if (flag == "--list") {
+      std::printf("methods: ard rd rd-per-rhs transfer-rd pcr\nkinds  :");
+      for (btds::ProblemKind k : btds::kAllProblemKinds) {
+        std::printf(" %s", std::string(btds::to_string(k)).c_str());
+      }
+      std::printf("\n");
+      return 0;
+    } else if (flag == "--method") {
+      method = parse_method(next());
+    } else if (flag == "--kind") {
+      kind = parse_kind(next());
+    } else if (flag == "--n") {
+      n = std::atoll(next().c_str());
+    } else if (flag == "--m") {
+      m = std::atoll(next().c_str());
+    } else if (flag == "--p") {
+      p = std::atoi(next().c_str());
+    } else if (flag == "--r") {
+      r = std::atoll(next().c_str());
+    } else if (flag == "--seed") {
+      seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--refine") {
+      refine_steps = std::atoi(next().c_str());
+    } else if (flag == "--load-sys") {
+      load_sys = next();
+    } else if (flag == "--save-sys") {
+      save_sys = next();
+    } else if (flag == "--save-x") {
+      save_x = next();
+    } else if (flag == "--timing") {
+      const std::string v = next();
+      if (v == "charged") {
+        engine.timing = mpsim::TimingMode::ChargedFlops;
+      } else if (v == "measured") {
+        engine.timing = mpsim::TimingMode::MeasuredCpu;
+      } else {
+        die("unknown timing mode '" + v + "'");
+      }
+    } else {
+      die("unknown flag '" + flag + "'");
+    }
+  }
+  if (n < 1 || m < 1 || r < 1 || p < 1) die("shape values must be positive");
+  if (n < p) die("need N >= P");
+
+  btds::BlockTridiag sys;
+  if (!load_sys.empty()) {
+    sys = btds::load_block_tridiag(load_sys);
+    n = sys.num_blocks();
+    m = sys.block_size();
+    if (n < p) die("loaded system too small for --p");
+  } else {
+    sys = btds::make_problem(kind, n, m, seed);
+  }
+  if (!save_sys.empty()) btds::save_block_tridiag(save_sys, sys);
+  const la::Matrix b = btds::make_rhs(n, m, r, seed + 1);
+
+  core::DriverResult res;
+  core::RefineResult refined;
+  if (refine_steps > 0 && method == core::Method::kArd) {
+    res.x.resize(b.rows(), b.cols());
+    const btds::RowPartition part(n, p);
+    res.report = mpsim::run(
+        p,
+        [&](mpsim::Comm& comm) {
+          mpsim::barrier(comm);
+          const double t0 = comm.vtime();
+          const auto f = core::ArdFactorization::factor(comm, sys, part);
+          mpsim::barrier(comm);
+          if (comm.rank() == 0) res.factor_vtime = comm.vtime() - t0;
+          const double t1 = comm.vtime();
+          const auto rr = core::solve_refined(comm, f, sys, part, b, res.x, refine_steps, 0.0);
+          mpsim::barrier(comm);
+          if (comm.rank() == 0) {
+            res.solve_vtime = comm.vtime() - t1;
+            refined = rr;
+          }
+        },
+        engine);
+  } else {
+    res = core::solve(method, sys, b, p, {}, engine);
+  }
+
+  const auto totals = res.report.totals();
+  std::printf("ardbt: method=%s kind=%s N=%lld M=%lld P=%d R=%lld\n",
+              std::string(core::to_string(method)).c_str(),
+              std::string(btds::to_string(kind)).c_str(), static_cast<long long>(n),
+              static_cast<long long>(m), p, static_cast<long long>(r));
+  std::printf("  factor time : %.4g s (virtual)\n", res.factor_vtime);
+  std::printf("  solve time  : %.4g s (virtual)\n", res.solve_vtime);
+  std::printf("  wall time   : %.4g s (host, %d oversubscribed threads)\n",
+              res.report.wall_seconds, p);
+  std::printf("  flops       : %.4g total, %.4g msgs, %.4g MB sent\n", totals.flops_charged,
+              static_cast<double>(totals.msgs_sent),
+              static_cast<double>(totals.bytes_sent) / 1e6);
+  std::printf("  residual    : %.3e\n", btds::relative_residual(sys, res.x, b));
+  if (refine_steps > 0 && !refined.residual_norms.empty()) {
+    std::printf("  refinement  : %d steps, ||r|| %.3e -> %.3e\n", refined.steps,
+                refined.residual_norms.front(), refined.residual_norms.back());
+  }
+  std::printf("  model       : rd-per-rhs/ard speedup at this shape = %.3g\n",
+              core::flops::predicted_speedup(n, m, r, p));
+  if (!save_x.empty()) {
+    if (save_x.size() > 4 && save_x.substr(save_x.size() - 4) == ".csv") {
+      btds::save_matrix_csv(save_x, res.x);
+    } else {
+      btds::save_matrix(save_x, res.x);
+    }
+    std::printf("  solution    : saved to %s\n", save_x.c_str());
+  }
+  return 0;
+}
