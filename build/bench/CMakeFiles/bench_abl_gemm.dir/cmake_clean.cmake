@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_gemm.dir/bench_abl_gemm.cpp.o"
+  "CMakeFiles/bench_abl_gemm.dir/bench_abl_gemm.cpp.o.d"
+  "bench_abl_gemm"
+  "bench_abl_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

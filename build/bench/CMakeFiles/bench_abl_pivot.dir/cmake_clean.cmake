@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_pivot.dir/bench_abl_pivot.cpp.o"
+  "CMakeFiles/bench_abl_pivot.dir/bench_abl_pivot.cpp.o.d"
+  "bench_abl_pivot"
+  "bench_abl_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

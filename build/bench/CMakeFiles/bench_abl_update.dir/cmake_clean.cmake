@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_update.dir/bench_abl_update.cpp.o"
+  "CMakeFiles/bench_abl_update.dir/bench_abl_update.cpp.o.d"
+  "bench_abl_update"
+  "bench_abl_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_scaling_M.dir/bench_f4_scaling_M.cpp.o"
+  "CMakeFiles/bench_f4_scaling_M.dir/bench_f4_scaling_M.cpp.o.d"
+  "bench_f4_scaling_M"
+  "bench_f4_scaling_M.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_scaling_M.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_rd_vs_pcr.dir/bench_f6_rd_vs_pcr.cpp.o"
+  "CMakeFiles/bench_f6_rd_vs_pcr.dir/bench_f6_rd_vs_pcr.cpp.o.d"
+  "bench_f6_rd_vs_pcr"
+  "bench_f6_rd_vs_pcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_rd_vs_pcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

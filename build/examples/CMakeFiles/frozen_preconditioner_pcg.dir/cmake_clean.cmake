@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frozen_preconditioner_pcg.dir/frozen_preconditioner_pcg.cpp.o"
+  "CMakeFiles/frozen_preconditioner_pcg.dir/frozen_preconditioner_pcg.cpp.o.d"
+  "frozen_preconditioner_pcg"
+  "frozen_preconditioner_pcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frozen_preconditioner_pcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

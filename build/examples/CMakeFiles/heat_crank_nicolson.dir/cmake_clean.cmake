@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_crank_nicolson.dir/heat_crank_nicolson.cpp.o"
+  "CMakeFiles/heat_crank_nicolson.dir/heat_crank_nicolson.cpp.o.d"
+  "heat_crank_nicolson"
+  "heat_crank_nicolson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_crank_nicolson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

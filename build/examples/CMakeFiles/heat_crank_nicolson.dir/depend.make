@@ -1,0 +1,2 @@
+# Empty dependencies file for heat_crank_nicolson.
+# This may be replaced when dependencies are built.

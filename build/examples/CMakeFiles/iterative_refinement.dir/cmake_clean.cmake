@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_refinement.dir/iterative_refinement.cpp.o"
+  "CMakeFiles/iterative_refinement.dir/iterative_refinement.cpp.o.d"
+  "iterative_refinement"
+  "iterative_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel_transport.dir/multichannel_transport.cpp.o"
+  "CMakeFiles/multichannel_transport.dir/multichannel_transport.cpp.o.d"
+  "multichannel_transport"
+  "multichannel_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

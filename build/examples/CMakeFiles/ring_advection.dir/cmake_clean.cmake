@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_advection.dir/ring_advection.cpp.o"
+  "CMakeFiles/ring_advection.dir/ring_advection.cpp.o.d"
+  "ring_advection"
+  "ring_advection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_advection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

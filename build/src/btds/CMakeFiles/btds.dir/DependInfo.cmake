@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btds/cyclic_reduction.cpp" "src/btds/CMakeFiles/btds.dir/cyclic_reduction.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/cyclic_reduction.cpp.o.d"
+  "/root/repo/src/btds/distributed.cpp" "src/btds/CMakeFiles/btds.dir/distributed.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/distributed.cpp.o.d"
+  "/root/repo/src/btds/generators.cpp" "src/btds/CMakeFiles/btds.dir/generators.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/generators.cpp.o.d"
+  "/root/repo/src/btds/halo.cpp" "src/btds/CMakeFiles/btds.dir/halo.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/halo.cpp.o.d"
+  "/root/repo/src/btds/io.cpp" "src/btds/CMakeFiles/btds.dir/io.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/io.cpp.o.d"
+  "/root/repo/src/btds/reblock.cpp" "src/btds/CMakeFiles/btds.dir/reblock.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/reblock.cpp.o.d"
+  "/root/repo/src/btds/spmv.cpp" "src/btds/CMakeFiles/btds.dir/spmv.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/spmv.cpp.o.d"
+  "/root/repo/src/btds/thomas.cpp" "src/btds/CMakeFiles/btds.dir/thomas.cpp.o" "gcc" "src/btds/CMakeFiles/btds.dir/thomas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btds.dir/cyclic_reduction.cpp.o"
+  "CMakeFiles/btds.dir/cyclic_reduction.cpp.o.d"
+  "CMakeFiles/btds.dir/distributed.cpp.o"
+  "CMakeFiles/btds.dir/distributed.cpp.o.d"
+  "CMakeFiles/btds.dir/generators.cpp.o"
+  "CMakeFiles/btds.dir/generators.cpp.o.d"
+  "CMakeFiles/btds.dir/halo.cpp.o"
+  "CMakeFiles/btds.dir/halo.cpp.o.d"
+  "CMakeFiles/btds.dir/io.cpp.o"
+  "CMakeFiles/btds.dir/io.cpp.o.d"
+  "CMakeFiles/btds.dir/reblock.cpp.o"
+  "CMakeFiles/btds.dir/reblock.cpp.o.d"
+  "CMakeFiles/btds.dir/spmv.cpp.o"
+  "CMakeFiles/btds.dir/spmv.cpp.o.d"
+  "CMakeFiles/btds.dir/thomas.cpp.o"
+  "CMakeFiles/btds.dir/thomas.cpp.o.d"
+  "libbtds.a"
+  "libbtds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

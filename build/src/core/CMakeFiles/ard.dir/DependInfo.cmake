@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ard.cpp" "src/core/CMakeFiles/ard.dir/ard.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/ard.cpp.o.d"
+  "/root/repo/src/core/krylov.cpp" "src/core/CMakeFiles/ard.dir/krylov.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/krylov.cpp.o.d"
+  "/root/repo/src/core/pcr.cpp" "src/core/CMakeFiles/ard.dir/pcr.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/pcr.cpp.o.d"
+  "/root/repo/src/core/perfmodel.cpp" "src/core/CMakeFiles/ard.dir/perfmodel.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/perfmodel.cpp.o.d"
+  "/root/repo/src/core/periodic.cpp" "src/core/CMakeFiles/ard.dir/periodic.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/periodic.cpp.o.d"
+  "/root/repo/src/core/rd.cpp" "src/core/CMakeFiles/ard.dir/rd.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/rd.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/core/CMakeFiles/ard.dir/refine.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/refine.cpp.o.d"
+  "/root/repo/src/core/shooting.cpp" "src/core/CMakeFiles/ard.dir/shooting.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/shooting.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/ard.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/solver.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/ard.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/transfer.cpp.o.d"
+  "/root/repo/src/core/transfer_rd.cpp" "src/core/CMakeFiles/ard.dir/transfer_rd.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/transfer_rd.cpp.o.d"
+  "/root/repo/src/core/twoport.cpp" "src/core/CMakeFiles/ard.dir/twoport.cpp.o" "gcc" "src/core/CMakeFiles/ard.dir/twoport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build/src/btds/CMakeFiles/btds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

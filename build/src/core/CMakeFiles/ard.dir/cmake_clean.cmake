@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ard.dir/ard.cpp.o"
+  "CMakeFiles/ard.dir/ard.cpp.o.d"
+  "CMakeFiles/ard.dir/krylov.cpp.o"
+  "CMakeFiles/ard.dir/krylov.cpp.o.d"
+  "CMakeFiles/ard.dir/pcr.cpp.o"
+  "CMakeFiles/ard.dir/pcr.cpp.o.d"
+  "CMakeFiles/ard.dir/perfmodel.cpp.o"
+  "CMakeFiles/ard.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/ard.dir/periodic.cpp.o"
+  "CMakeFiles/ard.dir/periodic.cpp.o.d"
+  "CMakeFiles/ard.dir/rd.cpp.o"
+  "CMakeFiles/ard.dir/rd.cpp.o.d"
+  "CMakeFiles/ard.dir/refine.cpp.o"
+  "CMakeFiles/ard.dir/refine.cpp.o.d"
+  "CMakeFiles/ard.dir/shooting.cpp.o"
+  "CMakeFiles/ard.dir/shooting.cpp.o.d"
+  "CMakeFiles/ard.dir/solver.cpp.o"
+  "CMakeFiles/ard.dir/solver.cpp.o.d"
+  "CMakeFiles/ard.dir/transfer.cpp.o"
+  "CMakeFiles/ard.dir/transfer.cpp.o.d"
+  "CMakeFiles/ard.dir/transfer_rd.cpp.o"
+  "CMakeFiles/ard.dir/transfer_rd.cpp.o.d"
+  "CMakeFiles/ard.dir/twoport.cpp.o"
+  "CMakeFiles/ard.dir/twoport.cpp.o.d"
+  "libard.a"
+  "libard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

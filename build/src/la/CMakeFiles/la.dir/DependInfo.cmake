@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/blas1.cpp" "src/la/CMakeFiles/la.dir/blas1.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/blas1.cpp.o.d"
+  "/root/repo/src/la/cholesky.cpp" "src/la/CMakeFiles/la.dir/cholesky.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/cholesky.cpp.o.d"
+  "/root/repo/src/la/gemm.cpp" "src/la/CMakeFiles/la.dir/gemm.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/gemm.cpp.o.d"
+  "/root/repo/src/la/gemv.cpp" "src/la/CMakeFiles/la.dir/gemv.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/gemv.cpp.o.d"
+  "/root/repo/src/la/lu.cpp" "src/la/CMakeFiles/la.dir/lu.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/lu.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/qr.cpp" "src/la/CMakeFiles/la.dir/qr.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/qr.cpp.o.d"
+  "/root/repo/src/la/random.cpp" "src/la/CMakeFiles/la.dir/random.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

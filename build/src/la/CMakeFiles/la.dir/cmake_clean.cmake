@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la.dir/blas1.cpp.o"
+  "CMakeFiles/la.dir/blas1.cpp.o.d"
+  "CMakeFiles/la.dir/cholesky.cpp.o"
+  "CMakeFiles/la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/la.dir/gemm.cpp.o"
+  "CMakeFiles/la.dir/gemm.cpp.o.d"
+  "CMakeFiles/la.dir/gemv.cpp.o"
+  "CMakeFiles/la.dir/gemv.cpp.o.d"
+  "CMakeFiles/la.dir/lu.cpp.o"
+  "CMakeFiles/la.dir/lu.cpp.o.d"
+  "CMakeFiles/la.dir/matrix.cpp.o"
+  "CMakeFiles/la.dir/matrix.cpp.o.d"
+  "CMakeFiles/la.dir/qr.cpp.o"
+  "CMakeFiles/la.dir/qr.cpp.o.d"
+  "CMakeFiles/la.dir/random.cpp.o"
+  "CMakeFiles/la.dir/random.cpp.o.d"
+  "libla.a"
+  "libla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

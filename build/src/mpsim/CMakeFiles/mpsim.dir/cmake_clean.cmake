@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim.dir/collectives.cpp.o"
+  "CMakeFiles/mpsim.dir/collectives.cpp.o.d"
+  "CMakeFiles/mpsim.dir/comm.cpp.o"
+  "CMakeFiles/mpsim.dir/comm.cpp.o.d"
+  "CMakeFiles/mpsim.dir/engine.cpp.o"
+  "CMakeFiles/mpsim.dir/engine.cpp.o.d"
+  "libmpsim.a"
+  "libmpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ard.dir/test_ard.cpp.o"
+  "CMakeFiles/test_ard.dir/test_ard.cpp.o.d"
+  "test_ard"
+  "test_ard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

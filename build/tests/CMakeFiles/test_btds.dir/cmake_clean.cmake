@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btds.dir/test_btds.cpp.o"
+  "CMakeFiles/test_btds.dir/test_btds.cpp.o.d"
+  "test_btds"
+  "test_btds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

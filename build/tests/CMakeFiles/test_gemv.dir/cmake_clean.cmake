@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemv.dir/test_gemv.cpp.o"
+  "CMakeFiles/test_gemv.dir/test_gemv.cpp.o.d"
+  "test_gemv"
+  "test_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

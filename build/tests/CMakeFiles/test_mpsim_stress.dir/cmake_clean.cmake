@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpsim_stress.dir/test_mpsim_stress.cpp.o"
+  "CMakeFiles/test_mpsim_stress.dir/test_mpsim_stress.cpp.o.d"
+  "test_mpsim_stress"
+  "test_mpsim_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpsim_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_regression.dir/test_perf_regression.cpp.o"
+  "CMakeFiles/test_perf_regression.dir/test_perf_regression.cpp.o.d"
+  "test_perf_regression"
+  "test_perf_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

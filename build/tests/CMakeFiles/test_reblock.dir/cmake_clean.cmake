@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reblock.dir/test_reblock.cpp.o"
+  "CMakeFiles/test_reblock.dir/test_reblock.cpp.o.d"
+  "test_reblock"
+  "test_reblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

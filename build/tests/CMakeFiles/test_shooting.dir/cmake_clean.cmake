@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shooting.dir/test_shooting.cpp.o"
+  "CMakeFiles/test_shooting.dir/test_shooting.cpp.o.d"
+  "test_shooting"
+  "test_shooting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shooting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

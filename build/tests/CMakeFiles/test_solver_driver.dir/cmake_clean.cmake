@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_driver.dir/test_solver_driver.cpp.o"
+  "CMakeFiles/test_solver_driver.dir/test_solver_driver.cpp.o.d"
+  "test_solver_driver"
+  "test_solver_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spd.dir/test_spd.cpp.o"
+  "CMakeFiles/test_spd.dir/test_spd.cpp.o.d"
+  "test_spd"
+  "test_spd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_rd.dir/test_transfer_rd.cpp.o"
+  "CMakeFiles/test_transfer_rd.dir/test_transfer_rd.cpp.o.d"
+  "test_transfer_rd"
+  "test_transfer_rd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_rd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twoport.dir/test_twoport.cpp.o"
+  "CMakeFiles/test_twoport.dir/test_twoport.cpp.o.d"
+  "test_twoport"
+  "test_twoport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twoport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ardbt_cli.dir/ardbt_cli.cpp.o"
+  "CMakeFiles/ardbt_cli.dir/ardbt_cli.cpp.o.d"
+  "ardbt"
+  "ardbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ardbt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
