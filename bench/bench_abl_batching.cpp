@@ -11,13 +11,16 @@
 #include "src/btds/generators.hpp"
 #include "src/core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t n = 1024;
   const la::index_t m = 16;
   const la::index_t r_total = 256;
   const int p = 4;
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_abl_batching");
+  report.config("n", n).config("m", m).config("r_total", r_total).config("p", p)
+      .config("cost_model", engine.cost.name);
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
 
   std::printf("# B-abl-batch: N=%lld M=%lld, R_total=%lld in k batches, P=%d\n",
@@ -45,6 +48,8 @@ int main() {
                    bench::fmt_sci(t_rd), bench::fmt(t_rd / t_ard)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: t_ard nearly flat in k (one factorization, same total\n"
               "solve work); rd/ard grows with k toward the F1 saturation level.\n");
   return 0;

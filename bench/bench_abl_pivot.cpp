@@ -12,12 +12,14 @@
 #include "src/core/ard.hpp"
 #include "src/mpsim/collectives.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t n = 2048;
   const la::index_t r = 32;
   const int p = 4;
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_abl_pivot");
+  report.config("n", n).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# B-abl-pivot: LU vs Cholesky pivots on the SPD Poisson family "
               "(N=%lld, R=%lld, P=%d)\n",
@@ -53,6 +55,8 @@ int main() {
                    bench::fmt_sci(residuals[0]), bench::fmt_sci(residuals[1])});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: Cholesky halves the pivot-factorization share of the\n"
               "factor phase (~7%% of the total per the flop model), so lu/chol sits a\n"
               "little above 1; residuals must match to machine precision.\n");

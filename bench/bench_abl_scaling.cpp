@@ -33,7 +33,7 @@ std::string guarded(const btds::BlockTridiag& sys, const la::Matrix& b,
   }
 }
 
-void sweep(la::index_t m, const char* label) {
+void sweep(la::index_t m, const char* label, bench::JsonReport& report) {
   std::printf("\n### %s (M = %lld)\n", label, static_cast<long long>(m));
   bench::Table table({"N", "shooting", "transfer_noscale", "transfer_rescaled", "ard_twoport"});
   for (la::index_t n : {16, 32, 64, 128, 256, 512, 1024}) {
@@ -53,13 +53,17 @@ void sweep(la::index_t m, const char* label) {
          guarded(sys, b, [&] { return core::solve(core::Method::kArd, sys, b, 2).x; })});
   }
   table.print();
+  report.add_table("M=" + std::to_string(m), table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_abl_scaling");
   std::printf("# B-abl-scaling: prefix-operator stability tiers (2-D Poisson family)\n");
-  sweep(1, "scalar blocks: a single growing mode, so rescaled transfer RD survives");
-  sweep(4, "block size 4: spectral spread kills the transfer pair, two-port unaffected");
+  sweep(1, "scalar blocks: a single growing mode, so rescaled transfer RD survives", report);
+  sweep(4, "block size 4: spectral spread kills the transfer pair, two-port unaffected",
+        report);
+  report.write();
   return 0;
 }

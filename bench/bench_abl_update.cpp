@@ -15,11 +15,13 @@
 #include "src/core/ard.hpp"
 #include "src/mpsim/collectives.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t n = 4096;
   const la::index_t m = 16;
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_abl_update");
+  report.config("n", n).config("m", m).config("cost_model", engine.cost.name);
 
   std::printf("# B-abl-update: one-rank matrix change, update vs refactor (N=%lld, M=%lld)\n",
               static_cast<long long>(n), static_cast<long long>(m));
@@ -65,6 +67,8 @@ int main() {
                    bench::fmt_sci(ff), bench::fmt_sci(uf), bench::fmt(ff / uf)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: t_update ~ t_factor (the changed rank is the critical\n"
               "path), while work_saved grows with P toward the ~4.5x local-phase bound\n"
               "(unchanged ranks keep only the boundary-modified factorization) until\n"

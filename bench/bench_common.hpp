@@ -3,16 +3,21 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/perfmodel.hpp"
 #include "src/mpsim/engine.hpp"
+#include "src/obs/run_report.hpp"
 
 /// \file bench_common.hpp
 /// Shared plumbing for the experiment-reproduction binaries (one binary
 /// per table/figure of DESIGN.md section 4). Each binary prints the
 /// rows/series the paper-style experiment reports; EXPERIMENTS.md records
-/// the expected shapes.
+/// the expected shapes. Every binary also accepts `--json FILE` and then
+/// emits the same tables as an ardbt.run_report v1 document (JsonReport
+/// below), so plots and CI trend checks parse JSON instead of scraping
+/// markdown.
 
 namespace ardbt::bench {
 
@@ -49,6 +54,9 @@ class Table {
   explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
   void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   void print() const {
     print_row(headers_);
@@ -90,5 +98,74 @@ inline std::string fmt(double v, const char* f = "%.3g") {
 }
 inline std::string fmt_int(double v) { return fmt(v, "%.0f"); }
 inline std::string fmt_sci(double v) { return fmt(v, "%.2e"); }
+
+/// Machine-readable companion to the printed tables. Construct from
+/// main's (argc, argv): when the binary was invoked with `--json FILE`,
+/// every add_table()/config()/set_section() call lands in an
+/// ardbt.run_report v1 document written to FILE by write() (or the
+/// destructor as a backstop); without the flag everything is a no-op.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string experiment)
+      : builder_(std::move(experiment)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() {
+    try {
+      write();
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — destructor backstop
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  JsonReport& config(const std::string& key, obs::Json value) {
+    if (enabled()) builder_.config(key, std::move(value));
+    return *this;
+  }
+
+  JsonReport& set_section(const std::string& key, obs::Json value) {
+    if (enabled()) builder_.set_section(key, std::move(value));
+    return *this;
+  }
+
+  /// Record a printed table as "tables.<name>": one object per row keyed
+  /// by column header (cells stay formatted strings — the JSON mirrors
+  /// what the human sees).
+  JsonReport& add_table(const std::string& name, const Table& table) {
+    if (!enabled()) return *this;
+    obs::Json rows = obs::Json::array();
+    for (const auto& row : table.rows()) {
+      obs::Json obj = obs::Json::object();
+      for (std::size_t c = 0; c < table.headers().size(); ++c) {
+        obj.set(table.headers()[c], c < row.size() ? obs::Json(row[c]) : obs::Json());
+      }
+      rows.push(std::move(obj));
+    }
+    tables_.set(name, std::move(rows));
+    return *this;
+  }
+
+  /// Write the report (idempotent; no-op without --json).
+  void write() {
+    if (!enabled() || written_) return;
+    if (tables_.size() > 0) builder_.set_section("tables", tables_);
+    builder_.write(path_);
+    written_ = true;
+    std::printf("\n[json report: %s]\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  obs::RunReportBuilder builder_;
+  obs::Json tables_ = obs::Json::object();
+  bool written_ = false;
+};
 
 }  // namespace ardbt::bench

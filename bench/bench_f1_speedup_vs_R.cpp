@@ -21,7 +21,7 @@ namespace {
 
 using namespace ardbt;
 
-void run_for_block_size(la::index_t m) {
+void run_for_block_size(la::index_t m, bench::JsonReport& report) {
   const la::index_t n = 512;
   const int p = 4;
   const std::vector<la::index_t> rs = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
@@ -59,14 +59,19 @@ void run_for_block_size(la::index_t m) {
                    bench::fmt(core::flops::predicted_speedup(n, m, r, p))});
   }
   table.print();
+  report.add_table("M=" + std::to_string(m), table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_f1_speedup_vs_R");
+  report.config("n", 512).config("p", 4).config("cost_model",
+                                                bench::virtual_engine().cost.name);
   std::printf("# F1: ARD speedup over per-RHS recursive doubling vs R\n");
   std::printf("# (virtual time, calibrated %s)\n",
               bench::virtual_engine().cost.name.c_str());
-  for (la::index_t m : {4, 8, 16, 32}) run_for_block_size(m);
+  for (la::index_t m : {4, 8, 16, 32}) run_for_block_size(m, report);
+  report.write();
   return 0;
 }

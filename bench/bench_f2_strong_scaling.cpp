@@ -12,13 +12,15 @@
 #include "src/core/perfmodel.hpp"
 #include "src/core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t n = 4096;
   const la::index_t m = 16;
   const la::index_t r = 128;
 
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_f2_strong_scaling");
+  report.config("n", n).config("m", m).config("r", r).config("cost_model", engine.cost.name);
   const core::PerfModel model(engine.cost);
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
   const auto b = btds::make_rhs(n, m, r);
@@ -42,6 +44,8 @@ int main() {
                    bench::fmt(t1 / t_ard), bench::fmt_int(p)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: speedup_vs_P1 tracks `ideal` for small P and flattens\n"
               "when the log P merge term dominates; engine and model columns agree on\n"
               "shape (same flop counts, same alpha-beta charges).\n");

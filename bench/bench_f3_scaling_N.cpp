@@ -8,12 +8,14 @@
 #include "src/btds/generators.hpp"
 #include "src/core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t m = 16;
   const la::index_t r = 64;
   const int p = 16;
   const auto engine = ardbt::bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_f3_scaling_N");
+  report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F3: runtime vs N (M=%lld, R=%lld, P=%d)\n", static_cast<long long>(m),
               static_cast<long long>(r), p);
@@ -32,6 +34,8 @@ int main() {
                    bench::fmt(t_rd_per_rhs / t_ard)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: t/N approaches a constant as N grows (the log P term\n"
               "amortizes away); the last column is nearly N-independent.\n");
   return 0;

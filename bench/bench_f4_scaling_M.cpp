@@ -8,12 +8,14 @@
 #include "src/btds/generators.hpp"
 #include "src/core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t n = 1024;
   const la::index_t r = 64;
   const int p = 8;
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_f4_scaling_M");
+  report.config("n", n).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F4: runtime vs M (N=%lld, R=%lld, P=%d)\n", static_cast<long long>(n),
               static_cast<long long>(r), p);
@@ -32,6 +34,8 @@ int main() {
                    bench::fmt(res.factor_vtime / solve_per_rhs)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: factor/M^3 and solve/(M^2 R) approach constants (cubic\n"
               "and quadratic growth respectively); the last column — the speedup\n"
               "saturation level of F1 — grows roughly linearly in M.\n");

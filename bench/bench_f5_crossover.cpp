@@ -13,12 +13,14 @@
 #include "src/core/perfmodel.hpp"
 #include "src/core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t n = 2048;
   const la::index_t m = 8;
   const la::index_t r = 32;
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_f5_crossover");
+  report.config("n", n).config("m", m).config("r", r).config("cost_model", engine.cost.name);
   const core::PerfModel model(engine.cost);
 
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
@@ -47,6 +49,14 @@ int main() {
                    bench::fmt(t_ard / t_thomas), bench::fmt(t_rd / t_thomas)});
   }
   table.print();
+  report.add_table("main", table);
+  obs::Json crossover = obs::Json::object();
+  crossover.set("thomas_seconds", t_thomas);
+  crossover.set("cyclic_reduction_seconds", t_bcr);
+  crossover.set("ard_crossover_p", ard_crossover);
+  crossover.set("rd_crossover_p", rd_crossover);
+  report.set_section("crossover", std::move(crossover));
+  report.write();
   std::printf("\nCrossover (first P beating sequential Thomas): ARD at P=%d, RD at P=%d.\n"
               "Expected shapes: both overhead ratios start > 1 at P=1 and fall below 1\n"
               "within a few ranks; ARD crosses at the same or earlier P than RD.\n",

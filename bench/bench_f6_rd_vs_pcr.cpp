@@ -13,12 +13,14 @@
 #include "src/btds/generators.hpp"
 #include "src/core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t m = 16;
   const la::index_t r = 64;
   const int p = 16;
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_f6_rd_vs_pcr");
+  report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F6: ARD vs accelerated PCR (M=%lld, R=%lld, P=%d)\n",
               static_cast<long long>(m), static_cast<long long>(r), p);
@@ -39,6 +41,8 @@ int main() {
                    bench::fmt_int(log2n)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: pcr/ard_total tracks ~log2 N / constant and grows with\n"
               "N; both methods remain accurate (see T3) — the contest is purely work.\n");
   return 0;

@@ -56,7 +56,9 @@ Sample measure(la::index_t n, la::index_t m, int p, la::index_t r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_t1_complexity");
+  report.config("cost_model", bench::virtual_engine().cost.name);
   std::printf("# T1: measured vs modeled per-rank work, communication, memory (rank 0)\n");
   bench::Table table({"N", "M", "P", "R", "factor_meas", "factor_model", "f_ratio",
                       "solve_meas", "solve_model", "s_ratio", "msgs", "MB_sent", "MB_state"});
@@ -83,6 +85,8 @@ int main() {
                    bench::fmt(s.bytes / 1e6), bench::fmt(s.storage / 1e6)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: f_ratio and s_ratio within ~[0.5, 1.5] (the model is a\n"
               "per-rank critical path; rank 0 executes slightly fewer merges at some P);\n"
               "msgs grows like log P; state ~ M^2 N/P.\n");

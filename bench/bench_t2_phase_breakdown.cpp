@@ -10,13 +10,16 @@
 #include "src/btds/generators.hpp"
 #include "src/core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
   const la::index_t n = 2048;
   const la::index_t m = 32;
   const la::index_t r = 128;  // per batch
   const int num_batches = 4;
   const auto engine = bench::virtual_engine();
+  bench::JsonReport report(argc, argv, "bench_t2_phase_breakdown");
+  report.config("n", n).config("m", m).config("r", r).config("num_batches", num_batches)
+      .config("cost_model", engine.cost.name);
 
   std::printf("# T2: phase breakdown, N=%lld M=%lld, %d batches of R=%lld\n",
               static_cast<long long>(n), static_cast<long long>(m), num_batches,
@@ -46,6 +49,8 @@ int main() {
                    bench::fmt_sci(amortized1), bench::fmt_sci(amortized4), bench::fmt_sci(rd4)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: factor/solve stays roughly constant in P (both phases\n"
               "share the N/P + log P structure); rd_rebuild_4 exceeds amortized_4 by a\n"
               "factor approaching (1 + factor/solve) as batches accumulate.\n");

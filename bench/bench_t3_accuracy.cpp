@@ -33,10 +33,12 @@ std::string guarded_residual(const btds::BlockTridiag& sys, const la::Matrix& b,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int p = 4;
   const la::index_t m = 4;
   const la::index_t r = 4;
+  bench::JsonReport report(argc, argv, "bench_t3_accuracy");
+  report.config("m", m).config("r", r).config("p", p);
 
   std::printf("# T3: relative residuals ||B - T X||_F / ||B||_F (M=%lld, R=%lld, P=%d)\n",
               static_cast<long long>(m), static_cast<long long>(r), p);
@@ -62,7 +64,9 @@ int main() {
            guarded_residual(sys, b, [&] { return core::shooting_solve(sys, b); })});
     }
     table.print();
+    report.add_table(std::string(btds::to_string(kind)), table);
   }
+  report.write();
   std::printf("\nExpected shapes: thomas / cyclic_red / ard / rd stay near machine epsilon\n"
               "at every N; transfer_rd loses ~1 digit per few rows (fail/garbage by\n"
               "N=256); shooting collapses fastest. The ill-conditioned family costs all\n"

@@ -10,8 +10,9 @@
 #include "src/core/ard.hpp"
 #include "src/core/pcr.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ardbt;
+  bench::JsonReport report(argc, argv, "bench_t4_memory");
   std::printf("# T4: factored-state bytes per rank (rank 0)\n");
   bench::Table table({"N", "M", "P", "ard_MB", "pcr_MB", "pcr/ard", "log2N"});
 
@@ -43,6 +44,8 @@ int main() {
                    bench::fmt_int(log2n)});
   }
   table.print();
+  report.add_table("main", table);
+  report.write();
   std::printf("\nExpected shapes: ard_MB ~ 6 M^2 (N/P) doubles; pcr/ard tracks ~log2 N\n"
               "times a small constant; both scale with M^2 and 1/P.\n");
   return 0;

@@ -37,6 +37,7 @@ BlockTridiag copy_segment(const SysView& sys, la::index_t lo, la::index_t nloc, 
 
 template <typename SysView>
 void ArdFactorization::local_phase(mpsim::Comm& comm, const SysView& sys) {
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "ard.factor.local");
   const la::index_t m = m_;
   const la::index_t nloc = hi_ - lo_;
 
@@ -69,6 +70,7 @@ void ArdFactorization::local_phase(mpsim::Comm& comm, const SysView& sys) {
 
 template <typename SysView>
 void ArdFactorization::global_phase(mpsim::Comm& comm, const SysView& sys) {
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "ard.factor.global");
   const la::index_t m = m_;
   const la::index_t nloc = hi_ - lo_;
 
@@ -114,6 +116,7 @@ ArdFactorization ArdFactorization::factor_impl(mpsim::Comm& comm, const SysView&
   if (f.hi_ - f.lo_ < 1) {
     throw std::runtime_error("ARD: every rank needs at least one block row (N >= P)");
   }
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "ard.factor");
   f.local_phase(comm, sys);
   f.global_phase(comm, sys);
   return f;
@@ -155,6 +158,7 @@ void ArdFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix&
 }
 
 la::Matrix ArdFactorization::solve_local(mpsim::Comm& comm, const la::Matrix& b_local) const {
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "ard.solve");
   const la::index_t m = m_;
   const la::index_t nloc = hi_ - lo_;
   const la::index_t r = b_local.cols();

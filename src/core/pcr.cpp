@@ -101,6 +101,7 @@ PcrFactorization PcrFactorization::factor_impl(mpsim::Comm& comm, const SysView&
   const index_t m = f.m_;
   const index_t nloc = f.hi_ - f.lo_;
   if (nloc < 1) throw std::runtime_error("PCR: every rank needs at least one block row");
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "pcr.factor");
   const auto uz = [](index_t k) { return static_cast<std::size_t>(k); };
 
   // Working copies of this rank's current-level blocks.
@@ -218,6 +219,7 @@ PcrFactorization PcrFactorization::factor(mpsim::Comm& comm, const btds::LocalBl
 }
 
 void PcrFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix& x) const {
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "pcr.solve");
   const index_t n = n_;
   const index_t m = m_;
   const index_t nloc = hi_ - lo_;

@@ -6,6 +6,7 @@ namespace ardbt::core {
 
 void rd_solve(mpsim::Comm& comm, const btds::BlockTridiag& sys, const btds::RowPartition& part,
               const la::Matrix& b, la::Matrix& x, const ArdOptions& opts) {
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "rd.solve");
   const ArdFactorization f = ArdFactorization::factor(comm, sys, part, opts);
   f.solve(comm, b, x);
 }

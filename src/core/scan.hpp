@@ -61,6 +61,8 @@ class CachedScan {
   /// Phase A: exscan over matrix parts. `seg` is this rank's segment
   /// total. Collective; `tag` must be unique per in-flight scan.
   static CachedScan factor(mpsim::Comm& comm, ScanDirection dir, Context ctx, Mat seg, int tag) {
+    ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase,
+                     dir == ScanDirection::kForward ? "scan.factor.fwd" : "scan.factor.bwd");
     CachedScan scan;
     scan.dir_ = dir;
     scan.ctx_ = ctx;
@@ -102,6 +104,8 @@ class CachedScan {
   /// exclusive-prefix vector part for this rank, or nullopt on the
   /// sequence-first rank (which has no incoming prefix). Collective.
   std::optional<Vec> solve(mpsim::Comm& comm, Vec seg_vec, int tag) const {
+    ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase,
+                     dir_ == ScanDirection::kForward ? "scan.replay.fwd" : "scan.replay.bwd");
     Vec partial = std::move(seg_vec);
     std::optional<Vec> result;
 

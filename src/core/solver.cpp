@@ -38,41 +38,57 @@ DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matri
         mpsim::barrier(comm);
         const double t0 = comm.vtime();
         switch (method) {
-          case Method::kRdBatched:
+          case Method::kRdBatched: {
+            ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "driver.solve");
             rd_solve(comm, sys, part, b, result.x, opts);
             break;
-          case Method::kRdPerRhs:
+          }
+          case Method::kRdPerRhs: {
+            ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "driver.solve");
             rd_solve_per_rhs(comm, sys, part, b, result.x, opts);
             break;
+          }
           case Method::kArd: {
+            auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
             const ArdFactorization f = ArdFactorization::factor(comm, sys, part, opts);
             mpsim::barrier(comm);
+            factor_span.close();
             if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
             const double t1 = comm.vtime();
+            auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
             f.solve(comm, b, result.x);
             mpsim::barrier(comm);
+            solve_span.close();
             if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
             return;
           }
           case Method::kPcr: {
+            auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
             const PcrFactorization f = PcrFactorization::factor(comm, sys, part);
             mpsim::barrier(comm);
+            factor_span.close();
             if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
             const double t1 = comm.vtime();
+            auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
             f.solve(comm, b, result.x);
             mpsim::barrier(comm);
+            solve_span.close();
             if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
             return;
           }
           case Method::kTransferRd: {
             const TransferRdOptions topts{.rescale = opts.rescale};
+            auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
             const TransferRdFactorization f =
                 TransferRdFactorization::factor(comm, sys, part, topts);
             mpsim::barrier(comm);
+            factor_span.close();
             if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
             const double t1 = comm.vtime();
+            auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
             f.solve(comm, b, result.x);
             mpsim::barrier(comm);
+            solve_span.close();
             if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
             return;
           }
@@ -101,16 +117,20 @@ SessionResult ard_session(const btds::BlockTridiag& sys,
       [&](mpsim::Comm& comm) {
         mpsim::barrier(comm);
         const double t0 = comm.vtime();
+        auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
         const ArdFactorization f = ArdFactorization::factor(comm, sys, part, opts);
         mpsim::barrier(comm);
+        factor_span.close();
         if (comm.rank() == 0) {
           result.factor_vtime = comm.vtime() - t0;
           result.storage_bytes = f.storage_bytes();
         }
         for (std::size_t s = 0; s < batches.size(); ++s) {
           const double t1 = comm.vtime();
+          auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
           f.solve(comm, *batches[s], result.x[s]);
           mpsim::barrier(comm);
+          solve_span.close();
           if (comm.rank() == 0) result.solve_vtimes[s] = comm.vtime() - t1;
         }
       },

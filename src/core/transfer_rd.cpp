@@ -36,6 +36,7 @@ TransferRdFactorization TransferRdFactorization::factor(mpsim::Comm& comm, const
   f.lo_ = part.begin(comm.rank());
   f.hi_ = part.end(comm.rank());
   assert(part.nranks() == comm.size());
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "transfer_rd.factor");
   if (f.hi_ - f.lo_ < 1) {
     throw std::runtime_error("transfer RD: every rank needs at least one block row (N >= P)");
   }
@@ -184,6 +185,7 @@ TransferRdFactorization TransferRdFactorization::factor(mpsim::Comm& comm, const
 }
 
 void TransferRdFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix& x) const {
+  ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "transfer_rd.solve");
   const la::index_t m = m_;
   const la::index_t nloc = hi_ - lo_;
   const la::index_t r = b.cols();

@@ -18,12 +18,30 @@ void Comm::sync_compute() {
   cpu_baseline_ = now;
   if (delta <= 0.0) return;
   stats_.cpu_seconds += delta;
-  if (world_->timing == TimingMode::MeasuredCpu) vtime_ += delta;
+  if (world_->timing == TimingMode::MeasuredCpu) {
+    const double v0 = vtime_;
+    vtime_ += delta;
+    if constexpr (obs::kTraceCompiledIn) {
+      if (trace_ != nullptr) {
+        const double wall = trace_->wall_now();
+        trace_->add_compute({v0, wall - delta}, {vtime_, wall}, 0.0);
+      }
+    }
+  }
 }
 
 void Comm::charge_flops(double f) {
   stats_.flops_charged += f;
-  if (world_->timing == TimingMode::ChargedFlops) vtime_ += f / world_->cost.flop_rate;
+  if (world_->timing == TimingMode::ChargedFlops) {
+    const double v0 = vtime_;
+    vtime_ += f / world_->cost.flop_rate;
+    if constexpr (obs::kTraceCompiledIn) {
+      if (trace_ != nullptr) {
+        const double wall = trace_->wall_now();
+        trace_->add_compute({v0, wall}, {vtime_, wall}, f);
+      }
+    }
+  }
 }
 
 void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
@@ -38,9 +56,17 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
   // plus serialization time after the send is issued; the sender itself is
   // busy for the latency term (LogP overhead `o`).
   msg.available_vtime = vtime_ + world_->cost.message_time(nbytes);
+  const double v0 = vtime_;
   vtime_ += world_->cost.alpha;
   stats_.msgs_sent += 1;
   stats_.bytes_sent += nbytes;
+  if constexpr (obs::kTraceCompiledIn) {
+    if (trace_ != nullptr) {
+      const double wall = trace_->wall_now();
+      trace_->complete(obs::SpanKind::kSend, "send", {v0, wall}, {vtime_, wall}, dst, nbytes);
+      trace_->tally_sent(nbytes);
+    }
+  }
   world_->mailboxes[static_cast<std::size_t>(dst)].push(std::move(msg));
   // Copying into the message counted as compute; restart the baseline so
   // serialization cost is attributed to this rank but not double-charged.
@@ -50,13 +76,27 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   assert(src >= 0 && src < size());
   sync_compute();
+  const double v0 = vtime_;
   Message msg = world_->mailboxes[static_cast<std::size_t>(rank_)].pop(src, tag, world_->aborted);
   if (msg.available_vtime > vtime_) {
     stats_.virtual_wait += msg.available_vtime - vtime_;
     vtime_ = msg.available_vtime;
+    if constexpr (obs::kTraceCompiledIn) {
+      if (trace_ != nullptr) {
+        const double wall = trace_->wall_now();
+        trace_->complete(obs::SpanKind::kWait, "wait", {v0, wall}, {vtime_, wall}, src,
+                         static_cast<std::uint64_t>(msg.payload.size()));
+      }
+    }
   }
   stats_.msgs_received += 1;
   stats_.bytes_received += static_cast<std::uint64_t>(msg.payload.size());
+  if constexpr (obs::kTraceCompiledIn) {
+    if (trace_ != nullptr) {
+      trace_->instant(obs::SpanKind::kRecv, "recv", {vtime_, trace_->wall_now()}, src,
+                      static_cast<std::uint64_t>(msg.payload.size()));
+    }
+  }
   reset_cpu_baseline();
   return std::move(msg.payload);
 }

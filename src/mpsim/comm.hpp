@@ -9,6 +9,7 @@
 #include "src/mpsim/costmodel.hpp"
 #include "src/mpsim/mailbox.hpp"
 #include "src/mpsim/stats.hpp"
+#include "src/obs/trace.hpp"
 
 /// \file comm.hpp
 /// Rank-local communication endpoint. Each rank function receives a Comm&
@@ -114,15 +115,38 @@ class Comm {
   /// before reading vtime().
   void sync_compute();
 
+  /// Install this rank's event buffer (engine-called; null = no tracing).
+  void set_trace(obs::RankTrace* trace) { trace_ = trace; }
+  obs::RankTrace* trace() const { return trace_; }
+
+  /// Open an RAII phase span on this rank's trace (see ARDBT_TRACE_SPAN).
+  /// Returns an inactive scope when tracing is off; boundaries fold
+  /// pending measured compute so span virtual times are exact.
+  obs::SpanScope trace_scope(obs::SpanKind kind, const char* name) {
+    if constexpr (!obs::kTraceCompiledIn) return {};
+    if (trace_ == nullptr) return {};
+    sync_compute();
+    return obs::SpanScope(trace_, kind, name, &Comm::trace_now_thunk, this);
+  }
+
  private:
   void reset_cpu_baseline();
   double cpu_now() const;
+
+  obs::TimeSample trace_now() {
+    sync_compute();
+    return {vtime_, trace_->wall_now()};
+  }
+  static obs::TimeSample trace_now_thunk(void* ctx) {
+    return static_cast<Comm*>(ctx)->trace_now();
+  }
 
   World* world_;
   int rank_;
   double vtime_ = 0.0;
   double cpu_baseline_ = 0.0;
   RankStats stats_;
+  obs::RankTrace* trace_ = nullptr;
 };
 
 }  // namespace ardbt::mpsim

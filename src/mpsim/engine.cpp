@@ -16,7 +16,7 @@ double RunReport::max_virtual_time() const {
 
 RankStats RunReport::totals() const {
   RankStats t;
-  for (const auto& r : ranks) t.merge_max(r);
+  for (const auto& r : ranks) t.accumulate(r);
   return t;
 }
 
@@ -26,6 +26,12 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
   World world(nranks, options.cost, options.timing);
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
+
+  // Size the per-rank event buffers before threads start; a disabled
+  // tracer is equivalent to none.
+  obs::Tracer* tracer =
+      (options.tracer != nullptr && options.tracer->enabled()) ? options.tracer : nullptr;
+  if (tracer != nullptr) tracer->prepare(nranks);
 
   std::mutex error_mutex;
   // Root-cause error (anything but AbortedError) takes precedence over the
@@ -39,6 +45,7 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(world, r);
+      if (tracer != nullptr) comm.set_trace(&tracer->rank(r));
       try {
         fn(comm);
         comm.sync_compute();  // fold trailing compute into the clock

@@ -20,6 +20,10 @@ namespace ardbt::mpsim {
 struct EngineOptions {
   CostModel cost{};
   TimingMode timing = TimingMode::MeasuredCpu;
+  /// Optional per-rank event tracer (not owned; must outlive the run).
+  /// Null — or a tracer with enabled() == false — records nothing and
+  /// keeps the hot path at a single pointer test per event.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Result of one run.

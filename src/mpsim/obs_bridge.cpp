@@ -1,0 +1,67 @@
+#include "src/mpsim/obs_bridge.hpp"
+
+#include <string>
+
+namespace ardbt::mpsim {
+
+obs::Json to_json(const RankStats& stats) {
+  obs::Json j = obs::Json::object();
+  j.set("msgs_sent", stats.msgs_sent);
+  j.set("bytes_sent", stats.bytes_sent);
+  j.set("msgs_received", stats.msgs_received);
+  j.set("bytes_received", stats.bytes_received);
+  j.set("flops_charged", stats.flops_charged);
+  j.set("cpu_seconds", stats.cpu_seconds);
+  j.set("virtual_time_s", stats.virtual_time);
+  j.set("virtual_wait_s", stats.virtual_wait);
+  j.set("wait_fraction", stats.wait_fraction());
+  return j;
+}
+
+obs::Json to_json(const RunReport& report) {
+  obs::Json j = obs::Json::object();
+  j.set("wall_s", report.wall_seconds);
+  j.set("max_virtual_time_s", report.max_virtual_time());
+  j.set("totals", to_json(report.totals()));
+  obs::Json ranks = obs::Json::array();
+  for (const RankStats& r : report.ranks) ranks.push(to_json(r));
+  j.set("ranks", std::move(ranks));
+  return j;
+}
+
+void export_metrics(const RunReport& report, obs::MetricsRegistry& registry) {
+  const RankStats totals = report.totals();
+  registry.counter("mpsim.msgs_sent").add(totals.msgs_sent);
+  registry.counter("mpsim.bytes_sent").add(totals.bytes_sent);
+  registry.counter("mpsim.msgs_received").add(totals.msgs_received);
+  registry.counter("mpsim.bytes_received").add(totals.bytes_received);
+  registry.counter("mpsim.flops_charged").add(totals.flops_charged);
+  registry.counter("mpsim.cpu_seconds").add(totals.cpu_seconds);
+  registry.gauge("mpsim.max_virtual_time_s").set(report.max_virtual_time());
+  registry.gauge("mpsim.wall_s").set(report.wall_seconds);
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const RankStats& s = report.ranks[r];
+    const std::string prefix = "mpsim.rank." + std::to_string(r) + ".";
+    registry.gauge(prefix + "virtual_time_s").set(s.virtual_time);
+    registry.gauge(prefix + "virtual_wait_s").set(s.virtual_wait);
+    registry.gauge(prefix + "wait_fraction").set(s.wait_fraction());
+  }
+}
+
+void export_metrics(const obs::Tracer& tracer, obs::MetricsRegistry& registry) {
+  obs::Histogram& sizes = registry.histogram("mpsim.message_size_bytes");
+  std::uint64_t recorded = 0, dropped = 0;
+  for (int r = 0; r < tracer.nranks(); ++r) {
+    const obs::RankTrace& rt = tracer.rank(r);
+    sizes.merge_log2(rt.message_size_log2());
+    recorded += rt.total_recorded();
+    dropped += rt.dropped();
+    for (const auto& [phase, bytes] : rt.bytes_by_phase()) {
+      registry.counter("trace.bytes_by_phase." + phase).add(bytes);
+    }
+  }
+  registry.counter("trace.events_recorded").add(recorded);
+  registry.counter("trace.events_dropped").add(dropped);
+}
+
+}  // namespace ardbt::mpsim

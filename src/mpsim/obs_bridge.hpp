@@ -1,0 +1,36 @@
+#pragma once
+
+#include "src/mpsim/engine.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+/// \file obs_bridge.hpp
+/// Projections from the simulator's per-rank counters into the
+/// observability layer: RankStats stays the plain lock-free aggregate the
+/// hot path updates, and these helpers expose it as JSON documents and
+/// registry metrics after a run (the "RankStats is a view" direction —
+/// the registry is derived, never written during the run).
+
+namespace ardbt::mpsim {
+
+/// {"msgs_sent": ..., "bytes_sent": ..., ..., "wait_fraction": ...}.
+obs::Json to_json(const RankStats& stats);
+
+/// {"wall_s", "max_virtual_time_s", "totals", "ranks": [...]}.
+obs::Json to_json(const RunReport& report);
+
+/// Register run counters and per-rank gauges:
+///   counters  mpsim.msgs_sent / bytes_sent / msgs_received /
+///             bytes_received / flops_charged / cpu_seconds
+///   gauges    mpsim.max_virtual_time_s, mpsim.wall_s,
+///             mpsim.rank.<r>.virtual_time_s / virtual_wait_s /
+///             wait_fraction
+void export_metrics(const RunReport& report, obs::MetricsRegistry& registry);
+
+/// Fold a tracer's per-rank tallies into the registry:
+///   histogram mpsim.message_size_bytes (log2 buckets)
+///   counters  trace.bytes_by_phase.<phase>, trace.events_recorded,
+///             trace.events_dropped
+void export_metrics(const obs::Tracer& tracer, obs::MetricsRegistry& registry);
+
+}  // namespace ardbt::mpsim

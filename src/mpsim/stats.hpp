@@ -23,8 +23,10 @@ struct RankStats {
   /// Virtual seconds spent blocked waiting for messages.
   double virtual_wait = 0.0;
 
-  /// Elementwise max/sum merge used for run-level summaries.
-  void merge_max(const RankStats& o) {
+  /// Run-level summary merge: counters and work sum across ranks, the
+  /// virtual-clock fields take the maximum (the modeled parallel runtime
+  /// is the slowest rank, not the sum of clocks).
+  void accumulate(const RankStats& o) {
     msgs_sent += o.msgs_sent;
     bytes_sent += o.bytes_sent;
     msgs_received += o.msgs_received;
@@ -34,6 +36,13 @@ struct RankStats {
     virtual_time = virtual_time > o.virtual_time ? virtual_time : o.virtual_time;
     virtual_wait = virtual_wait > o.virtual_wait ? virtual_wait : o.virtual_wait;
   }
+
+  /// Deprecated: historical name that suggested an elementwise max while
+  /// actually summing the counters. Use accumulate().
+  [[deprecated("use accumulate()")]] void merge_max(const RankStats& o) { accumulate(o); }
+
+  /// Fraction of this rank's virtual time spent blocked on messages.
+  double wait_fraction() const { return virtual_time > 0.0 ? virtual_wait / virtual_time : 0.0; }
 };
 
 }  // namespace ardbt::mpsim

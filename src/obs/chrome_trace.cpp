@@ -1,0 +1,76 @@
+#include "src/obs/chrome_trace.hpp"
+
+namespace ardbt::obs {
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+Json event_json(const TraceEvent& e, int rank) {
+  Json j = Json::object();
+  j.set("name", e.name);
+  j.set("cat", to_string(e.kind));
+  const bool instant = e.vtime_end <= e.vtime_begin &&
+                       (e.kind == SpanKind::kRecv || e.kind == SpanKind::kMark);
+  j.set("ph", instant ? "i" : "X");
+  j.set("ts", e.vtime_begin * kUsPerSecond);
+  if (!instant) j.set("dur", (e.vtime_end - e.vtime_begin) * kUsPerSecond);
+  if (instant) j.set("s", "t");  // thread-scoped instant
+  j.set("pid", 0);
+  j.set("tid", rank);
+  Json args = Json::object();
+  if (e.peer >= 0) args.set("peer", static_cast<std::int64_t>(e.peer));
+  if (e.bytes > 0) args.set("bytes", e.bytes);
+  if (e.kind == SpanKind::kCompute) args.set("flops", e.value);
+  args.set("wall_begin_s", e.wall_begin);
+  args.set("wall_end_s", e.wall_end);
+  j.set("args", std::move(args));
+  return j;
+}
+
+}  // namespace
+
+Json chrome_trace_json(const Tracer& tracer) {
+  Json events = Json::array();
+  // Process + thread naming metadata so viewers label tracks "rank r".
+  {
+    Json meta = Json::object();
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    Json args = Json::object();
+    args.set("name", "ardbt mpsim (virtual clock)");
+    meta.set("args", std::move(args));
+    events.push(std::move(meta));
+  }
+  for (int r = 0; r < tracer.nranks(); ++r) {
+    Json meta = Json::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("tid", r);
+    Json args = Json::object();
+    args.set("name", "rank " + std::to_string(r));
+    meta.set("args", std::move(args));
+    events.push(std::move(meta));
+  }
+  std::uint64_t dropped = 0;
+  for (int r = 0; r < tracer.nranks(); ++r) {
+    const RankTrace& rt = tracer.rank(r);
+    dropped += rt.dropped();
+    for (const TraceEvent& e : rt.events()) events.push(event_json(e, r));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  Json other = Json::object();
+  other.set("clock", "virtual");
+  other.set("dropped_events", dropped);
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+void write_chrome_trace(const std::string& path, const Tracer& tracer) {
+  write_json_file(path, chrome_trace_json(tracer), /*indent=*/0);
+}
+
+}  // namespace ardbt::obs

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
+
+/// \file chrome_trace.hpp
+/// Chrome trace-event JSON exporter. The produced file loads directly in
+/// chrome://tracing and https://ui.perfetto.dev: one track (tid) per
+/// simulated rank, the timeline in *virtual* microseconds, so the viewer
+/// shows the modeled parallel execution — phase bars, per-message sends,
+/// and the wait gaps the paper's overlap arguments are about.
+///
+/// Mapping: pid 0 "ardbt mpsim", tid r = rank r; phase/compute/send/wait
+/// spans become complete ("X") events, recv/mark become instants ("i");
+/// categories carry the SpanKind so tracks can be filtered by kind.
+/// args hold bytes / peer / flops / wall-clock timestamps.
+
+namespace ardbt::obs {
+
+/// Build the trace document: {"traceEvents": [...], ...}.
+Json chrome_trace_json(const Tracer& tracer);
+
+/// Serialize straight to a file (compact form; traces get large).
+void write_chrome_trace(const std::string& path, const Tracer& tracer);
+
+}  // namespace ardbt::obs

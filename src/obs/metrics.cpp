@@ -1,0 +1,78 @@
+#include "src/obs/metrics.hpp"
+
+namespace ardbt::obs {
+
+void Histogram::observe(double x) {
+  std::size_t bucket = 0;
+  while (bucket + 1 < buckets_.size() && static_cast<double>(std::uint64_t{1} << bucket) < x) {
+    ++bucket;
+  }
+  buckets_[bucket] += 1;
+  count_ += 1;
+  sum_ += x;
+}
+
+void Histogram::merge_log2(const std::vector<std::uint64_t>& buckets) {
+  for (std::size_t k = 0; k < buckets.size() && k < buckets_.size(); ++k) {
+    buckets_[k] += buckets[k];
+    count_ += buckets[k];
+    // Attribute the bucket upper bound to the sum (the exact sample values
+    // are gone); good enough for mean-order summaries.
+    sum_ += static_cast<double>(buckets[k]) * static_cast<double>(std::uint64_t{1} << (k < 63 ? k : 63));
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  Json out = Json::object();
+  if (!counters_.empty()) {
+    Json section = Json::object();
+    for (const auto& [name, c] : counters_) section.set(name, c->value());
+    out.set("counters", std::move(section));
+  }
+  if (!gauges_.empty()) {
+    Json section = Json::object();
+    for (const auto& [name, g] : gauges_) section.set(name, g->value());
+    out.set("gauges", std::move(section));
+  }
+  if (!histograms_.empty()) {
+    Json section = Json::object();
+    for (const auto& [name, h] : histograms_) {
+      Json entry = Json::object();
+      entry.set("count", h->total_count());
+      entry.set("sum", h->sum());
+      // Emit only non-empty buckets as {"log2_upper": count}.
+      Json buckets = Json::object();
+      for (std::size_t k = 0; k < h->buckets().size(); ++k) {
+        if (h->buckets()[k] != 0) buckets.set(std::to_string(k), h->buckets()[k]);
+      }
+      entry.set("log2_buckets", std::move(buckets));
+      section.set(name, std::move(entry));
+    }
+    out.set("histograms", std::move(section));
+  }
+  return out;
+}
+
+}  // namespace ardbt::obs

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+/// \file metrics.hpp
+/// Named counters / gauges / histograms for run-level observability.
+///
+/// The registry is the machine-readable aggregation point between the
+/// simulator's per-rank counters (mpsim::RankStats stays the lock-free
+/// hot-path aggregate; export_metrics() in mpsim/obs_bridge.hpp projects
+/// it into the registry after a run) and the structured run report every
+/// bench binary and the CLI can emit. Metric creation takes a lock;
+/// updating an existing metric is lock-free (atomics would be overkill —
+/// metrics are populated post-run, from one thread).
+///
+/// Naming convention: dotted lowercase paths, unit suffix where
+/// meaningful — "mpsim.bytes_sent", "mpsim.rank.3.wait_fraction",
+/// "ard.factor.vtime_seconds".
+
+namespace ardbt::obs {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(double v) { value_ += v; }
+  void add(std::uint64_t v) { value_ += static_cast<double>(v); }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Point-in-time value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram (bucket k counts samples with
+/// 2^(k-1) < x <= 2^k; bucket 0 counts x <= 1). Suits message sizes and
+/// span durations, which spread over decades.
+class Histogram {
+ public:
+  Histogram() : buckets_(64, 0) {}
+
+  void observe(double x);
+  /// Merge pre-bucketed counts (e.g. RankTrace::message_size_log2()).
+  void merge_log2(const std::vector<std::uint64_t>& buckets);
+
+  std::uint64_t total_count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Name -> metric registry with a stable JSON snapshot.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  /// sorted by name; empty sections are omitted.
+  Json to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ardbt::obs

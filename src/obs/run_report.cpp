@@ -1,0 +1,33 @@
+#include "src/obs/run_report.hpp"
+
+#include <utility>
+
+namespace ardbt::obs {
+
+RunReportBuilder::RunReportBuilder(std::string tool) : tool_(std::move(tool)) {}
+
+RunReportBuilder& RunReportBuilder::config(const std::string& key, Json value) {
+  config_.set(key, std::move(value));
+  return *this;
+}
+
+RunReportBuilder& RunReportBuilder::set_section(const std::string& key, Json value) {
+  sections_.set(key, std::move(value));
+  return *this;
+}
+
+Json RunReportBuilder::build() const {
+  Json doc = Json::object();
+  doc.set("schema", kRunReportSchema);
+  doc.set("version", kRunReportVersion);
+  doc.set("tool", tool_);
+  doc.set("config", config_);
+  for (const auto& [key, value] : sections_.items()) doc.set(key, value);
+  return doc;
+}
+
+void RunReportBuilder::write(const std::string& path, int indent) const {
+  write_json_file(path, build(), indent);
+}
+
+}  // namespace ardbt::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+
+#include "src/obs/json.hpp"
+
+/// \file run_report.hpp
+/// The stable machine-readable run-report schema ("ardbt.run_report",
+/// version 1) shared by the CLI and every experiment binary, so
+/// downstream tooling (plot scripts, CI trend checks) parses one format
+/// no matter which binary produced it.
+///
+/// Document layout:
+///
+///   {
+///     "schema":  "ardbt.run_report",
+///     "version": 1,
+///     "tool":    "<binary name>",
+///     "config":  { ... flags / problem shape ... },
+///     ... tool-specific sections added via set_section():
+///     "timing":  { "factor_vtime_s": ..., "solve_vtime_s": ...,
+///                  "wall_s": ..., "max_virtual_time_s": ... },
+///     "totals":  { RankStats sums/maxima },
+///     "ranks":   [ per-rank RankStats ],
+///     "metrics": { MetricsRegistry snapshot },
+///     "tables":  { "<name>": [ {col: cell, ...}, ... ] }
+///   }
+///
+/// Section order is insertion order; producers should emit config first.
+/// Consumers must ignore unknown keys (additive evolution only; breaking
+/// changes bump "version").
+
+namespace ardbt::obs {
+
+inline constexpr const char* kRunReportSchema = "ardbt.run_report";
+inline constexpr int kRunReportVersion = 1;
+
+/// Incremental builder for a run report.
+class RunReportBuilder {
+ public:
+  explicit RunReportBuilder(std::string tool);
+
+  /// Add one "config" entry (problem shape, flag values).
+  RunReportBuilder& config(const std::string& key, Json value);
+
+  /// Add/replace a top-level section.
+  RunReportBuilder& set_section(const std::string& key, Json value);
+
+  /// Finished document (schema/version/tool/config first, then sections
+  /// in insertion order).
+  Json build() const;
+
+  /// build() + write_json_file.
+  void write(const std::string& path, int indent = 1) const;
+
+ private:
+  std::string tool_;
+  Json config_ = Json::object();
+  Json sections_ = Json::object();
+};
+
+}  // namespace ardbt::obs

@@ -1,0 +1,144 @@
+#include "src/obs/trace.hpp"
+
+#include <cassert>
+
+namespace ardbt::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSend:
+      return "send";
+    case SpanKind::kRecv:
+      return "recv";
+    case SpanKind::kWait:
+      return "wait";
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kPhase:
+      return "phase";
+    case SpanKind::kMark:
+      return "mark";
+  }
+  return "unknown";
+}
+
+RankTrace::RankTrace(int rank, const Tracer* owner, std::size_t capacity)
+    : rank_(rank), owner_(owner), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+  msg_size_log2_.assign(64, 0);
+}
+
+void RankTrace::push(TraceEvent e) {
+  e.depth = static_cast<std::uint8_t>(open_.size());
+  recorded_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  dropped_ += 1;
+}
+
+double RankTrace::wall_now() const { return owner_->wall_now(); }
+
+RankTrace::SpanHandle RankTrace::begin_span(SpanKind kind, const char* name, TimeSample t) {
+  TraceEvent e;
+  e.kind = kind;
+  e.name = name;
+  e.vtime_begin = t.vtime;
+  e.wall_begin = t.wall;
+  e.depth = static_cast<std::uint8_t>(open_.size());
+  open_.push_back(e);
+  return static_cast<SpanHandle>(open_.size() - 1);
+}
+
+void RankTrace::end_span(SpanHandle handle, TimeSample t) {
+  assert(handle + 1 == open_.size() && "trace spans must close innermost-first");
+  (void)handle;
+  TraceEvent e = open_.back();
+  open_.pop_back();
+  e.vtime_end = t.vtime;
+  e.wall_end = t.wall;
+  push(e);
+}
+
+void RankTrace::complete(SpanKind kind, const char* name, TimeSample begin, TimeSample end,
+                         int peer, std::uint64_t bytes) {
+  TraceEvent e;
+  e.kind = kind;
+  e.name = name;
+  e.vtime_begin = begin.vtime;
+  e.vtime_end = end.vtime;
+  e.wall_begin = begin.wall;
+  e.wall_end = end.wall;
+  e.peer = peer;
+  e.bytes = bytes;
+  push(e);
+}
+
+void RankTrace::instant(SpanKind kind, const char* name, TimeSample t, int peer,
+                        std::uint64_t bytes) {
+  complete(kind, name, t, t, peer, bytes);
+}
+
+void RankTrace::add_compute(TimeSample begin, TimeSample end, double flops) {
+  // Coalesce with the most recent event when it is a contiguous compute
+  // span at the same nesting depth; per-block-row charges then collapse
+  // into one span per phase region.
+  if (!ring_.empty()) {
+    TraceEvent& last = ring_[(head_ + ring_.size() - 1) % ring_.size()];
+    if (last.kind == SpanKind::kCompute && last.vtime_end == begin.vtime &&
+        last.depth == static_cast<std::uint8_t>(open_.size())) {
+      last.vtime_end = end.vtime;
+      last.wall_end = end.wall;
+      last.value += flops;
+      return;
+    }
+  }
+  TraceEvent e;
+  e.kind = SpanKind::kCompute;
+  e.name = "compute";
+  e.vtime_begin = begin.vtime;
+  e.vtime_end = end.vtime;
+  e.wall_begin = begin.wall;
+  e.wall_end = end.wall;
+  e.value = flops;
+  push(e);
+}
+
+void RankTrace::tally_sent(std::uint64_t bytes) {
+  const char* phase = open_.empty() ? "(no phase)" : open_.back().name;
+  bytes_by_phase_[phase] += bytes;
+  std::size_t bucket = 0;
+  while (bucket + 1 < msg_size_log2_.size() && (std::uint64_t{1} << bucket) < bytes) ++bucket;
+  msg_size_log2_[bucket] += 1;
+}
+
+std::vector<TraceEvent> RankTrace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer(TraceOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::prepare(int nranks) {
+  for (int r = static_cast<int>(ranks_.size()); r < nranks; ++r) {
+    ranks_.emplace_back(new RankTrace(r, this, options_.ring_capacity));
+  }
+}
+
+double Tracer::wall_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+}  // namespace ardbt::obs

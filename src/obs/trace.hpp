@@ -1,0 +1,254 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file trace.hpp
+/// Per-rank event tracer for the virtual-time simulator.
+///
+/// Each simulated rank owns a `RankTrace`: a fixed-capacity ring buffer of
+/// typed spans (send / recv / wait / compute / phase) stamped with both
+/// the rank's virtual clock and host wall time. Recording is lock-free
+/// with respect to peer ranks (each rank writes only its own buffer) and
+/// cheap enough to leave on: one bounds check plus a struct store per
+/// event, and nothing at all when no tracer is installed.
+///
+/// Instrumentation points open spans with the RAII macro
+///
+///   ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "ard.factor");
+///
+/// which expands to `comm.trace_scope(...)` — a no-op returning an empty
+/// scope when tracing is off. Two kill switches:
+///   * runtime — no Tracer in EngineOptions (or Tracer::set_enabled(false))
+///     leaves the hot path with a single null-pointer test;
+///   * compile time — defining ARDBT_OBS_DISABLED (CMake option
+///     ARDBT_DISABLE_OBS) compiles every hook out entirely.
+///
+/// Span names must be string literals (or otherwise outlive the tracer):
+/// events store the pointer, not a copy, so recording never allocates.
+///
+/// Under TimingMode::ChargedFlops the virtual-time fields of the event
+/// stream are fully deterministic: two identical runs produce identical
+/// streams (wall-time fields differ — they exist so real elapsed time can
+/// be compared against the model).
+
+namespace ardbt::obs {
+
+#ifdef ARDBT_OBS_DISABLED
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+/// Typed span/event categories, mirroring what the simulator models.
+enum class SpanKind : std::uint8_t {
+  kSend,     ///< eager send (duration = sender-side latency charge)
+  kRecv,     ///< message delivery (instant; payload bytes in `bytes`)
+  kWait,     ///< blocked on a message not yet available (virtual wait)
+  kCompute,  ///< local arithmetic (charged flops or measured CPU)
+  kPhase,    ///< algorithm phase opened via ARDBT_TRACE_SPAN
+  kMark,     ///< instant user marker
+};
+
+/// Stable lowercase name ("send", "recv", ...).
+const char* to_string(SpanKind kind);
+
+/// One recorded span. `vtime_*` are on the rank's virtual clock,
+/// `wall_*` are host seconds since the tracer epoch. Instant events have
+/// equal begin/end times.
+struct TraceEvent {
+  const char* name = "";  ///< static string; see file comment
+  double vtime_begin = 0.0;
+  double vtime_end = 0.0;
+  double wall_begin = 0.0;
+  double wall_end = 0.0;
+  double value = 0.0;  ///< kind-specific magnitude (flops for kCompute)
+  std::uint64_t bytes = 0;
+  std::int32_t peer = -1;  ///< partner rank for send/recv/wait, else -1
+  SpanKind kind = SpanKind::kMark;
+  std::uint8_t depth = 0;  ///< phase-span nesting depth at record time
+};
+
+/// Tracer knobs.
+struct TraceOptions {
+  /// Ring capacity in events per rank; the oldest events are dropped
+  /// (and counted) once exceeded.
+  std::size_t ring_capacity = 1 << 16;
+};
+
+/// Virtual + wall timestamp pair handed to the recorder by the clock
+/// owner (mpsim::Comm).
+struct TimeSample {
+  double vtime = 0.0;
+  double wall = 0.0;
+};
+
+class Tracer;
+
+/// Event ring plus per-rank tallies for one simulated rank. Only the
+/// owning rank thread may record; readers must wait for the run to end.
+class RankTrace {
+ public:
+  /// Identifier of an open span (index into the open-span stack).
+  using SpanHandle = std::uint32_t;
+
+  /// Open a phase span; pair with end_span (the SpanScope RAII wrapper
+  /// does this). Nesting must be properly bracketed.
+  SpanHandle begin_span(SpanKind kind, const char* name, TimeSample t);
+  void end_span(SpanHandle handle, TimeSample t);
+
+  /// Record a completed span in one call (send/wait instrumentation).
+  void complete(SpanKind kind, const char* name, TimeSample begin, TimeSample end, int peer,
+                std::uint64_t bytes);
+
+  /// Record an instant event (recv delivery, user markers).
+  void instant(SpanKind kind, const char* name, TimeSample t, int peer, std::uint64_t bytes);
+
+  /// Record compute advancing the clock from `begin` to `end` for `flops`
+  /// operations. Adjacent compute events (end == next begin, same nesting
+  /// depth) coalesce into one span so per-block-row flop charges don't
+  /// flood the ring.
+  void add_compute(TimeSample begin, TimeSample end, double flops);
+
+  /// Attribute sent payload bytes to the innermost open phase span (or
+  /// "(no phase)") and to the message-size histogram.
+  void tally_sent(std::uint64_t bytes);
+
+  int rank() const { return rank_; }
+  /// Owning tracer's wall clock (seconds since the tracer epoch).
+  double wall_now() const;
+  /// Events in ring order (oldest first). Valid after the run finished.
+  std::vector<TraceEvent> events() const;
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_recorded() const { return recorded_; }
+
+  /// Payload bytes sent per enclosing phase-span name.
+  const std::map<std::string, std::uint64_t>& bytes_by_phase() const { return bytes_by_phase_; }
+  /// Message-size histogram: bucket k counts sends with
+  /// 2^(k-1) < bytes <= 2^k (bucket 0 counts empty sends).
+  const std::vector<std::uint64_t>& message_size_log2() const { return msg_size_log2_; }
+
+ private:
+  friend class Tracer;
+  RankTrace(int rank, const Tracer* owner, std::size_t capacity);
+
+  void push(TraceEvent e);
+
+  int rank_ = -1;
+  const Tracer* owner_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next slot to overwrite once full
+  std::uint64_t dropped_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> open_;  ///< stack of in-progress phase spans
+  std::map<std::string, std::uint64_t> bytes_by_phase_;
+  std::vector<std::uint64_t> msg_size_log2_;
+};
+
+/// Owns one RankTrace per simulated rank for an engine run. Install via
+/// EngineOptions::tracer; the engine calls prepare(nranks) and hands each
+/// Comm its rank's buffer. A Tracer may be reused across runs — events
+/// append (each run's virtual clock restarts at zero; see the `run`
+/// counter stamped by prepare()).
+class Tracer {
+ public:
+  explicit Tracer(TraceOptions options = {});
+
+  /// Runtime kill switch: a disabled tracer records nothing even when
+  /// installed. Flip only between runs.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Size the per-rank buffers (engine-called before threads start).
+  /// Existing rank buffers are kept so multi-run sessions accumulate.
+  void prepare(int nranks);
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+  RankTrace& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
+  const RankTrace& rank(int r) const { return *ranks_.at(static_cast<std::size_t>(r)); }
+
+  /// Host seconds since tracer construction (the wall epoch all wall_*
+  /// fields are relative to).
+  double wall_now() const;
+
+  const TraceOptions& options() const { return options_; }
+
+ private:
+  TraceOptions options_;
+  bool enabled_ = true;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<RankTrace>> ranks_;
+};
+
+/// RAII span: records begin on construction, end on destruction, via a
+/// caller-supplied clock thunk (so obs stays independent of mpsim).
+class SpanScope {
+ public:
+  using NowFn = TimeSample (*)(void* ctx);
+
+  /// Empty (disabled) scope.
+  SpanScope() = default;
+
+  SpanScope(RankTrace* trace, SpanKind kind, const char* name, NowFn now, void* ctx)
+      : trace_(trace), now_(now), ctx_(ctx) {
+    if (trace_ != nullptr) handle_ = trace_->begin_span(kind, name, now_(ctx_));
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  SpanScope(SpanScope&& o) noexcept
+      : trace_(o.trace_), now_(o.now_), ctx_(o.ctx_), handle_(o.handle_) {
+    o.trace_ = nullptr;
+  }
+  SpanScope& operator=(SpanScope&& o) noexcept {
+    if (this != &o) {
+      close();
+      trace_ = o.trace_;
+      now_ = o.now_;
+      ctx_ = o.ctx_;
+      handle_ = o.handle_;
+      o.trace_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~SpanScope() { close(); }
+
+  /// Close early (idempotent).
+  void close() {
+    if (trace_ == nullptr) return;
+    trace_->end_span(handle_, now_(ctx_));
+    trace_ = nullptr;
+  }
+
+  bool active() const { return trace_ != nullptr; }
+
+ private:
+  RankTrace* trace_ = nullptr;
+  NowFn now_ = nullptr;
+  void* ctx_ = nullptr;
+  RankTrace::SpanHandle handle_ = 0;
+};
+
+}  // namespace ardbt::obs
+
+// RAII phase-span macro. `comm` is any object with a
+// `trace_scope(SpanKind, const char*)` method (mpsim::Comm); `name` must
+// be a string literal.
+#define ARDBT_OBS_CONCAT_IMPL(a, b) a##b
+#define ARDBT_OBS_CONCAT(a, b) ARDBT_OBS_CONCAT_IMPL(a, b)
+#ifdef ARDBT_OBS_DISABLED
+#define ARDBT_TRACE_SPAN(comm, kind, name) \
+  do {                                     \
+  } while (0)
+#else
+#define ARDBT_TRACE_SPAN(comm, kind, name)                                      \
+  const ::ardbt::obs::SpanScope ARDBT_OBS_CONCAT(ardbt_trace_span_, __LINE__) = \
+      (comm).trace_scope(kind, name)
+#endif

@@ -5,6 +5,7 @@
 //
 //   ardbt --method ard --kind poisson2d --n 2048 --m 16 --p 8 --r 64
 //   ardbt --method rd-per-rhs --n 512 --m 8 --r 32 --timing measured
+//   ardbt --method ard --n 512 --m 8 --p 4 --r 32 --trace ard.trace.json --json run.json
 //   ardbt --list
 //
 // Flags (all optional):
@@ -18,12 +19,20 @@
 //                     (overrides --kind/--n/--m)
 //   --save-sys PATH   save the generated system
 //   --save-x PATH     save the solution (binary; .csv suffix -> CSV)
-//   --list    print available methods/kinds and exit
+//   --trace PATH      write a Chrome/Perfetto trace of the run: one track
+//                     per simulated rank with send/recv/wait/compute and
+//                     phase spans on the virtual clock (docs/OBSERVABILITY.md)
+//   --json PATH       write the machine-readable run report
+//                     (schema ardbt.run_report v1)
+//   --list    print available methods/kinds/flags and exit
+//   --help    same as --list
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/btds/generators.hpp"
 #include "src/btds/io.hpp"
@@ -31,14 +40,82 @@
 #include "src/core/flops.hpp"
 #include "src/core/refine.hpp"
 #include "src/core/solver.hpp"
+#include "src/mpsim/obs_bridge.hpp"
+#include "src/obs/chrome_trace.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/run_report.hpp"
 
 namespace {
 
 using namespace ardbt;
 
+constexpr const char* kKnownFlags[] = {
+    "--method", "--kind",     "--n",        "--m",      "--p",     "--r",
+    "--seed",   "--timing",   "--refine",   "--load-sys", "--save-sys", "--save-x",
+    "--trace",  "--json",     "--list",     "--help",
+};
+
 [[noreturn]] void die(const std::string& message) {
   std::fprintf(stderr, "ardbt: %s (try --list)\n", message.c_str());
   std::exit(2);
+}
+
+/// Classic dynamic-programming edit distance, for flag suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+[[noreturn]] void die_unknown_flag(const std::string& flag) {
+  const char* best = nullptr;
+  std::size_t best_dist = flag.size();  // suggest only when reasonably close
+  for (const char* candidate : kKnownFlags) {
+    const std::size_t d = edit_distance(flag, candidate);
+    if (d < best_dist) {
+      best_dist = d;
+      best = candidate;
+    }
+  }
+  std::string message = "unknown flag '" + flag + "'";
+  if (best != nullptr && best_dist <= 3) {
+    message += "; did you mean '" + std::string(best) + "'?";
+  }
+  die(message);
+}
+
+void print_usage() {
+  std::printf("usage: ardbt [flags]\n\n");
+  std::printf("methods: ard rd rd-per-rhs transfer-rd pcr\n");
+  std::printf("kinds  :");
+  for (btds::ProblemKind k : btds::kAllProblemKinds) {
+    std::printf(" %s", std::string(btds::to_string(k)).c_str());
+  }
+  std::printf("\n\nflags:\n");
+  std::printf("  --method NAME    solver (default ard)\n");
+  std::printf("  --kind NAME      generated problem kind (default diagdom)\n");
+  std::printf("  --n/--m/--p/--r  problem shape: block rows / block size /\n");
+  std::printf("                   ranks / right-hand sides (1024/8/4/16)\n");
+  std::printf("  --seed S         generator seed (42)\n");
+  std::printf("  --timing MODE    charged (deterministic) | measured\n");
+  std::printf("  --refine K       iterative-refinement steps (ard only)\n");
+  std::printf("  --load-sys PATH  solve a saved system (overrides --kind/--n/--m)\n");
+  std::printf("  --save-sys PATH  save the generated system\n");
+  std::printf("  --save-x PATH    save the solution (.csv suffix -> CSV)\n");
+  std::printf("  --trace PATH     write a Chrome/Perfetto trace (one track per\n");
+  std::printf("                   rank, virtual clock; see docs/OBSERVABILITY.md)\n");
+  std::printf("  --json PATH      write the ardbt.run_report v1 JSON report\n");
+  std::printf("  --list / --help  this message\n");
 }
 
 core::Method parse_method(const std::string& s) {
@@ -66,7 +143,7 @@ int main(int argc, char** argv) {
   int p = 4;
   std::uint64_t seed = 42;
   int refine_steps = 0;
-  std::string load_sys, save_sys, save_x;
+  std::string load_sys, save_sys, save_x, trace_path, json_path;
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.cost = mpsim::CostModel::cluster2014();
@@ -77,12 +154,8 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) die("missing value after " + flag);
       return argv[++i];
     };
-    if (flag == "--list") {
-      std::printf("methods: ard rd rd-per-rhs transfer-rd pcr\nkinds  :");
-      for (btds::ProblemKind k : btds::kAllProblemKinds) {
-        std::printf(" %s", std::string(btds::to_string(k)).c_str());
-      }
-      std::printf("\n");
+    if (flag == "--list" || flag == "--help") {
+      print_usage();
       return 0;
     } else if (flag == "--method") {
       method = parse_method(next());
@@ -106,6 +179,10 @@ int main(int argc, char** argv) {
       save_sys = next();
     } else if (flag == "--save-x") {
       save_x = next();
+    } else if (flag == "--trace") {
+      trace_path = next();
+    } else if (flag == "--json") {
+      json_path = next();
     } else if (flag == "--timing") {
       const std::string v = next();
       if (v == "charged") {
@@ -116,7 +193,7 @@ int main(int argc, char** argv) {
         die("unknown timing mode '" + v + "'");
       }
     } else {
-      die("unknown flag '" + flag + "'");
+      die_unknown_flag(flag);
     }
   }
   if (n < 1 || m < 1 || r < 1 || p < 1) die("shape values must be positive");
@@ -134,6 +211,11 @@ int main(int argc, char** argv) {
   if (!save_sys.empty()) btds::save_block_tridiag(save_sys, sys);
   const la::Matrix b = btds::make_rhs(n, m, r, seed + 1);
 
+  // Event tracing powers both --trace (the timeline itself) and --json
+  // (per-phase byte counters + message-size histogram).
+  obs::Tracer tracer;
+  if (!trace_path.empty() || !json_path.empty()) engine.tracer = &tracer;
+
   core::DriverResult res;
   core::RefineResult refined;
   if (refine_steps > 0 && method == core::Method::kArd) {
@@ -144,12 +226,16 @@ int main(int argc, char** argv) {
         [&](mpsim::Comm& comm) {
           mpsim::barrier(comm);
           const double t0 = comm.vtime();
+          auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
           const auto f = core::ArdFactorization::factor(comm, sys, part);
           mpsim::barrier(comm);
+          factor_span.close();
           if (comm.rank() == 0) res.factor_vtime = comm.vtime() - t0;
           const double t1 = comm.vtime();
+          auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
           const auto rr = core::solve_refined(comm, f, sys, part, b, res.x, refine_steps, 0.0);
           mpsim::barrier(comm);
+          solve_span.close();
           if (comm.rank() == 0) {
             res.solve_vtime = comm.vtime() - t1;
             refined = rr;
@@ -160,6 +246,7 @@ int main(int argc, char** argv) {
     res = core::solve(method, sys, b, p, {}, engine);
   }
 
+  const double residual = btds::relative_residual(sys, res.x, b);
   const auto totals = res.report.totals();
   std::printf("ardbt: method=%s kind=%s N=%lld M=%lld P=%d R=%lld\n",
               std::string(core::to_string(method)).c_str(),
@@ -172,7 +259,7 @@ int main(int argc, char** argv) {
   std::printf("  flops       : %.4g total, %.4g msgs, %.4g MB sent\n", totals.flops_charged,
               static_cast<double>(totals.msgs_sent),
               static_cast<double>(totals.bytes_sent) / 1e6);
-  std::printf("  residual    : %.3e\n", btds::relative_residual(sys, res.x, b));
+  std::printf("  residual    : %.3e\n", residual);
   if (refine_steps > 0 && !refined.residual_norms.empty()) {
     std::printf("  refinement  : %d steps, ||r|| %.3e -> %.3e\n", refined.steps,
                 refined.residual_norms.front(), refined.residual_norms.back());
@@ -186,6 +273,48 @@ int main(int argc, char** argv) {
       btds::save_matrix(save_x, res.x);
     }
     std::printf("  solution    : saved to %s\n", save_x.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace(trace_path, tracer);
+    std::printf("  trace       : saved to %s (chrome://tracing, ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (!json_path.empty()) {
+    obs::MetricsRegistry metrics;
+    mpsim::export_metrics(res.report, metrics);
+    mpsim::export_metrics(tracer, metrics);
+
+    obs::RunReportBuilder report("ardbt_cli");
+    report.config("method", std::string(core::to_string(method)))
+        .config("kind", std::string(btds::to_string(kind)))
+        .config("n", static_cast<std::int64_t>(n))
+        .config("m", static_cast<std::int64_t>(m))
+        .config("p", p)
+        .config("r", static_cast<std::int64_t>(r))
+        .config("seed", seed)
+        .config("timing",
+                engine.timing == mpsim::TimingMode::ChargedFlops ? "charged" : "measured")
+        .config("refine", refine_steps);
+    obs::Json timing = obs::Json::object();
+    timing.set("factor_vtime_s", res.factor_vtime);
+    timing.set("solve_vtime_s", res.solve_vtime);
+    timing.set("wall_s", res.report.wall_seconds);
+    timing.set("max_virtual_time_s", res.report.max_virtual_time());
+    report.set_section("timing", std::move(timing));
+    obs::Json accuracy = obs::Json::object();
+    accuracy.set("relative_residual", residual);
+    report.set_section("accuracy", std::move(accuracy));
+    report.set_section("totals", mpsim::to_json(totals));
+    {
+      obs::Json ranks = obs::Json::array();
+      for (const auto& s : res.report.ranks) ranks.push(mpsim::to_json(s));
+      report.set_section("ranks", std::move(ranks));
+    }
+    report.set_section("metrics", metrics.to_json());
+    report.write(json_path);
+    std::printf("  report      : saved to %s (schema %s v%d)\n", json_path.c_str(),
+                obs::kRunReportSchema, obs::kRunReportVersion);
   }
   return 0;
 }

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Smoke check for the observability exporters.
+
+Runs the ardbt CLI on a tiny problem with --trace and --json, then
+validates both outputs:
+
+* the trace file is Chrome trace-event JSON with one named track per
+  simulated rank and the expected event categories;
+* the run report carries the ardbt.run_report schema header and the
+  timing/totals/metrics sections the plotting scripts rely on.
+
+Usage: check_trace.py /path/to/ardbt [P]
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, nranks):
+    doc = json.loads(Path(path).read_text())
+    events = doc["traceEvents"]
+    if doc.get("otherData", {}).get("clock") != "virtual":
+        fail("otherData.clock != 'virtual'")
+
+    track_names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    expected = {r: f"rank {r}" for r in range(nranks)}
+    if track_names != expected:
+        fail(f"thread_name metadata {track_names} != {expected}")
+
+    tids_with_events = {e["tid"] for e in events if e.get("ph") in ("X", "i")}
+    if tids_with_events != set(range(nranks)):
+        fail(f"ranks with events {sorted(tids_with_events)} != 0..{nranks - 1}")
+
+    cats = {e.get("cat") for e in events if e.get("ph") in ("X", "i")}
+    for needed in ("send", "recv", "wait", "compute", "phase"):
+        if needed not in cats:
+            fail(f"missing event category '{needed}' (got {sorted(cats)})")
+
+    phases = {e["name"] for e in events if e.get("cat") == "phase"}
+    for needed in ("driver.factor", "driver.solve"):
+        if needed not in phases:
+            fail(f"missing phase span '{needed}' (got {sorted(phases)})")
+
+    for e in events:
+        if e.get("ph") == "X" and e["dur"] < 0:
+            fail(f"negative duration in event {e}")
+    print(f"check_trace: trace ok ({len(events)} events, {nranks} tracks, "
+          f"{len(phases)} phase names)")
+
+
+def check_report(path, nranks):
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != "ardbt.run_report":
+        fail(f"report schema {doc.get('schema')!r} != 'ardbt.run_report'")
+    if doc.get("version") != 1:
+        fail(f"report version {doc.get('version')!r} != 1")
+    for section in ("config", "timing", "totals", "ranks", "metrics"):
+        if section not in doc:
+            fail(f"report missing section '{section}'")
+    timing = doc["timing"]
+    for key in ("factor_vtime_s", "solve_vtime_s", "wall_s"):
+        if key not in timing:
+            fail(f"report timing missing '{key}'")
+    if timing["factor_vtime_s"] <= 0 or timing["solve_vtime_s"] <= 0:
+        fail(f"non-positive phase vtimes: {timing}")
+    if len(doc["ranks"]) != nranks:
+        fail(f"report has {len(doc['ranks'])} ranks, expected {nranks}")
+    counters = doc["metrics"].get("counters", {})
+    if counters.get("trace.events_recorded", 0) <= 0:
+        fail("metrics missing trace.events_recorded > 0")
+    print(f"check_trace: report ok (tool={doc['tool']}, "
+          f"{len(doc['ranks'])} ranks)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py /path/to/ardbt [P]")
+    cli = sys.argv[1]
+    nranks = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "trace.json")
+        report_path = str(Path(tmp) / "report.json")
+        cmd = [cli, "--method", "ard", "--n", "64", "--m", "4", "--p", str(nranks),
+               "--r", "4", "--trace", trace_path, "--json", report_path]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+        check_trace(trace_path, nranks)
+        check_report(report_path, nranks)
+    print("check_trace: PASS")
+
+
+if __name__ == "__main__":
+    main()
