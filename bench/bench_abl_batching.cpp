@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   const la::index_t r_total = 256;
   const int p = 4;
   const auto engine = bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_abl_batching");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_abl_batching");
   report.config("n", n).config("m", m).config("r_total", r_total).config("p", p)
       .config("cost_model", engine.cost.name);
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);

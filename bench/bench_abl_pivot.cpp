@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   const la::index_t r = 32;
   const int p = 4;
   const auto engine = bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_abl_pivot");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_abl_pivot");
   report.config("n", n).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# B-abl-pivot: LU vs Cholesky pivots on the SPD Poisson family "

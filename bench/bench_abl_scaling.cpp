@@ -59,7 +59,8 @@ void sweep(la::index_t m, const char* label, bench::JsonReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::JsonReport report(argc, argv, "bench_abl_scaling");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_abl_scaling");
   std::printf("# B-abl-scaling: prefix-operator stability tiers (2-D Poisson family)\n");
   sweep(1, "scalar blocks: a single growing mode, so rescaled transfer RD survives", report);
   sweep(4, "block size 4: spectral spread kills the transfer pair, two-port unaffected",

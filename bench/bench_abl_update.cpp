@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   const la::index_t n = 4096;
   const la::index_t m = 16;
   const auto engine = bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_abl_update");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_abl_update");
   report.config("n", n).config("m", m).config("cost_model", engine.cost.name);
 
   std::printf("# B-abl-update: one-rank matrix change, update vs refactor (N=%lld, M=%lld)\n",

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,12 +16,94 @@
 /// Shared plumbing for the experiment-reproduction binaries (one binary
 /// per table/figure of DESIGN.md section 4). Each binary prints the
 /// rows/series the paper-style experiment reports; EXPERIMENTS.md records
-/// the expected shapes. Every binary also accepts `--json FILE` and then
-/// emits the same tables as an ardbt.run_report v1 document (JsonReport
-/// below), so plots and CI trend checks parse JSON instead of scraping
-/// markdown.
+/// the expected shapes. Every binary parses its command line with
+/// bench::Args (so they all accept the same flags, `--json FILE` and
+/// `--threads T`, and reject typos with a nearest-flag suggestion) and
+/// mirrors its printed tables into an ardbt.run_report v1 document via
+/// JsonReport, so plots and CI trend checks parse JSON instead of
+/// scraping markdown.
 
 namespace ardbt::bench {
+
+/// Shared command line of every experiment binary:
+///   --json FILE   mirror the printed tables into an ardbt.run_report v1
+///   --threads T   worker threads per rank for pool-aware sections
+///   --help/--list usage
+/// Unknown flags exit(2) with a nearest-flag suggestion (edit distance),
+/// matching the ardbt CLI's behavior.
+class Args {
+ public:
+  Args(int argc, char** argv) : program_(argc > 0 ? argv[0] : "bench") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) die(flag + " needs a value");
+        return argv[++i];
+      };
+      if (flag == "--help" || flag == "--list") {
+        std::printf("usage: %s [--json FILE] [--threads T]\n", program_.c_str());
+        std::exit(0);
+      } else if (flag == "--json") {
+        json_path_ = next();
+      } else if (flag == "--threads") {
+        threads_ = std::atoi(next().c_str());
+        if (threads_ < 1) die("--threads must be positive");
+      } else {
+        die_unknown(flag);
+      }
+    }
+  }
+
+  const std::string& json_path() const { return json_path_; }
+  /// Worker threads per rank (EngineOptions::threads_per_rank).
+  int threads() const { return threads_; }
+
+ private:
+  static constexpr const char* kFlags[] = {"--json", "--threads", "--help", "--list"};
+
+  [[noreturn]] void die(const std::string& message) const {
+    std::fprintf(stderr, "%s: %s (try --help)\n", program_.c_str(), message.c_str());
+    std::exit(2);
+  }
+
+  /// Classic dynamic-programming edit distance, for flag suggestions.
+  static std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t diag = row[0];
+      row[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j) {
+        const std::size_t up = row[j];
+        const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+        row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+        diag = up;
+      }
+    }
+    return row[b.size()];
+  }
+
+  [[noreturn]] void die_unknown(const std::string& flag) const {
+    const char* best = nullptr;
+    std::size_t best_dist = flag.size();  // suggest only when reasonably close
+    for (const char* candidate : kFlags) {
+      const std::size_t d = edit_distance(flag, candidate);
+      if (d < best_dist) {
+        best_dist = d;
+        best = candidate;
+      }
+    }
+    std::string message = "unknown flag '" + flag + "'";
+    if (best != nullptr && best_dist <= 3) {
+      message += "; did you mean '" + std::string(best) + "'?";
+    }
+    die(message);
+  }
+
+  std::string program_;
+  std::string json_path_;
+  int threads_ = 1;
+};
 
 /// Engine options for the virtual-time experiments: deterministic
 /// charged-flops timing on the IPDPS-2014-era machine profile, with the
@@ -99,19 +183,15 @@ inline std::string fmt(double v, const char* f = "%.3g") {
 inline std::string fmt_int(double v) { return fmt(v, "%.0f"); }
 inline std::string fmt_sci(double v) { return fmt(v, "%.2e"); }
 
-/// Machine-readable companion to the printed tables. Construct from
-/// main's (argc, argv): when the binary was invoked with `--json FILE`,
-/// every add_table()/config()/set_section() call lands in an
-/// ardbt.run_report v1 document written to FILE by write() (or the
-/// destructor as a backstop); without the flag everything is a no-op.
+/// Machine-readable companion to the printed tables. Construct from the
+/// parsed Args: when the binary was invoked with `--json FILE`, every
+/// add_table()/config()/set_section() call lands in an ardbt.run_report
+/// v1 document written to FILE by write() (or the destructor as a
+/// backstop); without the flag everything is a no-op.
 class JsonReport {
  public:
-  JsonReport(int argc, char** argv, std::string experiment)
-      : builder_(std::move(experiment)) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
-    }
-  }
+  JsonReport(const Args& args, std::string experiment)
+      : path_(args.json_path()), builder_(std::move(experiment)) {}
 
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;

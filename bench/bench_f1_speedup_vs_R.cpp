@@ -8,8 +8,16 @@
 // exactly R * (t_factor + t_solve(R=1)) by construction (it is a loop of
 // identical solves); we validate that identity directly at R = 4 before
 // using it for large R, which keeps the bench inside a laptop budget.
+//
+// A second section measures intra-rank threading: wall-clock time of one
+// wide ARD solve (M = 32, R = 1024) at several per-rank worker counts,
+// with a bitwise comparison against the single-threaded solution.
+// Wall-clock speedup obviously needs physical cores; the section prints
+// hardware_concurrency so single-core container runs read as what they
+// are. Virtual times and solutions are identical at every worker count.
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -62,16 +70,59 @@ void run_for_block_size(la::index_t m, bench::JsonReport& report) {
   report.add_table("M=" + std::to_string(m), table);
 }
 
+// Wall-clock scaling of the solve phase with per-rank worker threads.
+// P = 1 keeps the host's cores for the pool (with P simulated rank
+// threads plus pools the run would oversubscribe), and makes the whole
+// solve the panel-parallel hot path.
+void run_threads_scaling(bench::JsonReport& report) {
+  const la::index_t n = 128, m = 32, r = 1024;
+  const int p = 1;
+  const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
+  const la::Matrix b = btds::make_rhs(n, m, r, /*seed=*/7);
+
+  std::printf("\n### F1-threads: solve wall time vs per-rank workers "
+              "(N = %lld, M = %lld, R = %lld, P = %d)\n",
+              static_cast<long long>(n), static_cast<long long>(m),
+              static_cast<long long>(r), p);
+  std::printf("host hardware_concurrency = %u (wall speedup needs physical cores; "
+              "solutions are bit-identical regardless)\n",
+              std::thread::hardware_concurrency());
+
+  la::Matrix reference;
+  double t1 = 0.0;
+  bench::Table table({"workers", "t_solve_wall[s]", "speedup", "bit_identical"});
+  for (int workers : {1, 2, 4, 8}) {
+    mpsim::EngineOptions engine = bench::virtual_engine();
+    engine.threads_per_rank = workers;
+    core::Session session(core::Method::kArd, sys, p, {}, engine);
+    session.factor();
+    session.solve(b);  // warm up pool + caches
+    const bench::WallTimer timer;
+    const la::Matrix x = session.solve(b);
+    const double t = timer.seconds();
+    if (workers == 1) {
+      reference = x;
+      t1 = t;
+    }
+    table.add_row({bench::fmt_int(workers), bench::fmt_sci(t), bench::fmt(t1 / t),
+                   x == reference ? "yes" : "NO"});
+  }
+  table.print();
+  report.add_table("threads_scaling", table);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::JsonReport report(argc, argv, "bench_f1_speedup_vs_R");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_f1_speedup_vs_R");
   report.config("n", 512).config("p", 4).config("cost_model",
                                                 bench::virtual_engine().cost.name);
   std::printf("# F1: ARD speedup over per-RHS recursive doubling vs R\n");
   std::printf("# (virtual time, calibrated %s)\n",
               bench::virtual_engine().cost.name.c_str());
   for (la::index_t m : {4, 8, 16, 32}) run_for_block_size(m, report);
+  run_threads_scaling(report);
   report.write();
   return 0;
 }

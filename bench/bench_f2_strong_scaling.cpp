@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const la::index_t r = 128;
 
   const auto engine = bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_f2_strong_scaling");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_f2_strong_scaling");
   report.config("n", n).config("m", m).config("r", r).config("cost_model", engine.cost.name);
   const core::PerfModel model(engine.cost);
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);

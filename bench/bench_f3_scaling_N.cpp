@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   const la::index_t r = 64;
   const int p = 16;
   const auto engine = ardbt::bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_f3_scaling_N");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_f3_scaling_N");
   report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F3: runtime vs N (M=%lld, R=%lld, P=%d)\n", static_cast<long long>(m),

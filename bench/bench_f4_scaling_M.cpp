@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   const la::index_t r = 64;
   const int p = 8;
   const auto engine = bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_f4_scaling_M");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_f4_scaling_M");
   report.config("n", n).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F4: runtime vs M (N=%lld, R=%lld, P=%d)\n", static_cast<long long>(n),

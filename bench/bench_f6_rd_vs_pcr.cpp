@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const la::index_t r = 64;
   const int p = 16;
   const auto engine = bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_f6_rd_vs_pcr");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_f6_rd_vs_pcr");
   report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F6: ARD vs accelerated PCR (M=%lld, R=%lld, P=%d)\n",

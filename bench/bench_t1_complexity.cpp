@@ -57,7 +57,8 @@ Sample measure(la::index_t n, la::index_t m, int p, la::index_t r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::JsonReport report(argc, argv, "bench_t1_complexity");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_t1_complexity");
   report.config("cost_model", bench::virtual_engine().cost.name);
   std::printf("# T1: measured vs modeled per-rank work, communication, memory (rank 0)\n");
   bench::Table table({"N", "M", "P", "R", "factor_meas", "factor_model", "f_ratio",

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   const la::index_t r = 128;  // per batch
   const int num_batches = 4;
   const auto engine = bench::virtual_engine();
-  bench::JsonReport report(argc, argv, "bench_t2_phase_breakdown");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_t2_phase_breakdown");
   report.config("n", n).config("m", m).config("r", r).config("num_batches", num_batches)
       .config("cost_model", engine.cost.name);
 

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   const int p = 4;
   const la::index_t m = 4;
   const la::index_t r = 4;
-  bench::JsonReport report(argc, argv, "bench_t3_accuracy");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_t3_accuracy");
   report.config("m", m).config("r", r).config("p", p);
 
   std::printf("# T3: relative residuals ||B - T X||_F / ||B||_F (M=%lld, R=%lld, P=%d)\n",

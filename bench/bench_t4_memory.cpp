@@ -12,7 +12,8 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  bench::JsonReport report(argc, argv, "bench_t4_memory");
+  const bench::Args args(argc, argv);
+  bench::JsonReport report(args, "bench_t4_memory");
   std::printf("# T4: factored-state bytes per rank (rank 0)\n");
   bench::Table table({"N", "M", "P", "ard_MB", "pcr_MB", "pcr/ard", "log2N"});
 

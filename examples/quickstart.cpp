@@ -25,20 +25,27 @@ int main() {
   const la::Matrix b2 = btds::make_rhs(n, m, /*num_rhs=*/32, /*seed=*/2);
 
   // Factor once, solve both batches, on 4 simulated ranks. Timings use the
-  // deterministic virtual clock with an IPDPS-2014-era cluster profile.
+  // deterministic virtual clock with an IPDPS-2014-era cluster profile;
+  // threads_per_rank adds intra-rank workers for the wide-panel kernels
+  // (bit-identical results at any worker count).
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.cost = mpsim::CostModel::cluster2014();
-  const core::SessionResult session = core::ard_session(sys, {&b1, &b2}, /*nranks=*/4, {}, engine);
+  engine.threads_per_rank = 2;
+
+  core::Session session(core::Method::kArd, sys, /*nranks=*/4, {}, engine);
+  session.factor();
+  const la::Matrix x1 = session.solve(b1);
+  const la::Matrix x2 = session.solve(b2);
 
   std::printf("ARD quickstart: N=%lld block rows, M=%lld, P=4\n", static_cast<long long>(n),
               static_cast<long long>(m));
   std::printf("  factor       : %.3g modeled seconds, %.2f MiB factored state\n",
-              session.factor_vtime, static_cast<double>(session.storage_bytes) / (1 << 20));
-  std::printf("  solve R=8    : %.3g modeled seconds, residual %.2e\n", session.solve_vtimes[0],
-              btds::relative_residual(sys, session.x[0], b1));
-  std::printf("  solve R=32   : %.3g modeled seconds, residual %.2e\n", session.solve_vtimes[1],
-              btds::relative_residual(sys, session.x[1], b2));
+              session.factor_vtime(), static_cast<double>(session.storage_bytes()) / (1 << 20));
+  std::printf("  solve R=8    : %.3g modeled seconds, residual %.2e\n",
+              session.solve_vtimes()[0], btds::relative_residual(sys, x1, b1));
+  std::printf("  solve R=32   : %.3g modeled seconds, residual %.2e\n",
+              session.solve_vtimes()[1], btds::relative_residual(sys, x2, b2));
 
   // The one-call driver is available when a single solve is all you need:
   const core::DriverResult once = core::solve(core::Method::kArd, sys, b1, /*nranks=*/4, {}, engine);

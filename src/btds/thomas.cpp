@@ -6,6 +6,7 @@
 
 #include "src/la/blas1.hpp"
 #include "src/la/gemm.hpp"
+#include "src/par/pool.hpp"
 
 namespace ardbt::btds {
 
@@ -57,26 +58,44 @@ ThomasFactorization ThomasFactorization::factor(const BlockTridiag& t, PivotKind
   return f;
 }
 
-Matrix ThomasFactorization::solve(const Matrix& b) const {
-  assert(b.rows() == n_ * m_);
+void ThomasFactorization::solve_panel(la::MatrixView x) const {
   const index_t n = n_;
   const index_t m = m_;
+  const index_t w = x.cols();
 
   // Forward sweep: y_i = b_i - A_i z_{i-1}, z_i = D'_i^{-1} y_i.
   // z is accumulated directly in x.
-  Matrix x = b;
   for (index_t i = 0; i < n; ++i) {
-    la::MatrixView xi = block_row(x, i, m);
+    la::MatrixView xi = x.block(i * m, 0, m, w);
     if (i > 0) {
-      la::gemm(-1.0, lower_[static_cast<std::size_t>(i - 1)].view(), block_row(x, i - 1, m), 1.0,
-               xi);
+      la::gemm(-1.0, lower_[static_cast<std::size_t>(i - 1)].view(),
+               x.block((i - 1) * m, 0, m, w), 1.0, xi);
     }
     pivot_solve(i, xi);
   }
   // Backward sweep: x_i = z_i - G_i x_{i+1}.
   for (index_t i = n - 2; i >= 0; --i) {
-    la::MatrixView xi = block_row(x, i, m);
-    la::gemm(-1.0, g_[static_cast<std::size_t>(i)].view(), block_row(x, i + 1, m), 1.0, xi);
+    la::MatrixView xi = x.block(i * m, 0, m, w);
+    la::gemm(-1.0, g_[static_cast<std::size_t>(i)].view(), x.block((i + 1) * m, 0, m, w), 1.0,
+             xi);
+  }
+}
+
+Matrix ThomasFactorization::solve(const Matrix& b, par::Pool* pool) const {
+  assert(b.rows() == n_ * m_);
+  Matrix x = b;
+  if (pool != nullptr && pool->threads() > 1 && b.cols() >= 2) {
+    // Column panels are independent; strided views make each panel solve
+    // zero-copy, and per-column operation order matches the serial path.
+    pool->parallel_for(
+        0, b.cols(),
+        [&](std::int64_t c0, std::int64_t c1) {
+          solve_panel(x.view().block(0, static_cast<index_t>(c0), x.rows(),
+                                     static_cast<index_t>(c1 - c0)));
+        },
+        "thomas.solve");
+  } else {
+    solve_panel(x.view());
   }
   return x;
 }

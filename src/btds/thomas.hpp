@@ -6,6 +6,10 @@
 #include "src/la/cholesky.hpp"
 #include "src/la/lu.hpp"
 
+namespace ardbt::par {
+class Pool;
+}
+
 /// \file thomas.hpp
 /// Sequential block Thomas algorithm (block LU without inter-block
 /// pivoting) — the serial baseline of experiment F5 and the accuracy
@@ -35,7 +39,13 @@ class ThomasFactorization {
   static ThomasFactorization factor(const BlockTridiag& t, PivotKind pivot = PivotKind::kLu);
 
   /// Solve for all columns of B; returns X with the same shape.
-  Matrix solve(const Matrix& b) const;
+  ///
+  /// A non-null `pool` splits the RHS columns into panels, one per pool
+  /// lane, and runs both sweeps independently per panel (the sweeps'
+  /// recurrences run along block rows, so columns never couple). Each
+  /// column sees the exact serial operation order — the result is
+  /// bit-identical for any pool size.
+  Matrix solve(const Matrix& b, par::Pool* pool = nullptr) const;
 
   index_t num_blocks() const { return n_; }
   index_t block_size() const { return m_; }
@@ -51,6 +61,10 @@ class ThomasFactorization {
  private:
   /// D'_i^{-1} applied to a block, dispatching on the pivot kind.
   void pivot_solve(index_t i, la::MatrixView b) const;
+
+  /// Both sweeps on one column panel of x (pre-initialized with b's
+  /// columns). Strided views keep this zero-copy.
+  void solve_panel(la::MatrixView x) const;
 
   index_t n_ = 0;
   index_t m_ = 0;

@@ -6,6 +6,7 @@
 
 #include "src/la/blas1.hpp"
 #include "src/la/gemm.hpp"
+#include "src/par/pool.hpp"
 
 namespace ardbt::core {
 namespace {
@@ -55,7 +56,7 @@ void ArdFactorization::local_phase(mpsim::Comm& comm, const SysView& sys) {
     e(i, i) = 1.0;
     e((nloc - 1) * m + i, m + i) = 1.0;
   }
-  const Matrix w = unmodified_.solve(e);
+  const Matrix w = unmodified_.solve(e, comm.pool());
   comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, 2 * m));
 
   tp_.P = la::to_matrix(w.block(0, 0, m, m));
@@ -165,10 +166,11 @@ la::Matrix ArdFactorization::solve_local(mpsim::Comm& comm, const la::Matrix& b_
   assert(b_local.rows() == nloc * m);
 
   Matrix bloc = b_local;
+  par::Pool* pool = comm.pool();
 
   if (comm.size() > 1) {
     // Segment vector two-port: first/last blocks of T_loc^{-1} b_loc.
-    const Matrix t = unmodified_.solve(bloc);
+    const Matrix t = unmodified_.solve(bloc, pool);
     comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, r));
     TwoPortVec v{.p = la::to_matrix(t.block(0, 0, m, r)),
                  .q = la::to_matrix(t.block((nloc - 1) * m, 0, m, r))};
@@ -178,16 +180,17 @@ la::Matrix ArdFactorization::solve_local(mpsim::Comm& comm, const la::Matrix& b_
 
     // Boundary corrections: b'_lo -= A_lo q_pre, b'_{hi-1} -= C_{hi-1} p_suf.
     if (pre) {
-      la::gemm(-1.0, a_lo_.view(), pre->q.view(), 1.0, bloc.block(0, 0, m, r));
+      la::gemm(-1.0, a_lo_.view(), pre->q.view(), 1.0, bloc.block(0, 0, m, r), pool);
       comm.charge_flops(la::gemm_flops(m, r, m));
     }
     if (suf) {
-      la::gemm(-1.0, c_hi_.view(), suf->p.view(), 1.0, bloc.block((nloc - 1) * m, 0, m, r));
+      la::gemm(-1.0, c_hi_.view(), suf->p.view(), 1.0, bloc.block((nloc - 1) * m, 0, m, r),
+               pool);
       comm.charge_flops(la::gemm_flops(m, r, m));
     }
   }
 
-  Matrix xloc = modified_.solve(bloc);
+  Matrix xloc = modified_.solve(bloc, pool);
   comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, r));
   return xloc;
 }

@@ -10,6 +10,7 @@
 
 #include "src/la/blas1.hpp"
 #include "src/la/gemm.hpp"
+#include "src/par/pool.hpp"
 
 namespace ardbt::core {
 namespace {
@@ -230,16 +231,28 @@ void PcrFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix&
   Matrix b_cur(nloc * m, r);
   la::copy(b.block(lo_ * m, 0, nloc * m, r), b_cur.view());
 
+  // RHS columns never couple in PCR's solve recurrences, so each level's
+  // block-row loops run per column panel, one panel per pool lane. Flop
+  // charges are hoisted out of the parallel regions onto the rank thread:
+  // totals (and hence the virtual clock) are independent of the pool size.
+  par::Pool* pool = comm.pool();
+
   for (const Level& level : levels_) {
     const index_t s = level.step;
     // h_j = D_j^{-1} b_j with the cached level LU.
     Matrix h(nloc * m, r);
-    for (index_t k = 0; k < nloc; ++k) {
-      la::MatrixView hk = h.block(k * m, 0, m, r);
-      la::copy(b_cur.block(k * m, 0, m, r), hk);
-      la::lu_solve_inplace(level.rows[uz(k)].d_lu, hk);
-      comm.charge_flops(la::lu_solve_flops(m, r));
-    }
+    par::parallel_for(
+        pool, 0, r,
+        [&](std::int64_t c0, std::int64_t c1) {
+          const index_t w = static_cast<index_t>(c1 - c0);
+          for (index_t k = 0; k < nloc; ++k) {
+            la::MatrixView hk = h.block(k * m, static_cast<index_t>(c0), m, w);
+            la::copy(b_cur.block(k * m, static_cast<index_t>(c0), m, w), hk);
+            la::lu_solve_inplace(level.rows[uz(k)].d_lu, hk);
+          }
+        },
+        "pcr.h");
+    comm.charge_flops(static_cast<double>(nloc) * la::lu_solve_flops(m, r));
     std::map<index_t, Matrix> remote;
     exchange_rows(
         comm, part_, s, n, pcr_tags::kSolve,
@@ -254,26 +267,45 @@ void PcrFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix&
       return remote.at(j).view();
     };
 
+    double ngemms = 0.0;
     for (index_t k = 0; k < nloc; ++k) {
       const index_t i = lo_ + k;
-      la::MatrixView bk = b_cur.block(k * m, 0, m, r);
-      if (has_a(i, s)) {
-        la::gemm(-1.0, level.rows[uz(k)].a.view(), get_h(i - s), 1.0, bk);
-        comm.charge_flops(la::gemm_flops(m, r, m));
-      }
-      if (has_c(i, s, n)) {
-        la::gemm(-1.0, level.rows[uz(k)].c.view(), get_h(i + s), 1.0, bk);
-        comm.charge_flops(la::gemm_flops(m, r, m));
-      }
+      if (has_a(i, s)) ngemms += 1.0;
+      if (has_c(i, s, n)) ngemms += 1.0;
     }
+    par::parallel_for(
+        pool, 0, r,
+        [&](std::int64_t c0, std::int64_t c1) {
+          const index_t w = static_cast<index_t>(c1 - c0);
+          for (index_t k = 0; k < nloc; ++k) {
+            const index_t i = lo_ + k;
+            la::MatrixView bk = b_cur.block(k * m, static_cast<index_t>(c0), m, w);
+            if (has_a(i, s)) {
+              la::gemm(-1.0, level.rows[uz(k)].a.view(),
+                       get_h(i - s).block(0, static_cast<index_t>(c0), m, w), 1.0, bk);
+            }
+            if (has_c(i, s, n)) {
+              la::gemm(-1.0, level.rows[uz(k)].c.view(),
+                       get_h(i + s).block(0, static_cast<index_t>(c0), m, w), 1.0, bk);
+            }
+          }
+        },
+        "pcr.update");
+    comm.charge_flops(ngemms * la::gemm_flops(m, r, m));
   }
 
-  for (index_t k = 0; k < nloc; ++k) {
-    la::MatrixView xk = x.block((lo_ + k) * m, 0, m, r);
-    la::copy(b_cur.block(k * m, 0, m, r), xk);
-    la::lu_solve_inplace(final_lu_[uz(k)], xk);
-    comm.charge_flops(la::lu_solve_flops(m, r));
-  }
+  par::parallel_for(
+      pool, 0, r,
+      [&](std::int64_t c0, std::int64_t c1) {
+        const index_t w = static_cast<index_t>(c1 - c0);
+        for (index_t k = 0; k < nloc; ++k) {
+          la::MatrixView xk = x.block((lo_ + k) * m, static_cast<index_t>(c0), m, w);
+          la::copy(b_cur.block(k * m, static_cast<index_t>(c0), m, w), xk);
+          la::lu_solve_inplace(final_lu_[uz(k)], xk);
+        }
+      },
+      "pcr.final");
+  comm.charge_flops(static_cast<double>(nloc) * la::lu_solve_flops(m, r));
 }
 
 std::size_t PcrFactorization::storage_bytes() const {

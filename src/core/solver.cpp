@@ -3,9 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "src/core/pcr.hpp"
 #include "src/core/rd.hpp"
-#include "src/core/transfer_rd.hpp"
 #include "src/mpsim/collectives.hpp"
 
 namespace ardbt::core {
@@ -26,115 +24,168 @@ std::string_view to_string(Method method) {
   return "unknown";
 }
 
+Session::Session(Method method, const btds::BlockTridiag& sys, int nranks,
+                 const ArdOptions& opts, const mpsim::EngineOptions& engine)
+    : method_(method),
+      sys_(&sys),
+      nranks_(nranks),
+      opts_(opts),
+      engine_(engine),
+      part_(sys.num_blocks(), nranks) {
+  if (nranks <= 0) throw std::invalid_argument("Session: nranks must be positive");
+}
+
+void Session::fold_report(const mpsim::RunReport& run) {
+  if (!have_report_) {
+    report_ = run;
+    have_report_ = true;
+    return;
+  }
+  assert(run.ranks.size() == report_.ranks.size());
+  for (std::size_t r = 0; r < run.ranks.size(); ++r) {
+    mpsim::RankStats& acc = report_.ranks[r];
+    const mpsim::RankStats& s = run.ranks[r];
+    acc.msgs_sent += s.msgs_sent;
+    acc.bytes_sent += s.bytes_sent;
+    acc.msgs_received += s.msgs_received;
+    acc.bytes_received += s.bytes_received;
+    acc.flops_charged += s.flops_charged;
+    acc.cpu_seconds += s.cpu_seconds;
+    // Each run's clock starts at the session's cursor, so the latest
+    // final value IS the cumulative session time; waits restart at zero
+    // per run and therefore sum.
+    acc.virtual_time = s.virtual_time;
+    acc.virtual_wait += s.virtual_wait;
+  }
+  report_.wall_seconds += run.wall_seconds;
+}
+
+mpsim::RunReport Session::run_engine(const mpsim::RankFn& fn) {
+  engine_.vtime_origin = vtime_cursor_;
+  mpsim::RunReport run = mpsim::run(nranks_, fn, engine_);
+  vtime_cursor_ = run.max_virtual_time();
+  fold_report(run);
+  return run;
+}
+
+void Session::factor() {
+  if (factored_) return;
+  switch (method_) {
+    case Method::kRdBatched:
+    case Method::kRdPerRhs:
+      // Classic RD has no right-hand-side-independent phase to hoist;
+      // every solve runs the full pass.
+      factored_ = true;
+      return;
+    case Method::kArd:
+      ard_.resize(static_cast<std::size_t>(nranks_));
+      break;
+    case Method::kPcr:
+      pcr_.resize(static_cast<std::size_t>(nranks_));
+      break;
+    case Method::kTransferRd:
+      trd_.resize(static_cast<std::size_t>(nranks_));
+      break;
+  }
+  double vtime = 0.0;
+  std::size_t bytes = 0;
+  run_engine([&](mpsim::Comm& comm) {
+    mpsim::barrier(comm);
+    const double t0 = comm.vtime();
+    auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    switch (method_) {
+      case Method::kArd:
+        ard_[r] = ArdFactorization::factor(comm, *sys_, part_, opts_);
+        break;
+      case Method::kPcr:
+        pcr_[r] = PcrFactorization::factor(comm, *sys_, part_);
+        break;
+      case Method::kTransferRd: {
+        const TransferRdOptions topts{.rescale = opts_.rescale};
+        trd_[r] = TransferRdFactorization::factor(comm, *sys_, part_, topts);
+        break;
+      }
+      default:
+        break;
+    }
+    mpsim::barrier(comm);
+    span.close();
+    if (comm.rank() == 0) {
+      vtime = comm.vtime() - t0;
+      if (method_ == Method::kArd) bytes = ard_[r].storage_bytes();
+      if (method_ == Method::kPcr) bytes = pcr_[r].storage_bytes();
+    }
+  });
+  factor_vtime_ = vtime;
+  storage_bytes_ = bytes;
+  factored_ = true;
+}
+
+la::Matrix Session::solve(const la::Matrix& b) {
+  if (b.rows() != sys_->num_blocks() * sys_->block_size()) {
+    throw std::invalid_argument("Session::solve: b has wrong row count");
+  }
+  factor();
+  la::Matrix x(b.rows(), b.cols());
+  double vtime = 0.0;
+  run_engine([&](mpsim::Comm& comm) {
+    mpsim::barrier(comm);
+    const double t0 = comm.vtime();
+    auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    switch (method_) {
+      case Method::kRdBatched:
+        rd_solve(comm, *sys_, part_, b, x, opts_);
+        break;
+      case Method::kRdPerRhs:
+        rd_solve_per_rhs(comm, *sys_, part_, b, x, opts_);
+        break;
+      case Method::kArd:
+        ard_[r].solve(comm, b, x);
+        break;
+      case Method::kPcr:
+        pcr_[r].solve(comm, b, x);
+        break;
+      case Method::kTransferRd:
+        trd_[r].solve(comm, b, x);
+        break;
+    }
+    mpsim::barrier(comm);
+    span.close();
+    if (comm.rank() == 0) vtime = comm.vtime() - t0;
+  });
+  solve_vtimes_.push_back(vtime);
+  return x;
+}
+
 DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
                    const ArdOptions& opts, const mpsim::EngineOptions& engine) {
+  Session session(method, sys, nranks, opts, engine);
+  session.factor();
   DriverResult result;
-  result.x.resize(b.rows(), b.cols());
-  const btds::RowPartition part(sys.num_blocks(), nranks);
-
-  result.report = mpsim::run(
-      nranks,
-      [&](mpsim::Comm& comm) {
-        mpsim::barrier(comm);
-        const double t0 = comm.vtime();
-        switch (method) {
-          case Method::kRdBatched: {
-            ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "driver.solve");
-            rd_solve(comm, sys, part, b, result.x, opts);
-            break;
-          }
-          case Method::kRdPerRhs: {
-            ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "driver.solve");
-            rd_solve_per_rhs(comm, sys, part, b, result.x, opts);
-            break;
-          }
-          case Method::kArd: {
-            auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
-            const ArdFactorization f = ArdFactorization::factor(comm, sys, part, opts);
-            mpsim::barrier(comm);
-            factor_span.close();
-            if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
-            const double t1 = comm.vtime();
-            auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
-            f.solve(comm, b, result.x);
-            mpsim::barrier(comm);
-            solve_span.close();
-            if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
-            return;
-          }
-          case Method::kPcr: {
-            auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
-            const PcrFactorization f = PcrFactorization::factor(comm, sys, part);
-            mpsim::barrier(comm);
-            factor_span.close();
-            if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
-            const double t1 = comm.vtime();
-            auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
-            f.solve(comm, b, result.x);
-            mpsim::barrier(comm);
-            solve_span.close();
-            if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
-            return;
-          }
-          case Method::kTransferRd: {
-            const TransferRdOptions topts{.rescale = opts.rescale};
-            auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
-            const TransferRdFactorization f =
-                TransferRdFactorization::factor(comm, sys, part, topts);
-            mpsim::barrier(comm);
-            factor_span.close();
-            if (comm.rank() == 0) result.factor_vtime = comm.vtime() - t0;
-            const double t1 = comm.vtime();
-            auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
-            f.solve(comm, b, result.x);
-            mpsim::barrier(comm);
-            solve_span.close();
-            if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t1;
-            return;
-          }
-        }
-        mpsim::barrier(comm);
-        if (comm.rank() == 0) result.solve_vtime = comm.vtime() - t0;
-      },
-      engine);
+  result.x = session.solve(b);
+  result.report = session.report();
+  result.factor_vtime = session.factor_vtime();
+  result.solve_vtime = session.solve_vtimes().back();
   return result;
 }
 
 SessionResult ard_session(const btds::BlockTridiag& sys,
                           const std::vector<const la::Matrix*>& batches, int nranks,
                           const ArdOptions& opts, const mpsim::EngineOptions& engine) {
-  SessionResult result;
-  result.x.reserve(batches.size());
   for (const la::Matrix* batch : batches) {
     if (batch == nullptr) throw std::invalid_argument("ard_session: null batch");
-    result.x.emplace_back(batch->rows(), batch->cols());
   }
-  result.solve_vtimes.assign(batches.size(), 0.0);
-  const btds::RowPartition part(sys.num_blocks(), nranks);
-
-  result.report = mpsim::run(
-      nranks,
-      [&](mpsim::Comm& comm) {
-        mpsim::barrier(comm);
-        const double t0 = comm.vtime();
-        auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
-        const ArdFactorization f = ArdFactorization::factor(comm, sys, part, opts);
-        mpsim::barrier(comm);
-        factor_span.close();
-        if (comm.rank() == 0) {
-          result.factor_vtime = comm.vtime() - t0;
-          result.storage_bytes = f.storage_bytes();
-        }
-        for (std::size_t s = 0; s < batches.size(); ++s) {
-          const double t1 = comm.vtime();
-          auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
-          f.solve(comm, *batches[s], result.x[s]);
-          mpsim::barrier(comm);
-          solve_span.close();
-          if (comm.rank() == 0) result.solve_vtimes[s] = comm.vtime() - t1;
-        }
-      },
-      engine);
+  Session session(Method::kArd, sys, nranks, opts, engine);
+  session.factor();
+  SessionResult result;
+  result.x.reserve(batches.size());
+  for (const la::Matrix* batch : batches) result.x.push_back(session.solve(*batch));
+  result.report = session.report();
+  result.factor_vtime = session.factor_vtime();
+  result.solve_vtimes = session.solve_vtimes();
+  result.storage_bytes = session.storage_bytes();
   return result;
 }
 

@@ -3,14 +3,32 @@
 #include <vector>
 
 #include "src/btds/block_tridiag.hpp"
+#include "src/btds/partition.hpp"
 #include "src/core/ard.hpp"
+#include "src/core/pcr.hpp"
+#include "src/core/transfer_rd.hpp"
 #include "src/mpsim/engine.hpp"
 
 /// \file solver.hpp
-/// One-call driver API: spins up a P-rank engine run, executes a solver
-/// SPMD, and returns the solution with phase timings. This is the entry
-/// point the examples use; benchmarks and advanced users drive the
-/// rank-level API (ard.hpp / rd.hpp) inside their own engine runs.
+/// Driver API: an explicit factor/solve `Session` plus one-shot
+/// conveniences built on it.
+///
+/// A Session owns the engine configuration, the row partition, and the
+/// per-rank factored state of one system. `factor()` runs the
+/// right-hand-side-independent phase once; every `solve(B)` afterwards
+/// replays only the O(M^2 R) work — the incremental right-hand-side
+/// arrival pattern (time stepping) that motivates the accelerated
+/// algorithm. Each call spins up one engine run; the virtual clock is
+/// threaded across runs (EngineOptions::vtime_origin) so a session's
+/// trace reads as one seamless timeline: factor, then solve, then solve…
+///
+/// Intra-rank parallelism: set EngineOptions::threads_per_rank > 1 and
+/// every rank's solve kernels fan RHS-column panels out over a par::Pool.
+/// Charged flops stay on the rank thread, so modeled virtual times — and
+/// the solutions themselves — are bit-identical for any thread count.
+///
+/// Benchmarks and advanced users drive the rank-level API
+/// (ard.hpp / rd.hpp / pcr.hpp) inside their own engine runs.
 
 namespace ardbt::core {
 
@@ -27,7 +45,70 @@ enum class Method {
 /// Short stable name ("rd", "rd-per-rhs", "ard").
 std::string_view to_string(Method method);
 
-/// Result of a driver call.
+/// Factor/solve driver for one system. Not thread-safe; one engine run is
+/// in flight at a time.
+class Session {
+ public:
+  /// Binds the session to `sys` (held by reference — it must outlive the
+  /// session and stay unmodified between factor() and the last solve()).
+  /// Throws std::invalid_argument on a non-positive rank count.
+  Session(Method method, const btds::BlockTridiag& sys, int nranks,
+          const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});
+
+  /// Run the right-hand-side-independent phase. Idempotent: repeated
+  /// calls after a successful factor are no-ops. The classic RD methods
+  /// have no separable factor phase — for them this only marks the
+  /// session factored (factor_vtime() stays 0; each solve redoes the
+  /// full pass, which is exactly the cost the accelerated methods avoid).
+  void factor();
+
+  /// Solve T X = B for all columns of `b`; auto-factors on first use.
+  /// Appends the batch's modeled seconds to solve_vtimes().
+  la::Matrix solve(const la::Matrix& b);
+
+  bool factored() const { return factored_; }
+  Method method() const { return method_; }
+  int nranks() const { return nranks_; }
+
+  /// Modeled seconds of the factor run (0 until factored; 0 forever for
+  /// the classic RD methods).
+  double factor_vtime() const { return factor_vtime_; }
+  /// Modeled seconds of each solve batch, in call order.
+  const std::vector<double>& solve_vtimes() const { return solve_vtimes_; }
+  /// Bytes of factored state on rank 0 (0 for methods without one).
+  std::size_t storage_bytes() const { return storage_bytes_; }
+
+  /// Engine counters accumulated over every run so far (virtual-clock
+  /// fields reflect the session timeline, counters sum across runs).
+  const mpsim::RunReport& report() const { return report_; }
+
+ private:
+  mpsim::RunReport run_engine(const mpsim::RankFn& fn);
+  void fold_report(const mpsim::RunReport& run);
+
+  Method method_;
+  const btds::BlockTridiag* sys_;
+  int nranks_;
+  ArdOptions opts_;
+  mpsim::EngineOptions engine_;
+  btds::RowPartition part_;
+
+  bool factored_ = false;
+  double vtime_cursor_ = 0.0;  ///< virtual-time origin of the next run
+  double factor_vtime_ = 0.0;
+  std::vector<double> solve_vtimes_;
+  std::size_t storage_bytes_ = 0;
+  mpsim::RunReport report_;
+  bool have_report_ = false;
+
+  // Per-rank factored state (indexed by rank; only the active method's
+  // vector is populated).
+  std::vector<ArdFactorization> ard_;
+  std::vector<PcrFactorization> pcr_;
+  std::vector<TransferRdFactorization> trd_;
+};
+
+/// Result of a one-shot driver call.
 struct DriverResult {
   la::Matrix x;                ///< solution, shape of b
   mpsim::RunReport report;     ///< engine counters
@@ -35,7 +116,7 @@ struct DriverResult {
   double solve_vtime = 0.0;    ///< modeled seconds in the solve phase(s)
 };
 
-/// Solve T X = B on `nranks` simulated ranks with the given method.
+/// One-shot convenience: Session(method, ...), factor, one solve.
 DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
                    const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});
 
@@ -48,8 +129,8 @@ struct SessionResult {
   std::size_t storage_bytes = 0;    ///< factored state on rank 0
 };
 
-/// Factor once, then solve every batch in order — the incremental
-/// right-hand-side arrival pattern (time stepping) that motivates ARD.
+/// One-shot convenience over Session: factor once, then solve every batch
+/// in order. Throws std::invalid_argument on a null batch.
 SessionResult ard_session(const btds::BlockTridiag& sys,
                           const std::vector<const la::Matrix*>& batches, int nranks,
                           const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});

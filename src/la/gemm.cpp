@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/par/pool.hpp"
+
 namespace ardbt::la {
 namespace {
 
@@ -23,7 +25,6 @@ void block_kernel(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView
     const double* ai = a.row_ptr(i);
     for (index_t k = k0; k < k1; ++k) {
       const double aik = alpha * ai[k];
-      if (aik == 0.0) continue;
       const double* bk = b.row_ptr(k);
       for (index_t j = j0; j < j1; ++j) ci[j] += aik * bk[j];
     }
@@ -44,18 +45,37 @@ void scale_c(double beta, MatrixView c) {
 
 }  // namespace
 
-void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c) {
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c,
+          par::Pool* pool) {
   assert(a.rows() == c.rows());
   assert(a.cols() == b.rows());
   assert(b.cols() == c.cols());
   assert(a.data() != c.data() && b.data() != c.data() && "gemm output must not alias inputs");
 
-  scale_c(beta, c);
-  if (alpha == 0.0) return;
-
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = a.cols();
+
+  // Column panels are independent (disjoint C columns, per-element
+  // accumulation order untouched), so fan wide multiplies out over the
+  // pool. Small products stay on the calling thread: the fork-join
+  // handshake would dominate.
+  constexpr double kMinParallelFlops = 32.0 * 1024.0;
+  if (pool != nullptr && pool->threads() > 1 && n >= 2 &&
+      gemm_flops(m, n, k) >= kMinParallelFlops) {
+    pool->parallel_for(
+        0, n,
+        [&](std::int64_t j0, std::int64_t j1) {
+          const index_t w = static_cast<index_t>(j1 - j0);
+          gemm(alpha, a, b.block(0, static_cast<index_t>(j0), k, w), beta,
+               c.block(0, static_cast<index_t>(j0), m, w));
+        },
+        "la.gemm");
+    return;
+  }
+
+  scale_c(beta, c);
+  if (alpha == 0.0) return;
 
   // Small problems: skip the blocking control flow entirely.
   if (m <= kMB && n <= kNB && k <= kKB) {

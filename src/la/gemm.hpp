@@ -9,11 +9,21 @@
 /// compositions of recursive doubling and the Theta(M^2 R) right-hand-side
 /// updates of the accelerated algorithm reduce to calls here.
 
+namespace ardbt::par {
+class Pool;
+}
+
 namespace ardbt::la {
 
 /// C = alpha * A * B + beta * C. Shapes: A (m x k), B (k x n), C (m x n).
 /// C must not alias A or B.
-void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c);
+///
+/// A non-null `pool` splits the multiply over column panels of B/C, one
+/// panel per pool lane. Each output element still sees the exact
+/// k-accumulation order of the serial kernel, so the result is
+/// bit-identical for any pool size (including none).
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c,
+          par::Pool* pool = nullptr);
 
 /// Reference triple-loop implementation (same contract as gemm). Kept for
 /// correctness tests and the B-abl-gemm substrate ablation.

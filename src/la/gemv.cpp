@@ -2,12 +2,27 @@
 
 #include <cassert>
 
+#include "src/par/pool.hpp"
+
 namespace ardbt::la {
 
 void gemv(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
-          std::span<double> y) {
+          std::span<double> y, par::Pool* pool) {
   assert(static_cast<index_t>(x.size()) == a.cols());
   assert(static_cast<index_t>(y.size()) == a.rows());
+  constexpr double kMinParallelFlops = 32.0 * 1024.0;
+  if (pool != nullptr && pool->threads() > 1 && a.rows() >= 2 &&
+      gemv_flops(a.rows(), a.cols()) >= kMinParallelFlops) {
+    pool->parallel_for(
+        0, a.rows(),
+        [&](std::int64_t i0, std::int64_t i1) {
+          const index_t h = static_cast<index_t>(i1 - i0);
+          gemv(alpha, a.block(static_cast<index_t>(i0), 0, h, a.cols()), x, beta,
+               y.subspan(static_cast<std::size_t>(i0), static_cast<std::size_t>(h)));
+        },
+        "la.gemv");
+    return;
+  }
   for (index_t i = 0; i < a.rows(); ++i) {
     const double* ai = a.row_ptr(i);
     double s = 0.0;

@@ -7,13 +7,22 @@
 /// \file gemv.hpp
 /// Dense matrix-vector products.
 
+namespace ardbt::par {
+class Pool;
+}
+
 namespace ardbt::la {
 
 /// y = alpha * A * x + beta * y. Shapes: A (m x n), x (n), y (m).
+/// A non-null `pool` splits the row loop over pool lanes (each y_i is an
+/// independent dot product, so the result is bit-identical for any pool
+/// size).
 void gemv(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
-          std::span<double> y);
+          std::span<double> y, par::Pool* pool = nullptr);
 
 /// y = alpha * A^T * x + beta * y. Shapes: A (m x n), x (m), y (n).
+/// Always serial: every row accumulates into the same y, so a row split
+/// would race (and any fix would reorder the additions).
 void gemv_t(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
             std::span<double> y);
 

@@ -18,6 +18,10 @@
 /// message exists. Tags and sources are always explicit; matching is FIFO
 /// per (source, tag), mirroring MPI's non-overtaking guarantee.
 
+namespace ardbt::par {
+class Pool;
+}
+
 namespace ardbt::mpsim {
 
 /// How virtual time advances between communication events.
@@ -37,17 +41,21 @@ struct World {
   int nranks = 0;
   CostModel cost;
   TimingMode timing = TimingMode::MeasuredCpu;
+  double vtime_origin = 0.0;  ///< starting virtual time of every rank clock
   std::vector<Mailbox> mailboxes;
   std::atomic<bool> aborted{false};
 
-  explicit World(int n, CostModel c, TimingMode t)
-      : nranks(n), cost(c), timing(t), mailboxes(static_cast<std::size_t>(n)) {}
+  explicit World(int n, CostModel c, TimingMode t, double origin = 0.0)
+      : nranks(n), cost(c), timing(t), vtime_origin(origin),
+        mailboxes(static_cast<std::size_t>(n)) {}
 };
 
 /// Per-rank endpoint handed to the rank function by Engine::run.
 class Comm {
  public:
-  Comm(World& world, int rank) : world_(&world), rank_(rank) { reset_cpu_baseline(); }
+  Comm(World& world, int rank) : world_(&world), rank_(rank), vtime_(world.vtime_origin) {
+    reset_cpu_baseline();
+  }
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -119,6 +127,22 @@ class Comm {
   void set_trace(obs::RankTrace* trace) { trace_ = trace; }
   obs::RankTrace* trace() const { return trace_; }
 
+  /// Install this rank's intra-rank thread pool (engine-called when
+  /// EngineOptions::threads_per_rank > 1; null = serial kernels). Rank
+  /// functions hand this to pool-aware kernels (la::gemm, Thomas solves);
+  /// it never changes virtual-time accounting — flop charges stay on the
+  /// rank thread.
+  void set_pool(par::Pool* pool) { pool_ = pool; }
+  par::Pool* pool() const { return pool_; }
+
+  /// Current {vtime, wall} sample (folds pending measured compute first).
+  /// Used by the engine to anchor pool worker-lane spans on this rank's
+  /// virtual clock; requires tracing to be installed.
+  obs::TimeSample now_sample() { return trace_now(); }
+  static obs::TimeSample now_sample_thunk(void* ctx) {
+    return static_cast<Comm*>(ctx)->trace_now();
+  }
+
   /// Open an RAII phase span on this rank's trace (see ARDBT_TRACE_SPAN).
   /// Returns an inactive scope when tracing is off; boundaries fold
   /// pending measured compute so span virtual times are exact.
@@ -147,6 +171,7 @@ class Comm {
   double cpu_baseline_ = 0.0;
   RankStats stats_;
   obs::RankTrace* trace_ = nullptr;
+  par::Pool* pool_ = nullptr;
 };
 
 }  // namespace ardbt::mpsim

@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "src/par/pool.hpp"
 
 namespace ardbt::mpsim {
 
@@ -22,8 +25,10 @@ RankStats RunReport::totals() const {
 
 RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
   if (nranks <= 0) throw std::invalid_argument("mpsim::run: nranks must be positive");
+  if (options.threads_per_rank < 1)
+    throw std::invalid_argument("mpsim::run: threads_per_rank must be >= 1");
 
-  World world(nranks, options.cost, options.timing);
+  World world(nranks, options.cost, options.timing, options.vtime_origin);
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
 
@@ -31,7 +36,15 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
   // tracer is equivalent to none.
   obs::Tracer* tracer =
       (options.tracer != nullptr && options.tracer->enabled()) ? options.tracer : nullptr;
-  if (tracer != nullptr) tracer->prepare(nranks);
+  const int pool_threads = options.threads_per_rank;
+  if (tracer != nullptr) {
+    tracer->prepare(nranks);
+    // Worker lanes only exist when the hooks are compiled in — with the
+    // obs kill switch a --trace run stays metadata-only, one track/rank.
+    if (pool_threads > 1 && obs::kTraceCompiledIn) {
+      tracer->prepare_workers(nranks, pool_threads);
+    }
+  }
 
   std::mutex error_mutex;
   // Root-cause error (anything but AbortedError) takes precedence over the
@@ -46,6 +59,19 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
     threads.emplace_back([&, r] {
       Comm comm(world, r);
       if (tracer != nullptr) comm.set_trace(&tracer->rank(r));
+      // Each rank owns its pool for the duration of the run; worker-lane
+      // spans are anchored on the rank's virtual clock via the Comm thunk.
+      std::unique_ptr<par::Pool> pool;
+      if (pool_threads > 1) {
+        pool = std::make_unique<par::Pool>(pool_threads);
+        if (tracer != nullptr && obs::kTraceCompiledIn) {
+          std::vector<obs::RankTrace*> lanes;
+          lanes.reserve(static_cast<std::size_t>(pool_threads));
+          for (int w = 0; w < pool_threads; ++w) lanes.push_back(&tracer->worker(r, w));
+          pool->set_trace(std::move(lanes), &Comm::now_sample_thunk, &comm);
+        }
+        comm.set_pool(pool.get());
+      }
       try {
         fn(comm);
         comm.sync_compute();  // fold trailing compute into the clock

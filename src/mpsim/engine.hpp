@@ -24,6 +24,14 @@ struct EngineOptions {
   /// Null — or a tracer with enabled() == false — records nothing and
   /// keeps the hot path at a single pointer test per event.
   obs::Tracer* tracer = nullptr;
+  /// Intra-rank worker threads: each rank gets a par::Pool of this many
+  /// lanes (1 = serial, no pool). Pool workers split RHS-panel kernels;
+  /// charged flops and the virtual clock are unaffected, so ChargedFlops
+  /// results are bit-identical for any value.
+  int threads_per_rank = 1;
+  /// Starting value of every rank's virtual clock. Lets a caller chain
+  /// several runs (factor, then solves) into one seamless timeline.
+  double vtime_origin = 0.0;
 };
 
 /// Result of one run.

@@ -37,10 +37,6 @@ struct RankStats {
     virtual_wait = virtual_wait > o.virtual_wait ? virtual_wait : o.virtual_wait;
   }
 
-  /// Deprecated: historical name that suggested an elementwise max while
-  /// actually summing the counters. Use accumulate().
-  [[deprecated("use accumulate()")]] void merge_max(const RankStats& o) { accumulate(o); }
-
   /// Fraction of this rank's virtual time spent blocked on messages.
   double wait_fraction() const { return virtual_time > 0.0 ? virtual_wait / virtual_time : 0.0; }
 };

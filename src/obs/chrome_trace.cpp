@@ -5,7 +5,7 @@ namespace {
 
 constexpr double kUsPerSecond = 1e6;
 
-Json event_json(const TraceEvent& e, int rank) {
+Json event_json(const TraceEvent& e, int tid) {
   Json j = Json::object();
   j.set("name", e.name);
   j.set("cat", to_string(e.kind));
@@ -16,7 +16,7 @@ Json event_json(const TraceEvent& e, int rank) {
   if (!instant) j.set("dur", (e.vtime_end - e.vtime_begin) * kUsPerSecond);
   if (instant) j.set("s", "t");  // thread-scoped instant
   j.set("pid", 0);
-  j.set("tid", rank);
+  j.set("tid", tid);
   Json args = Json::object();
   if (e.peer >= 0) args.set("peer", static_cast<std::int64_t>(e.peer));
   if (e.bytes > 0) args.set("bytes", e.bytes);
@@ -42,22 +42,39 @@ Json chrome_trace_json(const Tracer& tracer) {
     meta.set("args", std::move(args));
     events.push(std::move(meta));
   }
-  for (int r = 0; r < tracer.nranks(); ++r) {
+  // tid layout: stride W+1 per rank (W = pool worker lanes). The rank
+  // track sits at r*(W+1), its worker lanes right below it. With no pool
+  // (W == 0) this collapses to tid == rank.
+  const int workers = tracer.workers_per_rank();
+  const int stride = workers + 1;
+  const auto thread_meta = [&events](int tid, const std::string& name) {
     Json meta = Json::object();
     meta.set("name", "thread_name");
     meta.set("ph", "M");
     meta.set("pid", 0);
-    meta.set("tid", r);
+    meta.set("tid", tid);
     Json args = Json::object();
-    args.set("name", "rank " + std::to_string(r));
+    args.set("name", name);
     meta.set("args", std::move(args));
     events.push(std::move(meta));
+  };
+  for (int r = 0; r < tracer.nranks(); ++r) {
+    thread_meta(r * stride, "rank " + std::to_string(r));
+    for (int w = 0; w < workers; ++w) {
+      thread_meta(r * stride + 1 + w,
+                  "rank " + std::to_string(r) + " / worker " + std::to_string(w));
+    }
   }
   std::uint64_t dropped = 0;
   for (int r = 0; r < tracer.nranks(); ++r) {
     const RankTrace& rt = tracer.rank(r);
     dropped += rt.dropped();
-    for (const TraceEvent& e : rt.events()) events.push(event_json(e, r));
+    for (const TraceEvent& e : rt.events()) events.push(event_json(e, r * stride));
+    for (int w = 0; w < workers; ++w) {
+      const RankTrace& wt = tracer.worker(r, w);
+      dropped += wt.dropped();
+      for (const TraceEvent& e : wt.events()) events.push(event_json(e, r * stride + 1 + w));
+    }
   }
   Json doc = Json::object();
   doc.set("traceEvents", std::move(events));

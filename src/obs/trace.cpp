@@ -137,6 +137,19 @@ void Tracer::prepare(int nranks) {
   }
 }
 
+void Tracer::prepare_workers(int nranks, int workers_per_rank) {
+  if (workers_per_rank_ != workers_per_rank) {
+    workers_.clear();
+    workers_per_rank_ = workers_per_rank;
+  }
+  const std::size_t want = static_cast<std::size_t>(nranks) *
+                           static_cast<std::size_t>(workers_per_rank);
+  for (std::size_t i = workers_.size(); i < want; ++i) {
+    const int r = static_cast<int>(i) / workers_per_rank;
+    workers_.emplace_back(new RankTrace(r, this, options_.ring_capacity));
+  }
+}
+
 double Tracer::wall_now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
 }

@@ -169,9 +169,25 @@ class Tracer {
   /// Existing rank buffers are kept so multi-run sessions accumulate.
   void prepare(int nranks);
 
+  /// Size per-worker lane buffers for intra-rank pools (engine-called
+  /// when EngineOptions::threads_per_rank > 1): `workers_per_rank` lanes
+  /// under each of `nranks` ranks, lane 0 being the rank thread's own
+  /// share of pool jobs. Lanes accumulate across runs like rank buffers;
+  /// changing the per-rank worker count between runs resets them.
+  void prepare_workers(int nranks, int workers_per_rank);
+
   int nranks() const { return static_cast<int>(ranks_.size()); }
   RankTrace& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
   const RankTrace& rank(int r) const { return *ranks_.at(static_cast<std::size_t>(r)); }
+
+  /// Worker lanes prepared per rank (0 when no pool ran under tracing).
+  int workers_per_rank() const { return workers_per_rank_; }
+  RankTrace& worker(int r, int w) {
+    return *workers_.at(static_cast<std::size_t>(r * workers_per_rank_ + w));
+  }
+  const RankTrace& worker(int r, int w) const {
+    return *workers_.at(static_cast<std::size_t>(r * workers_per_rank_ + w));
+  }
 
   /// Host seconds since tracer construction (the wall epoch all wall_*
   /// fields are relative to).
@@ -184,6 +200,8 @@ class Tracer {
   bool enabled_ = true;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<RankTrace>> ranks_;
+  int workers_per_rank_ = 0;
+  std::vector<std::unique_ptr<RankTrace>> workers_;  ///< rank-major, w minor
 };
 
 /// RAII span: records begin on construction, end on destruction, via a

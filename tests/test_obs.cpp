@@ -327,20 +327,12 @@ TEST(RankStats, AccumulateSumsCountersAndMaxesClocks) {
   EXPECT_DOUBLE_EQ(a.wait_fraction(), 1.0 / 3.0);
 }
 
-TEST(RankStats, DeprecatedMergeMaxStillAccumulates) {
-  mpsim::RankStats a;
-  a.msgs_sent = 1;
-  mpsim::RankStats b;
-  b.msgs_sent = 2;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  a.merge_max(b);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  EXPECT_EQ(a.msgs_sent, 3u);
+TEST(RankStats, WaitFractionIsZeroOnFreshStats) {
+  mpsim::RankStats s;
+  EXPECT_DOUBLE_EQ(s.wait_fraction(), 0.0);
+  s.virtual_time = 2.0;
+  s.virtual_wait = 0.5;
+  EXPECT_DOUBLE_EQ(s.wait_fraction(), 0.25);
 }
 
 }  // namespace

@@ -1,0 +1,158 @@
+#include "src/core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/btds/generators.hpp"
+#include "src/btds/spmv.hpp"
+
+namespace ardbt::core {
+namespace {
+
+using btds::make_problem;
+using btds::make_rhs;
+using btds::ProblemKind;
+
+constexpr Method kAllMethods[] = {Method::kRdBatched, Method::kRdPerRhs, Method::kArd,
+                                  Method::kTransferRd, Method::kPcr};
+
+mpsim::EngineOptions charged() {
+  mpsim::EngineOptions engine;
+  engine.timing = mpsim::TimingMode::ChargedFlops;
+  return engine;
+}
+
+TEST(Session, MatchesLegacyOneShotExactlyPerMethod) {
+  const auto sys = make_problem(ProblemKind::kDiagDominant, 16, 3);
+  const auto b = make_rhs(16, 3, 5);
+  for (Method method : kAllMethods) {
+    const DriverResult legacy = solve(method, sys, b, 4, {}, charged());
+    Session session(method, sys, 4, {}, charged());
+    session.factor();
+    const la::Matrix x = session.solve(b);
+    EXPECT_TRUE(x == legacy.x) << to_string(method);
+  }
+}
+
+TEST(Session, FactorOnceThenRepeatedSolves) {
+  const auto sys = make_problem(ProblemKind::kPoisson2D, 24, 4);
+  const auto b1 = make_rhs(24, 4, 3, 1);
+  const auto b2 = make_rhs(24, 4, 7, 2);
+  Session session(Method::kArd, sys, 4, {}, charged());
+  EXPECT_FALSE(session.factored());
+  session.factor();
+  EXPECT_TRUE(session.factored());
+  EXPECT_GT(session.factor_vtime(), 0.0);
+  EXPECT_GT(session.storage_bytes(), 0u);
+
+  const la::Matrix x1 = session.solve(b1);
+  const la::Matrix x2 = session.solve(b2);
+  ASSERT_EQ(session.solve_vtimes().size(), 2u);
+  EXPECT_LT(btds::relative_residual(sys, x1, b1), 1e-10);
+  EXPECT_LT(btds::relative_residual(sys, x2, b2), 1e-10);
+
+  // Re-solving the same batch replays only the solve phase and must give
+  // the identical answer.
+  const la::Matrix x1_again = session.solve(b1);
+  EXPECT_TRUE(x1_again == x1);
+  // factor() stays idempotent.
+  const double fv = session.factor_vtime();
+  session.factor();
+  EXPECT_EQ(session.factor_vtime(), fv);
+}
+
+TEST(Session, AutoFactorsOnFirstSolve) {
+  const auto sys = make_problem(ProblemKind::kDiagDominant, 12, 2);
+  const auto b = make_rhs(12, 2, 4);
+  Session session(Method::kPcr, sys, 3, {}, charged());
+  const la::Matrix x = session.solve(b);
+  EXPECT_TRUE(session.factored());
+  EXPECT_GT(session.factor_vtime(), 0.0);
+  EXPECT_LT(btds::relative_residual(sys, x, b), 1e-10);
+}
+
+TEST(Session, ClassicRdHasNoFactorPhase) {
+  const auto sys = make_problem(ProblemKind::kDiagDominant, 12, 2);
+  const auto b = make_rhs(12, 2, 2);
+  for (Method method : {Method::kRdBatched, Method::kRdPerRhs}) {
+    Session session(method, sys, 3, {}, charged());
+    const la::Matrix x = session.solve(b);
+    EXPECT_EQ(session.factor_vtime(), 0.0) << to_string(method);
+    EXPECT_GT(session.solve_vtimes().at(0), 0.0) << to_string(method);
+    EXPECT_LT(btds::relative_residual(sys, x, b), 1e-9) << to_string(method);
+  }
+}
+
+TEST(Session, SolutionsAreBitIdenticalAcrossThreadCounts) {
+  const auto sys = make_problem(ProblemKind::kDiagDominant, 32, 6);
+  const auto b = make_rhs(32, 6, 17);
+  for (Method method : {Method::kArd, Method::kPcr}) {
+    la::Matrix reference;
+    for (int threads : {1, 2, 8}) {
+      mpsim::EngineOptions engine = charged();
+      engine.threads_per_rank = threads;
+      Session session(method, sys, 4, {}, engine);
+      session.factor();
+      const la::Matrix x = session.solve(b);
+      if (threads == 1) {
+        reference = x;
+        EXPECT_LT(btds::relative_residual(sys, x, b), 1e-10) << to_string(method);
+      } else {
+        EXPECT_TRUE(x == reference) << to_string(method) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Session, VirtualTimesAreIndependentOfThreadCount) {
+  // Flop charges stay on the rank thread, so the modeled clock must not
+  // move when workers split the kernels.
+  const auto sys = make_problem(ProblemKind::kDiagDominant, 32, 6);
+  const auto b = make_rhs(32, 6, 17);
+  double ref_factor = 0.0, ref_solve = 0.0, ref_flops = 0.0;
+  for (int threads : {1, 2, 8}) {
+    mpsim::EngineOptions engine = charged();
+    engine.threads_per_rank = threads;
+    Session session(Method::kArd, sys, 4, {}, engine);
+    session.factor();
+    session.solve(b);
+    if (threads == 1) {
+      ref_factor = session.factor_vtime();
+      ref_solve = session.solve_vtimes().at(0);
+      ref_flops = session.report().totals().flops_charged;
+      EXPECT_GT(ref_factor, 0.0);
+      EXPECT_GT(ref_solve, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(session.factor_vtime(), ref_factor) << threads;
+      EXPECT_DOUBLE_EQ(session.solve_vtimes().at(0), ref_solve) << threads;
+      EXPECT_DOUBLE_EQ(session.report().totals().flops_charged, ref_flops) << threads;
+    }
+  }
+}
+
+TEST(Session, RunsChainOnOneVirtualTimeline) {
+  // Each engine run resumes the session clock (vtime_origin), so the
+  // report's virtual time keeps growing: factor < factor+solve < ...
+  const auto sys = make_problem(ProblemKind::kDiagDominant, 16, 3);
+  const auto b = make_rhs(16, 3, 4);
+  Session session(Method::kArd, sys, 4, {}, charged());
+  session.factor();
+  const double after_factor = session.report().max_virtual_time();
+  session.solve(b);
+  const double after_one = session.report().max_virtual_time();
+  session.solve(b);
+  const double after_two = session.report().max_virtual_time();
+  EXPECT_GT(after_factor, 0.0);
+  EXPECT_GT(after_one, after_factor);
+  EXPECT_GT(after_two, after_one);
+}
+
+TEST(Session, RejectsBadShapesAndRankCounts) {
+  const auto sys = make_problem(ProblemKind::kDiagDominant, 8, 2);
+  EXPECT_THROW(Session(Method::kArd, sys, 0), std::invalid_argument);
+  Session session(Method::kArd, sys, 2);
+  const la::Matrix wrong(7, 3);
+  EXPECT_THROW(session.solve(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ardbt::core

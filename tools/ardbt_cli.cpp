@@ -14,6 +14,7 @@
 //   --n / --m / --p / --r   problem shape                   [1024/8/4/16]
 //   --seed    generator seed                                [42]
 //   --timing  charged (deterministic virtual clock) | measured [charged]
+//   --threads worker threads per rank for the solve kernels [1]
 //   --refine  extra iterative-refinement steps (ard only)   [0]
 //   --load-sys PATH   solve a system saved with save_block_tridiag
 //                     (overrides --kind/--n/--m)
@@ -51,8 +52,8 @@ using namespace ardbt;
 
 constexpr const char* kKnownFlags[] = {
     "--method", "--kind",     "--n",        "--m",      "--p",     "--r",
-    "--seed",   "--timing",   "--refine",   "--load-sys", "--save-sys", "--save-x",
-    "--trace",  "--json",     "--list",     "--help",
+    "--seed",   "--timing",   "--threads",  "--refine", "--load-sys", "--save-sys",
+    "--save-x", "--trace",    "--json",     "--list",   "--help",
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -108,6 +109,8 @@ void print_usage() {
   std::printf("                   ranks / right-hand sides (1024/8/4/16)\n");
   std::printf("  --seed S         generator seed (42)\n");
   std::printf("  --timing MODE    charged (deterministic) | measured\n");
+  std::printf("  --threads T      worker threads per rank for the solve kernels\n");
+  std::printf("                   (default 1; results are bit-identical for any T)\n");
   std::printf("  --refine K       iterative-refinement steps (ard only)\n");
   std::printf("  --load-sys PATH  solve a saved system (overrides --kind/--n/--m)\n");
   std::printf("  --save-sys PATH  save the generated system\n");
@@ -183,6 +186,8 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (flag == "--json") {
       json_path = next();
+    } else if (flag == "--threads") {
+      engine.threads_per_rank = std::atoi(next().c_str());
     } else if (flag == "--timing") {
       const std::string v = next();
       if (v == "charged") {
@@ -198,6 +203,7 @@ int main(int argc, char** argv) {
   }
   if (n < 1 || m < 1 || r < 1 || p < 1) die("shape values must be positive");
   if (n < p) die("need N >= P");
+  if (engine.threads_per_rank < 1) die("--threads must be positive");
 
   btds::BlockTridiag sys;
   if (!load_sys.empty()) {
@@ -243,7 +249,12 @@ int main(int argc, char** argv) {
         },
         engine);
   } else {
-    res = core::solve(method, sys, b, p, {}, engine);
+    core::Session session(method, sys, p, {}, engine);
+    session.factor();
+    res.x = session.solve(b);
+    res.report = session.report();
+    res.factor_vtime = session.factor_vtime();
+    res.solve_vtime = session.solve_vtimes().back();
   }
 
   const double residual = btds::relative_residual(sys, res.x, b);
@@ -295,6 +306,7 @@ int main(int argc, char** argv) {
         .config("seed", seed)
         .config("timing",
                 engine.timing == mpsim::TimingMode::ChargedFlops ? "charged" : "measured")
+        .config("threads", engine.threads_per_rank)
         .config("refine", refine_steps);
     obs::Json timing = obs::Json::object();
     timing.set("factor_vtime_s", res.factor_vtime);

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Determinism gate for the intra-rank thread pool.
+
+Runs the ardbt CLI twice on the same problem — once with --threads 1 and
+once with --threads 3 — and checks the contract that par::Pool promises:
+
+* the saved solution files are byte-identical (static chunking fixes the
+  per-element floating-point evaluation order, so the pool size must not
+  change a single bit);
+* the run reports agree on residual, charged flops, and phase virtual
+  times (flop charges stay on the rank thread, so the modeled clock is
+  independent of the worker count).
+
+Usage: check_determinism.py /path/to/ardbt
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"check_determinism: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_once(cli, tmp, threads):
+    x_path = Path(tmp) / f"x{threads}.bin"
+    report_path = Path(tmp) / f"report{threads}.json"
+    cmd = [cli, "--method", "ard", "--kind", "poisson2d", "--n", "96",
+           "--m", "6", "--p", "3", "--r", "17", "--threads", str(threads),
+           "--save-x", str(x_path), "--json", str(report_path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return x_path.read_bytes(), json.loads(report_path.read_text())
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_determinism.py /path/to/ardbt")
+    cli = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        x1, report1 = run_once(cli, tmp, threads=1)
+        x3, report3 = run_once(cli, tmp, threads=3)
+
+    if x1 != x3:
+        fail(f"solutions differ between --threads 1 and --threads 3 "
+             f"({len(x1)} vs {len(x3)} bytes)")
+    print(f"check_determinism: solutions byte-identical ({len(x1)} bytes)")
+
+    # cpu_seconds / wall_s are measured and vary run to run; everything the
+    # virtual-time model produces must be exactly equal.
+    deterministic = [
+        ("accuracy", "relative_residual"),
+        ("totals", "flops_charged"),
+        ("totals", "msgs_sent"),
+        ("totals", "bytes_sent"),
+        ("timing", "factor_vtime_s"),
+        ("timing", "solve_vtime_s"),
+    ]
+    for section, key in deterministic:
+        v1 = report1.get(section, {}).get(key)
+        v3 = report3.get(section, {}).get(key)
+        if v1 is None or v1 != v3:
+            fail(f"report {section}.{key} differs: "
+                 f"--threads 1 -> {v1!r}, --threads 3 -> {v3!r}")
+    if report1.get("config", {}).get("threads") == report3.get("config", {}).get("threads"):
+        fail("report config.threads does not record the flag")
+    print("check_determinism: residual/flops/vtimes equal across thread counts")
+    print("check_determinism: PASS")
+
+
+if __name__ == "__main__":
+    main()
