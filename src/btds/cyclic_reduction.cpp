@@ -1,5 +1,6 @@
 #include "src/btds/cyclic_reduction.hpp"
 
+#include "src/fault/status.hpp"
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -23,7 +24,11 @@ std::vector<Matrix> solve_level(Level lv) {
   const index_t n = lv.n();
   if (n == 1) {
     la::LuFactors lu = la::lu_factor(std::move(lv.diag[0]));
-    if (!lu.ok()) throw std::runtime_error("cyclic reduction: singular diagonal block");
+    if (!lu.ok()) {
+      throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot,
+                                      "btds::cyclic_reduction", -1,
+                                      static_cast<std::int64_t>(lu.info - 1), lu.growth);
+    }
     la::lu_solve_inplace(lu, lv.rhs[0].view());
     return {std::move(lv.rhs[0])};
   }
@@ -38,7 +43,11 @@ std::vector<Matrix> solve_level(Level lv) {
   for (index_t j = 0; j < n_even; ++j) {
     const index_t e = 2 * j;
     la::LuFactors lu = la::lu_factor(std::move(lv.diag[u(e)]));
-    if (!lu.ok()) throw std::runtime_error("cyclic reduction: singular diagonal block");
+    if (!lu.ok()) {
+      throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot,
+                                      "btds::cyclic_reduction", -1,
+                                      static_cast<std::int64_t>(lu.info - 1), lu.growth);
+    }
     if (e > 0) hm[u(j)] = la::lu_solve(lu, lv.lower[u(e)].view());
     if (e + 1 < n) hp[u(j)] = la::lu_solve(lu, lv.upper[u(e)].view());
     la::lu_solve_inplace(lu, lv.rhs[u(e)].view());

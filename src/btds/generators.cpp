@@ -126,4 +126,41 @@ Matrix make_rhs(index_t num_blocks, index_t block_size, index_t num_rhs, std::ui
   return la::random_uniform(num_blocks * block_size, num_rhs, rng);
 }
 
+BlockTridiag make_conditioned(index_t num_blocks, index_t block_size, double condition,
+                              std::uint64_t seed) {
+  BlockTridiag t = random_blocks(num_blocks, block_size, seed, /*dominance=*/2.0);
+  // Row-scale whole block rows on a geometric ramp: equation i shrinks by
+  // condition^{-i/(N-1)}, so pivot magnitudes (and the growth monitor's
+  // max/min ratio) span ~`condition` while dominance is preserved.
+  const double span = static_cast<double>(num_blocks > 1 ? num_blocks - 1 : 1);
+  for (index_t i = 0; i < num_blocks; ++i) {
+    const double w = std::pow(condition, -static_cast<double>(i) / span);
+    const auto scale = [&](Matrix& blk) {
+      for (index_t r = 0; r < block_size; ++r) {
+        for (index_t c = 0; c < block_size; ++c) blk(r, c) *= w;
+      }
+    };
+    if (i > 0) scale(t.lower(i));
+    scale(t.diag(i));
+    if (i + 1 < num_blocks) scale(t.upper(i));
+  }
+  return t;
+}
+
+BlockTridiag make_near_singular(index_t num_blocks, index_t block_size, double epsilon,
+                                std::uint64_t seed) {
+  BlockTridiag t = random_blocks(num_blocks, block_size, seed, /*dominance=*/2.0);
+  plant_singular_pivot(t, 0, epsilon);
+  return t;
+}
+
+void plant_singular_pivot(BlockTridiag& t, index_t block_row, double epsilon) {
+  const index_t m = t.block_size();
+  Matrix& d = t.diag(block_row);
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t c = 0; c < m; ++c) d(r, c) = r == c ? 1.0 : 0.0;
+  }
+  d(m - 1, m - 1) = epsilon;
+}
+
 }  // namespace ardbt::btds

@@ -50,4 +50,26 @@ BlockTridiag make_problem(ProblemKind kind, index_t num_blocks, index_t block_si
 /// Dense (N*M) x R right-hand-side matrix with uniform entries.
 Matrix make_rhs(index_t num_blocks, index_t block_size, index_t num_rhs, std::uint64_t seed = 7);
 
+/// Robustness-stress generators (not part of ProblemKind on purpose:
+/// parameterized tests iterate kAllProblemKinds and expect every kind to
+/// be solvable by every method, which these deliberately are not).
+
+/// Dominant random system whose block rows are geometrically scaled so the
+/// pivot magnitudes span roughly `condition` (>= 1): a dial for driving
+/// the pivot-growth monitor without making any pivot exactly singular.
+BlockTridiag make_conditioned(index_t num_blocks, index_t block_size, double condition,
+                              std::uint64_t seed = 42);
+
+/// Dominant random system with an `epsilon`-singular pivot planted in the
+/// first diagonal block: block-pivot methods (Thomas/ARD/RD/PCR) break on
+/// it while the global matrix stays invertible through the off-diagonal
+/// coupling — exactly the case the banded-LU fallback exists for.
+BlockTridiag make_near_singular(index_t num_blocks, index_t block_size, double epsilon,
+                                std::uint64_t seed = 42);
+
+/// Overwrite D_{block_row} with identity except entry (M-1, M-1) =
+/// `epsilon` (0 = exactly singular block pivot). The global matrix stays
+/// invertible as long as that scalar row couples to a neighbor block.
+void plant_singular_pivot(BlockTridiag& t, index_t block_row, double epsilon = 0.0);
+
 }  // namespace ardbt::btds

@@ -1,6 +1,7 @@
 #include "src/btds/thomas.hpp"
 
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -33,16 +34,21 @@ ThomasFactorization ThomasFactorization::factor(const BlockTridiag& t, PivotKind
     if (pivot_kind == PivotKind::kLu) {
       la::LuFactors lu = la::lu_factor(std::move(pivot));
       if (!lu.ok()) {
-        throw std::runtime_error("block Thomas: singular pivot block at row " +
-                                 std::to_string(i));
+        throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot, "btds::thomas_factor",
+                                        i, static_cast<std::int64_t>(lu.info - 1), lu.growth);
       }
+      f.diag_.observe(lu.min_pivot_abs, lu.max_pivot_abs, i);
       f.pivot_lu_.push_back(std::move(lu));
     } else {
       la::CholeskyFactors chol = la::cholesky_factor(pivot.view());
       if (!chol.ok()) {
-        throw std::runtime_error("block Thomas: non-SPD pivot block at row " +
-                                 std::to_string(i));
+        const double growth = chol.min_pivot_abs > 0.0 && chol.max_pivot_abs > 0.0
+                                  ? chol.max_pivot_abs / chol.min_pivot_abs
+                                  : std::numeric_limits<double>::infinity();
+        throw fault::SingularPivotError(fault::ErrorCode::kNonSpdPivot, "btds::thomas_factor",
+                                        i, static_cast<std::int64_t>(chol.info - 1), growth);
       }
+      f.diag_.observe(chol.min_pivot_abs, chol.max_pivot_abs, i);
       f.pivot_chol_.push_back(std::move(chol));
     }
     if (i + 1 < n) {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/btds/block_tridiag.hpp"
+#include "src/fault/status.hpp"
 #include "src/la/cholesky.hpp"
 #include "src/la/lu.hpp"
 
@@ -34,9 +35,14 @@ enum class PivotKind {
 class ThomasFactorization {
  public:
   /// Factor the system. Keeps a reference-free copy of the off-diagonal
-  /// blocks it needs. Throws std::runtime_error on a singular pivot block
+  /// blocks it needs. Throws fault::SingularPivotError (carrying the block
+  /// row, scalar pivot index, and pivot growth) on a singular pivot block
   /// (kLu) or a non-SPD pivot block (kCholesky).
   static ThomasFactorization factor(const BlockTridiag& t, PivotKind pivot = PivotKind::kLu);
+
+  /// Pivot extremes accumulated over every factored pivot block — the
+  /// cheap breakdown monitor read by the solve drivers.
+  const fault::PivotDiagnostics& pivot_diagnostics() const { return diag_; }
 
   /// Solve for all columns of B; returns X with the same shape.
   ///
@@ -69,6 +75,7 @@ class ThomasFactorization {
   index_t n_ = 0;
   index_t m_ = 0;
   PivotKind pivot_ = PivotKind::kLu;
+  fault::PivotDiagnostics diag_;
   std::vector<la::LuFactors> pivot_lu_;          // LU of D'_i (kLu)
   std::vector<la::CholeskyFactors> pivot_chol_;  // Cholesky of D'_i (kCholesky)
   std::vector<Matrix> g_;                        // G_i = D'_i^{-1} C_i, i < N-1

@@ -120,6 +120,14 @@ ArdFactorization ArdFactorization::factor_impl(mpsim::Comm& comm, const SysView&
   ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase, "ard.factor");
   f.local_phase(comm, sys);
   f.global_phase(comm, sys);
+  if constexpr (obs::kTraceCompiledIn) {
+    // Breakdown marks make suspect factorizations visible in traces even
+    // when the driver's policy accepts them; pure comparisons, no flops.
+    if (comm.trace() != nullptr &&
+        f.diagnostics().growth() > opts.breakdown_growth_threshold) {
+      comm.trace()->instant(obs::SpanKind::kMark, "ard.breakdown", comm.now_sample(), -1, 0);
+    }
+  }
   return f;
 }
 

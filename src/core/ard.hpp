@@ -69,6 +69,12 @@ struct ArdOptions {
   /// segment is then a Schur complement of the global SPD matrix, hence
   /// SPD as well.
   btds::PivotKind pivot = btds::PivotKind::kLu;
+  /// Pivot-growth ratio (diagnostics().growth()) above which a completed
+  /// factorization is considered broken down: its solutions are accepted
+  /// or repaired per the driver's BreakdownPolicy. The monitor itself only
+  /// compares pivot magnitudes already computed — it never charges flops,
+  /// so modeled virtual times are unchanged by any threshold.
+  double breakdown_growth_threshold = 1e12;
 };
 
 /// Factor-once / solve-many distributed factorization.
@@ -115,6 +121,15 @@ class ArdFactorization {
   /// Approximate bytes of factored state held by this rank (T1's memory
   /// column): two segment factorizations plus the scan caches.
   std::size_t storage_bytes() const;
+
+  /// Merged pivot extremes of this rank's two segment factorizations —
+  /// the breakdown monitor the drivers compare against
+  /// ArdOptions::breakdown_growth_threshold.
+  fault::PivotDiagnostics diagnostics() const {
+    fault::PivotDiagnostics d = unmodified_.pivot_diagnostics();
+    d.merge(modified_.pivot_diagnostics());
+    return d;
+  }
 
  private:
   /// Storage-agnostic implementation pieces (defined in ard.cpp; the

@@ -126,9 +126,11 @@ PcrFactorization PcrFactorization::factor_impl(mpsim::Comm& comm, const SysView&
       la::LuFactors lu = la::lu_factor(d_cur[uz(k)].view());
       comm.charge_flops(la::lu_factor_flops(m));
       if (!lu.ok()) {
-        throw std::runtime_error("PCR: singular diagonal block at level step " +
-                                 std::to_string(s));
+        throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot,
+                                        "core::pcr_factor(step " + std::to_string(s) + ")", j,
+                                        static_cast<std::int64_t>(lu.info - 1), lu.growth);
       }
+      f.diag_.observe(lu.min_pivot_abs, lu.max_pivot_abs, j);
       if (has_a(j, s)) {
         ha[uz(k)] = la::lu_solve(lu, a_cur[uz(k)].view());
         comm.charge_flops(la::lu_solve_flops(m, m));
@@ -202,9 +204,13 @@ PcrFactorization PcrFactorization::factor_impl(mpsim::Comm& comm, const SysView&
   for (index_t k = 0; k < nloc; ++k) {
     f.final_lu_[uz(k)] = la::lu_factor(std::move(d_cur[uz(k)]));
     comm.charge_flops(la::lu_factor_flops(m));
-    if (!f.final_lu_[uz(k)].ok()) {
-      throw std::runtime_error("PCR: singular decoupled diagonal block");
+    const la::LuFactors& lu = f.final_lu_[uz(k)];
+    if (!lu.ok()) {
+      throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot,
+                                      "core::pcr_factor(decoupled)", f.lo_ + k,
+                                      static_cast<std::int64_t>(lu.info - 1), lu.growth);
     }
+    f.diag_.observe(lu.min_pivot_abs, lu.max_pivot_abs, f.lo_ + k);
   }
   return f;
 }

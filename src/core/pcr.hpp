@@ -54,8 +54,9 @@ class PcrFactorization {
  public:
   PcrFactorization() = default;
 
-  /// Collective. Throws std::runtime_error on a singular diagonal block
-  /// at any level (cannot happen for block-diagonally-dominant input).
+  /// Collective. Throws fault::SingularPivotError on a singular diagonal
+  /// block at any level (cannot happen for block-diagonally-dominant
+  /// input).
   static PcrFactorization factor(mpsim::Comm& comm, const btds::BlockTridiag& sys,
                                  const btds::RowPartition& part);
 
@@ -74,6 +75,10 @@ class PcrFactorization {
 
   /// Bytes of factored state held by this rank (grows with log N).
   std::size_t storage_bytes() const;
+
+  /// Pivot extremes over every per-level diagonal factorization on this
+  /// rank — the cheap breakdown monitor read by the solve drivers.
+  const fault::PivotDiagnostics& pivot_diagnostics() const { return diag_; }
 
   /// Closed-form flop counts (T1-style; per-rank critical path).
   static double factor_flops(la::index_t n, la::index_t m, int p);
@@ -100,6 +105,7 @@ class PcrFactorization {
   btds::RowPartition part_{1, 1};
   std::vector<Level> levels_;
   std::vector<la::LuFactors> final_lu_;  // fully decoupled diagonals
+  fault::PivotDiagnostics diag_;
 };
 
 }  // namespace ardbt::core

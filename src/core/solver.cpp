@@ -1,12 +1,21 @@
 #include "src/core/solver.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
+#include "src/btds/spmv.hpp"
 #include "src/core/rd.hpp"
+#include "src/core/refine.hpp"
 #include "src/mpsim/collectives.hpp"
 
 namespace ardbt::core {
+
+namespace {
+/// A breakdown-flagged solve whose refined residual still exceeds this is
+/// escalated to the banded-LU fallback under BreakdownPolicy::kFallback.
+constexpr double kFallbackResidualTol = 1e-10;
+}  // namespace
 
 std::string_view to_string(Method method) {
   switch (method) {
@@ -61,11 +70,70 @@ void Session::fold_report(const mpsim::RunReport& run) {
 }
 
 mpsim::RunReport Session::run_engine(const mpsim::RankFn& fn) {
-  engine_.vtime_origin = vtime_cursor_;
-  mpsim::RunReport run = mpsim::run(nranks_, fn, engine_);
-  vtime_cursor_ = run.max_virtual_time();
-  fold_report(run);
-  return run;
+  // Transient faults (corrupted message, injected crash, missed deadline)
+  // are retried as whole engine runs: the FaultPlan's one-shot specs stay
+  // fired, so the retry sees a clean wire. Failed attempts never advance
+  // the session timeline or its counters — only the successful run is
+  // charged (vtime_cursor_/fold_report move on success alone).
+  last_retries_ = 0;
+  for (;;) {
+    engine_.vtime_origin = vtime_cursor_;
+    try {
+      mpsim::RunReport run = mpsim::run(nranks_, fn, engine_);
+      vtime_cursor_ = run.max_virtual_time();
+      fold_report(run);
+      return run;
+    } catch (const fault::SolveError& e) {
+      const bool retryable = engine_.on_breakdown != fault::BreakdownPolicy::kFailFast &&
+                             fault::is_transient(e.code()) &&
+                             last_retries_ < engine_.max_fault_retries;
+      if (!retryable) throw;
+      ++last_retries_;
+    }
+  }
+}
+
+void Session::ensure_fallback() {
+  if (fallback_) return;
+  const la::index_t n = sys_->num_blocks();
+  const la::index_t m = sys_->block_size();
+  double vtime = 0.0;
+  run_engine([&](mpsim::Comm& comm) {
+    mpsim::barrier(comm);
+    const double t0 = comm.vtime();
+    auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.fallback_factor");
+    if (comm.rank() == 0) {
+      fallback_ = std::make_unique<btds::BandedLuFactorization>(
+          btds::BandedLuFactorization::factor(*sys_));
+      comm.charge_flops(btds::BandedLuFactorization::factor_flops(n, m));
+    }
+    mpsim::barrier(comm);
+    span.close();
+    if (comm.rank() == 0) vtime = comm.vtime() - t0;
+  });
+  factor_vtime_ += vtime;
+  if (fallback_->storage_bytes() > storage_bytes_) storage_bytes_ = fallback_->storage_bytes();
+}
+
+la::Matrix Session::fallback_solve(const la::Matrix& b) {
+  assert(fallback_ != nullptr);
+  la::Matrix x(b.rows(), b.cols());
+  double vtime = 0.0;
+  run_engine([&](mpsim::Comm& comm) {
+    mpsim::barrier(comm);
+    const double t0 = comm.vtime();
+    auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.fallback_solve");
+    if (comm.rank() == 0) {
+      x = fallback_->solve(b);
+      comm.charge_flops(btds::BandedLuFactorization::solve_flops(sys_->num_blocks(),
+                                                                 sys_->block_size(), b.cols()));
+    }
+    mpsim::barrier(comm);
+    span.close();
+    if (comm.rank() == 0) vtime = comm.vtime() - t0;
+  });
+  last_phase_vtime_ = vtime;
+  return x;
 }
 
 void Session::factor() {
@@ -87,36 +155,80 @@ void Session::factor() {
       trd_.resize(static_cast<std::size_t>(nranks_));
       break;
   }
+  const fault::BreakdownPolicy policy = engine_.on_breakdown;
   double vtime = 0.0;
   std::size_t bytes = 0;
-  run_engine([&](mpsim::Comm& comm) {
-    mpsim::barrier(comm);
-    const double t0 = comm.vtime();
-    auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
-    const std::size_t r = static_cast<std::size_t>(comm.rank());
-    switch (method_) {
-      case Method::kArd:
-        ard_[r] = ArdFactorization::factor(comm, *sys_, part_, opts_);
-        break;
-      case Method::kPcr:
-        pcr_[r] = PcrFactorization::factor(comm, *sys_, part_);
-        break;
-      case Method::kTransferRd: {
-        const TransferRdOptions topts{.rescale = opts_.rescale};
-        trd_[r] = TransferRdFactorization::factor(comm, *sys_, part_, topts);
-        break;
+  std::vector<double> growths(static_cast<std::size_t>(nranks_), 0.0);
+  try {
+    run_engine([&](mpsim::Comm& comm) {
+      mpsim::barrier(comm);
+      const double t0 = comm.vtime();
+      auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      switch (method_) {
+        case Method::kArd:
+          ard_[r] = ArdFactorization::factor(comm, *sys_, part_, opts_);
+          growths[r] = ard_[r].diagnostics().growth();
+          break;
+        case Method::kPcr:
+          pcr_[r] = PcrFactorization::factor(comm, *sys_, part_);
+          growths[r] = pcr_[r].pivot_diagnostics().growth();
+          break;
+        case Method::kTransferRd: {
+          const TransferRdOptions topts{.rescale = opts_.rescale};
+          trd_[r] = TransferRdFactorization::factor(comm, *sys_, part_, topts);
+          break;
+        }
+        default:
+          break;
       }
-      default:
-        break;
+      mpsim::barrier(comm);
+      span.close();
+      if (comm.rank() == 0) {
+        vtime = comm.vtime() - t0;
+        if (method_ == Method::kArd) bytes = ard_[r].storage_bytes();
+        if (method_ == Method::kPcr) bytes = pcr_[r].storage_bytes();
+      }
+    });
+  } catch (const fault::SingularPivotError& e) {
+    // A singular block pivot breaks every block-pivot method; the exact
+    // banded fallback pivots across the whole band and survives whenever
+    // the global matrix is invertible.
+    SolveOutcome outcome{.phase = "factor", .status = e.status(), .retries = last_retries_};
+    if (policy == fault::BreakdownPolicy::kFailFast) {
+      outcome.action = "failfast";
+      outcomes_.push_back(std::move(outcome));
+      throw;
     }
-    mpsim::barrier(comm);
-    span.close();
-    if (comm.rank() == 0) {
-      vtime = comm.vtime() - t0;
-      if (method_ == Method::kArd) bytes = ard_[r].storage_bytes();
-      if (method_ == Method::kPcr) bytes = pcr_[r].storage_bytes();
+    ensure_fallback();
+    degraded_ = true;
+    outcome.action = "fallback";
+    outcome.detail = "banded-LU fallback factored; session degraded to the exact path";
+    outcomes_.push_back(std::move(outcome));
+    factored_ = true;
+    return;
+  }
+  pivot_growth_ = *std::max_element(growths.begin(), growths.end());
+  SolveOutcome outcome{.phase = "factor",
+                       .retries = last_retries_,
+                       .pivot_growth = pivot_growth_};
+  if (pivot_growth_ > opts_.breakdown_growth_threshold) {
+    const std::string message = "pivot growth " + std::to_string(pivot_growth_) +
+                                " exceeds breakdown threshold " +
+                                std::to_string(opts_.breakdown_growth_threshold);
+    if (policy == fault::BreakdownPolicy::kFailFast) {
+      outcome.status = fault::Status::error(fault::ErrorCode::kBreakdown, message);
+      outcome.action = "failfast";
+      outcomes_.push_back(std::move(outcome));
+      throw fault::BreakdownError("core::Session::factor", pivot_growth_,
+                                  opts_.breakdown_growth_threshold);
     }
-  });
+    breakdown_ = true;
+    outcome.status = fault::Status::error(fault::ErrorCode::kBreakdown, message);
+    outcome.action = policy == fault::BreakdownPolicy::kRefine ? "refine" : "fallback";
+    outcome.detail = "breakdown flagged; solves take the recovery rung";
+  }
+  outcomes_.push_back(std::move(outcome));
   factor_vtime_ = vtime;
   storage_bytes_ = bytes;
   factored_ = true;
@@ -127,35 +239,91 @@ la::Matrix Session::solve(const la::Matrix& b) {
     throw std::invalid_argument("Session::solve: b has wrong row count");
   }
   factor();
+  const fault::BreakdownPolicy policy = engine_.on_breakdown;
+
+  // Breakdown on a method without a refinement rung (refinement corrects
+  // through an ArdFactorization) escalates straight to the exact path.
+  if (!degraded_ && breakdown_ && method_ != Method::kArd &&
+      policy != fault::BreakdownPolicy::kFailFast) {
+    ensure_fallback();
+    degraded_ = true;
+  }
+  if (degraded_) {
+    la::Matrix x = fallback_solve(b);
+    solve_vtimes_.push_back(last_phase_vtime_);
+    outcomes_.push_back({.phase = "solve",
+                         .action = "fallback",
+                         .retries = last_retries_,
+                         .residual = btds::relative_residual(*sys_, x, b),
+                         .pivot_growth = pivot_growth_});
+    return x;
+  }
+
+  // Ladder rung 2: a breakdown-flagged ARD factorization is kept, but
+  // every solve adds iterative refinement (each step one residual apply
+  // plus one cheap ARD solve) to recover the lost accuracy.
+  const bool refine_path =
+      breakdown_ && method_ == Method::kArd && policy != fault::BreakdownPolicy::kFailFast;
   la::Matrix x(b.rows(), b.cols());
+  int refine_steps = 0;
   double vtime = 0.0;
   run_engine([&](mpsim::Comm& comm) {
     mpsim::barrier(comm);
     const double t0 = comm.vtime();
     auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
     const std::size_t r = static_cast<std::size_t>(comm.rank());
-    switch (method_) {
-      case Method::kRdBatched:
-        rd_solve(comm, *sys_, part_, b, x, opts_);
-        break;
-      case Method::kRdPerRhs:
-        rd_solve_per_rhs(comm, *sys_, part_, b, x, opts_);
-        break;
-      case Method::kArd:
-        ard_[r].solve(comm, b, x);
-        break;
-      case Method::kPcr:
-        pcr_[r].solve(comm, b, x);
-        break;
-      case Method::kTransferRd:
-        trd_[r].solve(comm, b, x);
-        break;
+    if (refine_path) {
+      const RefineResult rr = solve_refined(comm, ard_[r], *sys_, part_, b, x);
+      if (comm.rank() == 0) refine_steps = rr.steps;
+    } else {
+      switch (method_) {
+        case Method::kRdBatched:
+          rd_solve(comm, *sys_, part_, b, x, opts_);
+          break;
+        case Method::kRdPerRhs:
+          rd_solve_per_rhs(comm, *sys_, part_, b, x, opts_);
+          break;
+        case Method::kArd:
+          ard_[r].solve(comm, b, x);
+          break;
+        case Method::kPcr:
+          pcr_[r].solve(comm, b, x);
+          break;
+        case Method::kTransferRd:
+          trd_[r].solve(comm, b, x);
+          break;
+      }
     }
     mpsim::barrier(comm);
     span.close();
     if (comm.rank() == 0) vtime = comm.vtime() - t0;
   });
+
+  SolveOutcome outcome{.phase = "solve",
+                       .action = refine_path ? "refine" : "ok",
+                       .retries = last_retries_,
+                       .refine_steps = refine_steps,
+                       .pivot_growth = pivot_growth_};
+  if (refine_path) {
+    outcome.residual = btds::relative_residual(*sys_, x, b);
+    if (policy == fault::BreakdownPolicy::kFallback &&
+        outcome.residual > kFallbackResidualTol) {
+      // Ladder rung 3: refinement did not converge — redo this batch (and
+      // route every later one) through the exact banded path.
+      outcome.status = fault::Status::error(
+          fault::ErrorCode::kBreakdown, "refined residual " + std::to_string(outcome.residual) +
+                                            " above fallback tolerance");
+      ensure_fallback();
+      degraded_ = true;
+      x = fallback_solve(b);
+      vtime += last_phase_vtime_;
+      outcome.action = "fallback";
+      outcome.retries += last_retries_;
+      outcome.residual = btds::relative_residual(*sys_, x, b);
+    }
+  }
   solve_vtimes_.push_back(vtime);
+  outcomes_.push_back(std::move(outcome));
   return x;
 }
 
@@ -168,6 +336,7 @@ DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matri
   result.report = session.report();
   result.factor_vtime = session.factor_vtime();
   result.solve_vtime = session.solve_vtimes().back();
+  result.outcomes = session.outcomes();
   return result;
 }
 

@@ -1,12 +1,16 @@
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "src/btds/banded_lu.hpp"
 #include "src/btds/block_tridiag.hpp"
 #include "src/btds/partition.hpp"
 #include "src/core/ard.hpp"
 #include "src/core/pcr.hpp"
 #include "src/core/transfer_rd.hpp"
+#include "src/fault/status.hpp"
 #include "src/mpsim/engine.hpp"
 
 /// \file solver.hpp
@@ -45,6 +49,22 @@ enum class Method {
 /// Short stable name ("rd", "rd-per-rhs", "ard").
 std::string_view to_string(Method method);
 
+/// One entry of the session's robustness log: what happened during a
+/// factor or solve phase and what the driver did about it. An untroubled
+/// phase records {status ok, action "ok"}; a degraded one records the
+/// triggering error and the recovery rung taken.
+struct SolveOutcome {
+  std::string phase;     ///< "factor" or "solve"
+  fault::Status status;  ///< error that triggered recovery (ok when none)
+  /// "ok" | "failfast" | "refine" | "fallback" — the ladder rung used.
+  std::string action = "ok";
+  int retries = 0;       ///< engine re-runs spent on transient faults
+  int refine_steps = 0;  ///< iterative-refinement corrections applied
+  double residual = -1.0;      ///< relative residual, when the driver computed it
+  double pivot_growth = 0.0;   ///< monitor reading at this phase (0 = none)
+  std::string detail;          ///< free-form context for the run report
+};
+
 /// Factor/solve driver for one system. Not thread-safe; one engine run is
 /// in flight at a time.
 class Session {
@@ -82,9 +102,25 @@ class Session {
   /// fields reflect the session timeline, counters sum across runs).
   const mpsim::RunReport& report() const { return report_; }
 
+  /// Robustness log, one entry per factor/solve phase (see SolveOutcome).
+  const std::vector<SolveOutcome>& outcomes() const { return outcomes_; }
+  /// True once the session runs on the exact banded-LU fallback.
+  bool degraded() const { return degraded_; }
+  /// True when the breakdown monitor flagged the fast factorization
+  /// (solves are refined or escalated per the policy).
+  bool breakdown() const { return breakdown_; }
+  /// Largest pivot-growth reading the monitor produced (0 until factored;
+  /// methods without a monitor stay 0).
+  double pivot_growth() const { return pivot_growth_; }
+
  private:
   mpsim::RunReport run_engine(const mpsim::RankFn& fn);
   void fold_report(const mpsim::RunReport& run);
+  /// Factor the banded-LU fallback (rank 0, inside an engine run) if not
+  /// already cached.
+  void ensure_fallback();
+  /// Solve with the cached fallback factorization (rank 0, engine run).
+  la::Matrix fallback_solve(const la::Matrix& b);
 
   Method method_;
   const btds::BlockTridiag* sys_;
@@ -101,6 +137,15 @@ class Session {
   mpsim::RunReport report_;
   bool have_report_ = false;
 
+  // Robustness state (see docs/ROBUSTNESS.md).
+  std::vector<SolveOutcome> outcomes_;
+  bool degraded_ = false;   ///< solves go through the banded-LU fallback
+  bool breakdown_ = false;  ///< monitor flagged the fast factorization
+  double pivot_growth_ = 0.0;
+  int last_retries_ = 0;  ///< transient-fault retries of the latest run
+  double last_phase_vtime_ = 0.0;  ///< rank-0 phase seconds of the latest helper run
+  std::unique_ptr<btds::BandedLuFactorization> fallback_;
+
   // Per-rank factored state (indexed by rank; only the active method's
   // vector is populated).
   std::vector<ArdFactorization> ard_;
@@ -114,6 +159,7 @@ struct DriverResult {
   mpsim::RunReport report;     ///< engine counters
   double factor_vtime = 0.0;   ///< modeled seconds in the factor phase
   double solve_vtime = 0.0;    ///< modeled seconds in the solve phase(s)
+  std::vector<SolveOutcome> outcomes;  ///< robustness log of the session
 };
 
 /// One-shot convenience: Session(method, ...), factor, one solve.

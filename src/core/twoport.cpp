@@ -50,7 +50,10 @@ TwoPort merge_twoport(const TwoPort& left, const TwoPort& right, TwoPortCache& c
   flops += 4.0 * la::gemm_flops(m, m, m);
   la::LuFactors k_lu = la::lu_factor(std::move(k));
   flops += la::lu_factor_flops(m);
-  if (!k_lu.ok()) throw std::runtime_error("two-port merge: singular interface system");
+  if (!k_lu.ok()) {
+    throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot, "core::twoport_merge", -1,
+                                    static_cast<std::int64_t>(k_lu.info - 1), k_lu.growth);
+  }
 
   // X1 = (Q_L c) K^{-1}, X3 = (S_L c) K^{-1} (right divisions).
   Matrix qlc = la::matmul(left.Q.view(), c.view());

@@ -1,0 +1,225 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <optional>
+
+/// \file status.hpp
+/// Error taxonomy of the robustness layer (docs/ROBUSTNESS.md).
+///
+/// Everything that can go wrong at runtime in a solve — a singular or
+/// non-SPD pivot block, a size-mismatched or corrupted message, an
+/// injected rank crash, a missed deadline — maps to one ErrorCode and one
+/// exception type derived from SolveError, so callers can dispatch on
+/// `code()` without parsing strings. The library never reports a runtime
+/// numerical/communication failure through `assert` (which is a silent
+/// no-op under NDEBUG); asserts remain only for programmer errors such as
+/// shape mismatches of caller-owned buffers.
+///
+/// This module sits below every other library (no la/mpsim/obs
+/// dependencies) so all layers share one vocabulary.
+
+namespace ardbt::fault {
+
+/// Every failure class the stack can report.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kSingularPivot,    ///< exactly singular pivot met during a factorization/solve
+  kNonSpdPivot,      ///< Cholesky pivot not positive definite
+  kBreakdown,        ///< pivot growth above the configured breakdown threshold
+  kMessageSize,      ///< received payload size does not match the receive buffer
+  kMessageCorrupt,   ///< payload checksum mismatch (detected bit flip)
+  kInjectedCrash,    ///< a FaultPlan crashed this rank before a send
+  kDeadline,         ///< a blocked receive exceeded its wall-clock deadline
+  kInternal,         ///< invariant violation that is not a caller error
+};
+
+/// Stable lowercase name ("ok", "singular-pivot", ...).
+std::string_view to_string(ErrorCode code);
+
+/// Transient failures are worth retrying at the run level: the fault was
+/// injected into (or detected on) the communication path and a re-run may
+/// not hit it again. Numerical failures are deterministic and are not.
+bool is_transient(ErrorCode code);
+
+/// Lightweight status value for APIs that report rather than throw
+/// (per-solve outcomes in the run report).
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status error(ErrorCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Base of every structured runtime failure. Derives from
+/// std::runtime_error so existing catch sites keep working.
+class SolveError : public std::runtime_error {
+ public:
+  SolveError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+  Status status() const { return Status::error(code_, what()); }
+
+ private:
+  ErrorCode code_;
+};
+
+/// A factorization met a singular (or, for Cholesky, non-SPD) pivot.
+/// `block_row` is the block row of the failing pivot block (-1 when the
+/// failure is not block structured), `pivot_index` the scalar pivot index
+/// inside it, `growth` the pivot-growth factor observed up to the failure.
+class SingularPivotError : public SolveError {
+ public:
+  SingularPivotError(ErrorCode code, const std::string& where, std::int64_t block_row,
+                     std::int64_t pivot_index, double growth);
+
+  std::int64_t block_row() const { return block_row_; }
+  std::int64_t pivot_index() const { return pivot_index_; }
+  double growth() const { return growth_; }
+
+ private:
+  std::int64_t block_row_;
+  std::int64_t pivot_index_;
+  double growth_;
+};
+
+/// Pivot growth crossed the breakdown threshold (factorization completed
+/// but its accuracy is suspect).
+class BreakdownError : public SolveError {
+ public:
+  BreakdownError(const std::string& where, double growth, double threshold);
+
+  double growth() const { return growth_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  double growth_;
+  double threshold_;
+};
+
+/// A typed receive got a payload whose size does not match the buffer.
+class MessageSizeError : public SolveError {
+ public:
+  MessageSizeError(int src, int tag, std::size_t expected_bytes, std::size_t got_bytes);
+
+  int src() const { return src_; }
+  int tag() const { return tag_; }
+  std::size_t expected_bytes() const { return expected_; }
+  std::size_t got_bytes() const { return got_; }
+
+ private:
+  int src_;
+  int tag_;
+  std::size_t expected_;
+  std::size_t got_;
+};
+
+/// Payload checksum mismatch detected on receive.
+class MessageCorruptError : public SolveError {
+ public:
+  MessageCorruptError(int src, int tag, std::uint64_t expected_crc, std::uint64_t got_crc);
+
+  int src() const { return src_; }
+  int tag() const { return tag_; }
+
+ private:
+  int src_;
+  int tag_;
+};
+
+/// A FaultPlan crashed this rank before a send.
+class InjectedCrashError : public SolveError {
+ public:
+  explicit InjectedCrashError(int rank);
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// A blocked receive exceeded its wall-clock deadline (hang detector).
+class DeadlineError : public SolveError {
+ public:
+  DeadlineError(int src, int tag, double waited_seconds);
+
+  int src() const { return src_; }
+  int tag() const { return tag_; }
+  double waited_seconds() const { return waited_; }
+
+ private:
+  int src_;
+  int tag_;
+  double waited_;
+};
+
+/// What the solve driver does when breakdown (or a recoverable fault) is
+/// detected. See docs/ROBUSTNESS.md for the full ladder.
+enum class BreakdownPolicy : std::uint8_t {
+  kFailFast,  ///< surface a structured error immediately
+  kRefine,    ///< keep the fast factorization, add iterative refinement
+  kFallback,  ///< refine, then escalate to the exact banded-LU path
+};
+
+/// Stable lowercase name ("failfast", "refine", "fallback").
+std::string_view to_string(BreakdownPolicy policy);
+
+/// Inverse of to_string; nullopt on an unknown name.
+std::optional<BreakdownPolicy> parse_breakdown_policy(std::string_view name);
+
+/// Cheap condition monitoring accumulated while a factorization runs:
+/// the extreme pivot magnitudes seen, where the weakest pivot lives, and
+/// their ratio as a growth/conditioning proxy. Costs a couple of compares
+/// per pivot — never a norm or an inverse — so the sweeps can always
+/// leave it on.
+struct PivotDiagnostics {
+  double min_pivot_abs = std::numeric_limits<double>::infinity();
+  double max_pivot_abs = 0.0;
+  std::int64_t min_pivot_block_row = -1;  ///< block row holding the weakest pivot
+  int singular_info = 0;                  ///< first factorization info != 0, if any
+
+  /// max/min pivot magnitude; infinity once a zero (or no) pivot was seen.
+  double growth() const {
+    if (singular_info != 0 || min_pivot_abs <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return max_pivot_abs > 0.0 ? max_pivot_abs / min_pivot_abs : 1.0;
+  }
+
+  /// Fold in the pivot extremes of one factored block.
+  void observe(double block_min_abs, double block_max_abs, std::int64_t block_row) {
+    if (block_min_abs < min_pivot_abs) {
+      min_pivot_abs = block_min_abs;
+      min_pivot_block_row = block_row;
+    }
+    if (block_max_abs > max_pivot_abs) max_pivot_abs = block_max_abs;
+  }
+
+  /// Merge another accumulator (e.g. the two segment factorizations of an
+  /// ARD rank).
+  void merge(const PivotDiagnostics& o) {
+    if (o.min_pivot_abs < min_pivot_abs) {
+      min_pivot_abs = o.min_pivot_abs;
+      min_pivot_block_row = o.min_pivot_block_row;
+    }
+    if (o.max_pivot_abs > max_pivot_abs) max_pivot_abs = o.max_pivot_abs;
+    if (singular_info == 0) singular_info = o.singular_info;
+  }
+};
+
+}  // namespace ardbt::fault

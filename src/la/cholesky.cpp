@@ -1,7 +1,9 @@
 #include "src/la/cholesky.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace ardbt::la {
 
@@ -20,6 +22,8 @@ CholeskyFactors cholesky_factor(ConstMatrixView a) {
       return f;
     }
     const double ljj = std::sqrt(diag);
+    f.min_pivot_abs = std::min(f.min_pivot_abs, ljj);
+    f.max_pivot_abs = std::max(f.max_pivot_abs, ljj);
     l(j, j) = ljj;
     for (index_t i = j + 1; i < n; ++i) {
       double s = a(i, j);
@@ -31,7 +35,13 @@ CholeskyFactors cholesky_factor(ConstMatrixView a) {
 }
 
 void cholesky_solve_inplace(const CholeskyFactors& f, MatrixView b) {
-  assert(f.ok() && "solving with a failed Cholesky factorization");
+  if (!f.ok()) {
+    const double growth = f.min_pivot_abs > 0.0 && f.max_pivot_abs > 0.0
+                              ? f.max_pivot_abs / f.min_pivot_abs
+                              : std::numeric_limits<double>::infinity();
+    throw fault::SingularPivotError(fault::ErrorCode::kNonSpdPivot, "la::cholesky_solve", -1,
+                                    static_cast<std::int64_t>(f.info - 1), growth);
+  }
   const index_t n = f.n();
   assert(b.rows() == n);
   const ConstMatrixView l = f.l.view();

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <limits>
+
+#include "src/fault/status.hpp"
 #include "src/la/matrix.hpp"
 
 /// \file cholesky.hpp
@@ -7,6 +10,8 @@
 /// matrices (LAPACK potrf/potrs contract): roughly half the work of LU
 /// and unconditionally stable — the fast path for SPD pivot blocks (e.g.
 /// symmetric diffusion operators); see ThomasFactorization's pivot option.
+/// Solving with a failed factorization throws fault::SingularPivotError
+/// (code kNonSpdPivot) — loud in release builds.
 
 namespace ardbt::la {
 
@@ -15,6 +20,10 @@ namespace ardbt::la {
 struct CholeskyFactors {
   Matrix l;  ///< lower triangle holds L; strict upper triangle is zero
   index_t info = 0;
+  /// Extreme |L_kk| met so far — (sqrt of) the pivot magnitudes, the
+  /// cheap condition proxy breakdown monitoring aggregates.
+  double min_pivot_abs = std::numeric_limits<double>::infinity();
+  double max_pivot_abs = 0.0;
 
   bool ok() const { return info == 0; }
   index_t n() const { return l.rows(); }

@@ -17,6 +17,12 @@ LuFactors lu_factor(Matrix a) {
   f.piv.resize(static_cast<std::size_t>(n));
   MatrixView m = a.view();
 
+  // ||A||_max before elimination, the growth-factor denominator.
+  double a_max = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) a_max = std::max(a_max, std::abs(m(i, j)));
+  }
+
   for (index_t k = 0; k < n; ++k) {
     // Partial pivot: largest |entry| in column k at or below the diagonal.
     index_t p = k;
@@ -33,6 +39,8 @@ LuFactors lu_factor(Matrix a) {
       for (index_t j = 0; j < n; ++j) std::swap(m(k, j), m(p, j));
     }
     const double pivot = m(k, k);
+    f.min_pivot_abs = std::min(f.min_pivot_abs, std::abs(pivot));
+    f.max_pivot_abs = std::max(f.max_pivot_abs, std::abs(pivot));
     if (pivot == 0.0) {
       if (f.info == 0) f.info = k + 1;
       continue;  // complete the factorization LAPACK-style
@@ -47,14 +55,33 @@ LuFactors lu_factor(Matrix a) {
       for (index_t j = k + 1; j < n; ++j) mi[j] -= lik * mk[j];
     }
   }
+  // ||U||_max / ||A||_max over the upper triangle left in place.
+  double u_max = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i; j < n; ++j) u_max = std::max(u_max, std::abs(m(i, j)));
+  }
+  f.growth = a_max > 0.0 ? u_max / a_max : 1.0;
   f.lu = std::move(a);
   return f;
 }
 
+namespace {
+
+/// Shared solve-path gate: a singular factorization must fail loudly in
+/// release builds, not memcpy garbage through undefined arithmetic.
+void require_ok(const LuFactors& f, const char* where) {
+  if (!f.ok()) {
+    throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot, where, -1,
+                                    static_cast<std::int64_t>(f.info - 1), f.growth);
+  }
+}
+
+}  // namespace
+
 LuFactors lu_factor(ConstMatrixView a) { return lu_factor(to_matrix(a)); }
 
 void lu_solve_inplace(const LuFactors& f, MatrixView b) {
-  assert(f.ok() && "solving with a singular LU factorization");
+  require_ok(f, "la::lu_solve");
   const index_t n = f.n();
   assert(b.rows() == n);
   const ConstMatrixView lu = f.lu.view();
@@ -104,7 +131,7 @@ void lu_solve_inplace(const LuFactors& f, std::span<double> b) {
 }
 
 void lu_solve_transposed_inplace(const LuFactors& f, MatrixView b) {
-  assert(f.ok() && "solving with a singular LU factorization");
+  require_ok(f, "la::lu_solve_transposed");
   const index_t n = f.n();
   assert(b.rows() == n);
   const ConstMatrixView lu = f.lu.view();
@@ -149,7 +176,7 @@ Matrix right_divide(ConstMatrixView b, const LuFactors& f) {
 Matrix inverse(ConstMatrixView a) {
   assert(a.rows() == a.cols());
   const LuFactors f = lu_factor(a);
-  assert(f.ok());
+  require_ok(f, "la::inverse");
   Matrix inv = Matrix::identity(a.rows());
   lu_solve_inplace(f, inv.view());
   return inv;

@@ -1,15 +1,20 @@
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "src/fault/status.hpp"
 #include "src/la/matrix.hpp"
 
 /// \file lu.hpp
 /// LU factorization with partial (row) pivoting and multi-right-hand-side
 /// solves. Mirrors the LAPACK getrf/getrs contract: `info == 0` on success,
 /// `info == k+1` when the k-th pivot is exactly zero (the factorization is
-/// still completed and solves with it are undefined).
+/// still completed). Solving with a singular factorization throws
+/// fault::SingularPivotError — a structured, release-mode-loud failure
+/// instead of the assert-only (UB under NDEBUG) contract this library
+/// used to have.
 
 namespace ardbt::la {
 
@@ -20,6 +25,13 @@ struct LuFactors {
   Matrix lu;
   std::vector<index_t> piv;
   index_t info = 0;
+  /// Extreme pivot magnitudes met during elimination (after row pivoting)
+  /// — the cheap condition proxy breakdown monitoring aggregates.
+  double min_pivot_abs = std::numeric_limits<double>::infinity();
+  double max_pivot_abs = 0.0;
+  /// Element growth ||U||_max / ||A||_max, the classic stability monitor
+  /// (~1 for well-behaved eliminations, large when pivoting struggled).
+  double growth = 1.0;
 
   /// True when no exactly-zero pivot was met.
   bool ok() const { return info == 0; }

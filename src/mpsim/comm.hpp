@@ -4,8 +4,10 @@
 #include <cstring>
 #include <span>
 #include <type_traits>
+#include <unordered_set>
 #include <vector>
 
+#include "src/fault/status.hpp"
 #include "src/mpsim/costmodel.hpp"
 #include "src/mpsim/mailbox.hpp"
 #include "src/mpsim/stats.hpp"
@@ -20,6 +22,10 @@
 
 namespace ardbt::par {
 class Pool;
+}
+
+namespace ardbt::fault {
+class FaultPlan;
 }
 
 namespace ardbt::mpsim {
@@ -44,6 +50,16 @@ struct World {
   double vtime_origin = 0.0;  ///< starting virtual time of every rank clock
   std::vector<Mailbox> mailboxes;
   std::atomic<bool> aborted{false};
+  /// Installed fault-injection plan, or null for the common fault-free
+  /// path: the only per-message overhead without a plan is this pointer
+  /// test (mirrors the tracer's null-hook design).
+  fault::FaultPlan* plan = nullptr;
+  /// Virtual-wait budget per receive; a wait beyond it is counted as a
+  /// deadline miss (detection signal for delayed/straggling peers). 0 = off.
+  double virtual_deadline = 0.0;
+  /// Wall-clock ceiling for a blocking receive before DeadlineError — the
+  /// hang detector for crashed peers. 0 = wait forever.
+  double recv_timeout_wall = 0.0;
 
   explicit World(int n, CostModel c, TimingMode t, double origin = 0.0)
       : nranks(n), cost(c), timing(t), vtime_origin(origin),
@@ -83,12 +99,17 @@ class Comm {
     send(dst, tag, std::span<const T>(&v, 1));
   }
 
-  /// Typed receive into a caller-provided span (size must match exactly).
+  /// Typed receive into a caller-provided span. A size mismatch (protocol
+  /// bug or corrupted stream) throws fault::MessageSizeError rather than
+  /// silently truncating under NDEBUG.
   template <typename T>
   void recv_into(int src, int tag, std::span<T> out) {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::vector<std::byte> raw = recv_bytes(src, tag);
-    assert(raw.size() == out.size_bytes() && "received size mismatch");
+    if (raw.size() != out.size_bytes()) {
+      throw fault::MessageSizeError(src, tag, static_cast<std::uint64_t>(out.size_bytes()),
+                                    static_cast<std::uint64_t>(raw.size()));
+    }
     std::memcpy(out.data(), raw.data(), raw.size());
   }
 
@@ -172,6 +193,11 @@ class Comm {
   RankStats stats_;
   obs::RankTrace* trace_ = nullptr;
   par::Pool* pool_ = nullptr;
+  /// Per-source sets of wire sequence numbers already delivered; used to
+  /// drop injected duplicates. Receives with different tags may interleave
+  /// out of send order, so a last-seq comparison would misfire — membership
+  /// is the only correct test. Allocated only when a plan is installed.
+  std::vector<std::unordered_set<std::uint64_t>> seen_seqs_;
 };
 
 }  // namespace ardbt::mpsim

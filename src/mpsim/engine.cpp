@@ -29,6 +29,14 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
     throw std::invalid_argument("mpsim::run: threads_per_rank must be >= 1");
 
   World world(nranks, options.cost, options.timing, options.vtime_origin);
+  // An empty plan is equivalent to none: the per-message pointer test stays
+  // null and no wire framing is added.
+  if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+    options.fault_plan->prepare(nranks);
+    world.plan = options.fault_plan;
+  }
+  world.virtual_deadline = options.virtual_deadline;
+  world.recv_timeout_wall = options.recv_timeout_wall;
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
 

@@ -3,6 +3,8 @@
 #include <functional>
 #include <vector>
 
+#include "src/fault/plan.hpp"
+#include "src/fault/status.hpp"
 #include "src/mpsim/comm.hpp"
 #include "src/mpsim/costmodel.hpp"
 #include "src/mpsim/stats.hpp"
@@ -32,6 +34,21 @@ struct EngineOptions {
   /// Starting value of every rank's virtual clock. Lets a caller chain
   /// several runs (factor, then solves) into one seamless timeline.
   double vtime_origin = 0.0;
+  /// Deterministic fault schedule (not owned; must outlive the run). Null
+  /// or empty keeps the fault-free hot path: no wire framing, no
+  /// checksums, identical byte streams and virtual times.
+  fault::FaultPlan* fault_plan = nullptr;
+  /// A receive whose virtual wait exceeds this is counted as a deadline
+  /// miss (detection of delayed/straggling peers). 0 = off.
+  double virtual_deadline = 0.0;
+  /// Wall-clock seconds a blocked receive may wait before DeadlineError
+  /// (hang detector for crashed peers). 0 = wait forever.
+  double recv_timeout_wall = 0.0;
+  /// What solve drivers layered on this engine do on breakdown or a
+  /// recoverable fault; the engine itself only transports the setting.
+  fault::BreakdownPolicy on_breakdown = fault::BreakdownPolicy::kFailFast;
+  /// How often a driver may re-run after a transient fault (is_transient).
+  int max_fault_retries = 2;
 };
 
 /// Result of one run.

@@ -9,11 +9,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/fault/status.hpp"
+
 /// \file mailbox.hpp
 /// Per-rank message queue. One mailbox per rank; senders push, the owning
 /// rank pops by (source, tag). Matching is deterministic: among messages
 /// with the same (source, tag), FIFO order is preserved (MPI
-/// non-overtaking rule).
+/// non-overtaking rule). A pop may carry a wall-clock deadline — the hang
+/// detector behind crashed-peer recovery (fault::DeadlineError).
 
 namespace ardbt::mpsim {
 
@@ -45,8 +48,11 @@ class Mailbox {
   }
 
   /// Block until a message from `source` with `tag` is present, then remove
-  /// and return it. Throws AbortedError if `aborted` becomes true.
-  Message pop(int source, int tag, const std::atomic<bool>& aborted) {
+  /// and return it. Throws AbortedError if `aborted` becomes true, and
+  /// fault::DeadlineError once `timeout_wall` seconds (0 = never) elapse
+  /// without a match — the hang detector for crashed or wedged peers.
+  Message pop(int source, int tag, const std::atomic<bool>& aborted, double timeout_wall = 0.0) {
+    const auto t0 = std::chrono::steady_clock::now();
     std::unique_lock lock(mutex_);
     for (;;) {
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
@@ -57,6 +63,11 @@ class Mailbox {
         }
       }
       if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
+      if (timeout_wall > 0.0) {
+        const double waited = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        if (waited > timeout_wall) throw fault::DeadlineError(source, tag, waited);
+      }
       cv_.wait_for(lock, std::chrono::milliseconds(50));
     }
   }

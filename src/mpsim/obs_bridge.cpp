@@ -15,6 +15,9 @@ obs::Json to_json(const RankStats& stats) {
   j.set("virtual_time_s", stats.virtual_time);
   j.set("virtual_wait_s", stats.virtual_wait);
   j.set("wait_fraction", stats.wait_fraction());
+  j.set("faults_injected", stats.faults_injected);
+  j.set("faults_detected", stats.faults_detected);
+  j.set("deadline_misses", stats.deadline_misses);
   return j;
 }
 
@@ -37,6 +40,9 @@ void export_metrics(const RunReport& report, obs::MetricsRegistry& registry) {
   registry.counter("mpsim.bytes_received").add(totals.bytes_received);
   registry.counter("mpsim.flops_charged").add(totals.flops_charged);
   registry.counter("mpsim.cpu_seconds").add(totals.cpu_seconds);
+  registry.counter("mpsim.faults_injected").add(totals.faults_injected);
+  registry.counter("mpsim.faults_detected").add(totals.faults_detected);
+  registry.counter("mpsim.deadline_misses").add(totals.deadline_misses);
   registry.gauge("mpsim.max_virtual_time_s").set(report.max_virtual_time());
   registry.gauge("mpsim.wall_s").set(report.wall_seconds);
   for (std::size_t r = 0; r < report.ranks.size(); ++r) {

@@ -22,6 +22,13 @@ struct RankStats {
   double virtual_time = 0.0;
   /// Virtual seconds spent blocked waiting for messages.
   double virtual_wait = 0.0;
+  /// Faults a FaultPlan injected at this rank's sends.
+  std::uint64_t faults_injected = 0;
+  /// Injected faults this rank detected on receive (duplicates dropped,
+  /// corrupted payloads caught).
+  std::uint64_t faults_detected = 0;
+  /// Receives whose virtual wait exceeded the configured deadline.
+  std::uint64_t deadline_misses = 0;
 
   /// Run-level summary merge: counters and work sum across ranks, the
   /// virtual-clock fields take the maximum (the modeled parallel runtime
@@ -33,6 +40,9 @@ struct RankStats {
     bytes_received += o.bytes_received;
     flops_charged += o.flops_charged;
     cpu_seconds += o.cpu_seconds;
+    faults_injected += o.faults_injected;
+    faults_detected += o.faults_detected;
+    deadline_misses += o.deadline_misses;
     virtual_time = virtual_time > o.virtual_time ? virtual_time : o.virtual_time;
     virtual_wait = virtual_wait > o.virtual_wait ? virtual_wait : o.virtual_wait;
   }

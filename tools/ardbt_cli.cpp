@@ -25,6 +25,16 @@
 //                     phase spans on the virtual clock (docs/OBSERVABILITY.md)
 //   --json PATH       write the machine-readable run report
 //                     (schema ardbt.run_report v1)
+//   --on-breakdown M  failfast | refine | fallback — what the driver does
+//                     when a breakdown or recoverable fault is detected
+//                     (docs/ROBUSTNESS.md)
+//   --fault KIND      inject one deterministic fault: delay | dup | flip |
+//                     straggle | crash (repeatable; targets derived from
+//                     the flag's position so runs replay exactly)
+//   --plant-pivot I   overwrite diagonal block I with an (near-)singular
+//                     pivot before solving (see --plant-eps)
+//   --plant-eps E     smallest pivot magnitude planted by --plant-pivot
+//                     (default 0 = exactly singular)
 //   --list    print available methods/kinds/flags and exit
 //   --help    same as --list
 
@@ -41,6 +51,8 @@
 #include "src/core/flops.hpp"
 #include "src/core/refine.hpp"
 #include "src/core/solver.hpp"
+#include "src/fault/plan.hpp"
+#include "src/fault/status.hpp"
 #include "src/mpsim/obs_bridge.hpp"
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/metrics.hpp"
@@ -54,6 +66,7 @@ constexpr const char* kKnownFlags[] = {
     "--method", "--kind",     "--n",        "--m",      "--p",     "--r",
     "--seed",   "--timing",   "--threads",  "--refine", "--load-sys", "--save-sys",
     "--save-x", "--trace",    "--json",     "--list",   "--help",
+    "--on-breakdown", "--fault", "--plant-pivot", "--plant-eps",
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -118,6 +131,11 @@ void print_usage() {
   std::printf("  --trace PATH     write a Chrome/Perfetto trace (one track per\n");
   std::printf("                   rank, virtual clock; see docs/OBSERVABILITY.md)\n");
   std::printf("  --json PATH      write the ardbt.run_report v1 JSON report\n");
+  std::printf("  --on-breakdown M failfast | refine | fallback (default failfast)\n");
+  std::printf("  --fault KIND     inject delay | dup | flip | straggle | crash\n");
+  std::printf("                   (repeatable, deterministic; docs/ROBUSTNESS.md)\n");
+  std::printf("  --plant-pivot I  plant a singular pivot in diagonal block I\n");
+  std::printf("  --plant-eps E    planted pivot magnitude (default 0 = singular)\n");
   std::printf("  --list / --help  this message\n");
 }
 
@@ -137,6 +155,31 @@ btds::ProblemKind parse_kind(const std::string& s) {
   die("unknown problem kind '" + s + "'");
 }
 
+obs::Json fault_event_json(const fault::FaultEvent& e) {
+  obs::Json j = obs::Json::object();
+  j.set("kind", std::string(fault::to_string(e.kind)));
+  j.set("rank", e.rank);
+  j.set("peer", e.peer);
+  j.set("tag", e.tag);
+  j.set("seq", static_cast<std::int64_t>(e.seq));
+  j.set("vtime_s", e.vtime);
+  return j;
+}
+
+obs::Json outcome_json(const core::SolveOutcome& o) {
+  obs::Json j = obs::Json::object();
+  j.set("phase", o.phase);
+  j.set("action", o.action);
+  j.set("status", std::string(fault::to_string(o.status.code())));
+  if (!o.status.is_ok()) j.set("error", o.status.message());
+  j.set("retries", o.retries);
+  j.set("refine_steps", o.refine_steps);
+  if (o.residual >= 0.0) j.set("residual", o.residual);
+  if (o.pivot_growth > 0.0) j.set("pivot_growth", o.pivot_growth);
+  if (!o.detail.empty()) j.set("detail", o.detail);
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +190,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   int refine_steps = 0;
   std::string load_sys, save_sys, save_x, trace_path, json_path;
+  std::vector<std::string> fault_kinds;
+  la::index_t plant_pivot = -1;
+  double plant_eps = 0.0;
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.cost = mpsim::CostModel::cluster2014();
@@ -188,6 +234,17 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (flag == "--threads") {
       engine.threads_per_rank = std::atoi(next().c_str());
+    } else if (flag == "--on-breakdown") {
+      const std::string v = next();
+      const auto policy = fault::parse_breakdown_policy(v);
+      if (!policy) die("unknown breakdown policy '" + v + "'");
+      engine.on_breakdown = *policy;
+    } else if (flag == "--fault") {
+      fault_kinds.push_back(next());
+    } else if (flag == "--plant-pivot") {
+      plant_pivot = std::atoll(next().c_str());
+    } else if (flag == "--plant-eps") {
+      plant_eps = std::atof(next().c_str());
     } else if (flag == "--timing") {
       const std::string v = next();
       if (v == "charged") {
@@ -214,8 +271,39 @@ int main(int argc, char** argv) {
   } else {
     sys = btds::make_problem(kind, n, m, seed);
   }
+  if (plant_pivot >= 0) {
+    if (plant_pivot >= n) die("--plant-pivot block row out of range");
+    btds::plant_singular_pivot(sys, plant_pivot, plant_eps);
+  }
   if (!save_sys.empty()) btds::save_block_tridiag(save_sys, sys);
   const la::Matrix b = btds::make_rhs(n, m, r, seed + 1);
+
+  // Deterministic fault schedule: the k-th --fault targets rank (1+k) mod P
+  // on that rank's (2+k)-th send, so a given command line replays exactly.
+  fault::FaultPlan plan;
+  for (std::size_t k = 0; k < fault_kinds.size(); ++k) {
+    const std::string& fk = fault_kinds[k];
+    const int rank = static_cast<int>((1 + k) % static_cast<std::size_t>(p));
+    const std::uint64_t nth = 2 + k;
+    if (fk == "delay") {
+      plan.delay_message(rank, nth, 5e-3);
+    } else if (fk == "dup") {
+      plan.duplicate_message(rank, nth);
+    } else if (fk == "flip") {
+      plan.flip_bit(rank, nth, 17 * (k + 1));
+    } else if (fk == "straggle") {
+      plan.straggle(rank, nth, 5e-3);
+    } else if (fk == "crash") {
+      plan.crash_before_send(rank, nth);
+    } else {
+      die("unknown fault kind '" + fk + "' (delay|dup|flip|straggle|crash)");
+    }
+  }
+  if (!plan.empty()) {
+    engine.fault_plan = &plan;
+    engine.recv_timeout_wall = 10.0;  // hang detector (wall seconds)
+    engine.virtual_deadline = 2e-3;   // flags the injected 5e-3 s delay
+  }
 
   // Event tracing powers both --trace (the timeline itself) and --json
   // (per-phase byte counters + message-size histogram).
@@ -224,60 +312,95 @@ int main(int argc, char** argv) {
 
   core::DriverResult res;
   core::RefineResult refined;
-  if (refine_steps > 0 && method == core::Method::kArd) {
-    res.x.resize(b.rows(), b.cols());
-    const btds::RowPartition part(n, p);
-    res.report = mpsim::run(
-        p,
-        [&](mpsim::Comm& comm) {
-          mpsim::barrier(comm);
-          const double t0 = comm.vtime();
-          auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
-          const auto f = core::ArdFactorization::factor(comm, sys, part);
-          mpsim::barrier(comm);
-          factor_span.close();
-          if (comm.rank() == 0) res.factor_vtime = comm.vtime() - t0;
-          const double t1 = comm.vtime();
-          auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
-          const auto rr = core::solve_refined(comm, f, sys, part, b, res.x, refine_steps, 0.0);
-          mpsim::barrier(comm);
-          solve_span.close();
-          if (comm.rank() == 0) {
-            res.solve_vtime = comm.vtime() - t1;
-            refined = rr;
-          }
-        },
-        engine);
-  } else {
-    core::Session session(method, sys, p, {}, engine);
-    session.factor();
-    res.x = session.solve(b);
-    res.report = session.report();
-    res.factor_vtime = session.factor_vtime();
-    res.solve_vtime = session.solve_vtimes().back();
+  bool degraded = false;
+  double pivot_growth = 0.0;
+  fault::Status solve_status = fault::Status::ok();
+  try {
+    if (refine_steps > 0 && method == core::Method::kArd) {
+      res.x.resize(b.rows(), b.cols());
+      const btds::RowPartition part(n, p);
+      res.report = mpsim::run(
+          p,
+          [&](mpsim::Comm& comm) {
+            mpsim::barrier(comm);
+            const double t0 = comm.vtime();
+            auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
+            const auto f = core::ArdFactorization::factor(comm, sys, part);
+            mpsim::barrier(comm);
+            factor_span.close();
+            if (comm.rank() == 0) res.factor_vtime = comm.vtime() - t0;
+            const double t1 = comm.vtime();
+            auto solve_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
+            const auto rr = core::solve_refined(comm, f, sys, part, b, res.x, refine_steps, 0.0);
+            mpsim::barrier(comm);
+            solve_span.close();
+            if (comm.rank() == 0) {
+              res.solve_vtime = comm.vtime() - t1;
+              refined = rr;
+            }
+          },
+          engine);
+    } else {
+      core::Session session(method, sys, p, {}, engine);
+      session.factor();
+      res.x = session.solve(b);
+      res.report = session.report();
+      res.factor_vtime = session.factor_vtime();
+      res.solve_vtime = session.solve_vtimes().back();
+      res.outcomes = session.outcomes();
+      degraded = session.degraded();
+      pivot_growth = session.pivot_growth();
+    }
+  } catch (const fault::SolveError& e) {
+    solve_status = e.status();
   }
+  const bool failed = !solve_status.is_ok();
 
-  const double residual = btds::relative_residual(sys, res.x, b);
+  const double residual = failed ? -1.0 : btds::relative_residual(sys, res.x, b);
   const auto totals = res.report.totals();
   std::printf("ardbt: method=%s kind=%s N=%lld M=%lld P=%d R=%lld\n",
               std::string(core::to_string(method)).c_str(),
               std::string(btds::to_string(kind)).c_str(), static_cast<long long>(n),
               static_cast<long long>(m), p, static_cast<long long>(r));
-  std::printf("  factor time : %.4g s (virtual)\n", res.factor_vtime);
-  std::printf("  solve time  : %.4g s (virtual)\n", res.solve_vtime);
-  std::printf("  wall time   : %.4g s (host, %d oversubscribed threads)\n",
-              res.report.wall_seconds, p);
-  std::printf("  flops       : %.4g total, %.4g msgs, %.4g MB sent\n", totals.flops_charged,
-              static_cast<double>(totals.msgs_sent),
-              static_cast<double>(totals.bytes_sent) / 1e6);
-  std::printf("  residual    : %.3e\n", residual);
-  if (refine_steps > 0 && !refined.residual_norms.empty()) {
-    std::printf("  refinement  : %d steps, ||r|| %.3e -> %.3e\n", refined.steps,
-                refined.residual_norms.front(), refined.residual_norms.back());
+  if (!failed) {
+    std::printf("  factor time : %.4g s (virtual)\n", res.factor_vtime);
+    std::printf("  solve time  : %.4g s (virtual)\n", res.solve_vtime);
+    std::printf("  wall time   : %.4g s (host, %d oversubscribed threads)\n",
+                res.report.wall_seconds, p);
+    std::printf("  flops       : %.4g total, %.4g msgs, %.4g MB sent\n", totals.flops_charged,
+                static_cast<double>(totals.msgs_sent),
+                static_cast<double>(totals.bytes_sent) / 1e6);
+    std::printf("  residual    : %.3e\n", residual);
+    if (refine_steps > 0 && !refined.residual_norms.empty()) {
+      std::printf("  refinement  : %d steps, ||r|| %.3e -> %.3e\n", refined.steps,
+                  refined.residual_norms.front(), refined.residual_norms.back());
+    }
+    std::printf("  model       : rd-per-rhs/ard speedup at this shape = %.3g\n",
+                core::flops::predicted_speedup(n, m, r, p));
   }
-  std::printf("  model       : rd-per-rhs/ard speedup at this shape = %.3g\n",
-              core::flops::predicted_speedup(n, m, r, p));
-  if (!save_x.empty()) {
+  bool eventful = !plan.empty() || failed || degraded;
+  for (const auto& o : res.outcomes) {
+    if (o.action != "ok" || o.retries > 0) eventful = true;
+  }
+  if (eventful) {
+    std::string actions;
+    for (const auto& o : res.outcomes) {
+      if (!actions.empty()) actions += ",";
+      actions += o.phase + ":" + o.action;
+      if (o.retries > 0) actions += "+retry" + std::to_string(o.retries);
+    }
+    std::printf("  robustness  : policy=%s injected=%zu detected=%zu growth=%.3g%s%s%s\n",
+                std::string(fault::to_string(engine.on_breakdown)).c_str(),
+                plan.injected().size(), plan.detected().size(), pivot_growth,
+                degraded ? " degraded" : "", actions.empty() ? "" : " actions=",
+                actions.c_str());
+  }
+  if (failed) {
+    std::fprintf(stderr, "ardbt: error: [%s] %s\n",
+                 std::string(fault::to_string(solve_status.code())).c_str(),
+                 solve_status.message().c_str());
+  }
+  if (!failed && !save_x.empty()) {
     if (save_x.size() > 4 && save_x.substr(save_x.size() - 4) == ".csv") {
       btds::save_matrix_csv(save_x, res.x);
     } else {
@@ -307,7 +430,8 @@ int main(int argc, char** argv) {
         .config("timing",
                 engine.timing == mpsim::TimingMode::ChargedFlops ? "charged" : "measured")
         .config("threads", engine.threads_per_rank)
-        .config("refine", refine_steps);
+        .config("refine", refine_steps)
+        .config("on_breakdown", std::string(fault::to_string(engine.on_breakdown)));
     obs::Json timing = obs::Json::object();
     timing.set("factor_vtime_s", res.factor_vtime);
     timing.set("solve_vtime_s", res.solve_vtime);
@@ -324,9 +448,32 @@ int main(int argc, char** argv) {
       report.set_section("ranks", std::move(ranks));
     }
     report.set_section("metrics", metrics.to_json());
+    {
+      // Robustness: policy, per-phase outcomes, and the full fault log —
+      // every injected fault plus every detection/recovery action.
+      obs::Json robustness = obs::Json::object();
+      robustness.set("policy", std::string(fault::to_string(engine.on_breakdown)));
+      robustness.set("ok", !failed);
+      if (failed) {
+        robustness.set("error_code", std::string(fault::to_string(solve_status.code())));
+        robustness.set("error", solve_status.message());
+      }
+      robustness.set("degraded", degraded);
+      robustness.set("pivot_growth", pivot_growth);
+      obs::Json outcomes = obs::Json::array();
+      for (const auto& o : res.outcomes) outcomes.push(outcome_json(o));
+      robustness.set("outcomes", std::move(outcomes));
+      obs::Json injected = obs::Json::array();
+      for (const auto& e : plan.injected()) injected.push(fault_event_json(e));
+      robustness.set("faults_injected", std::move(injected));
+      obs::Json detected = obs::Json::array();
+      for (const auto& e : plan.detected()) detected.push(fault_event_json(e));
+      robustness.set("faults_detected", std::move(detected));
+      report.set_section("robustness", std::move(robustness));
+    }
     report.write(json_path);
     std::printf("  report      : saved to %s (schema %s v%d)\n", json_path.c_str(),
                 obs::kRunReportSchema, obs::kRunReportVersion);
   }
-  return 0;
+  return failed ? 1 : 0;
 }

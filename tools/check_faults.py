@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Robustness gate for the fault-injection harness (docs/ROBUSTNESS.md).
+
+Drives the ardbt CLI through a matrix of injected faults and planted
+numerical breakdowns, under every --on-breakdown policy, and checks the
+contract of the degradation ladder:
+
+* no run ever crashes (exit code is 0 or 1 — never a signal) or hangs
+  (each subprocess gets a hard wall-clock timeout);
+* a failed run reports a structured error ("ardbt: error: [code] ...")
+  on stderr, not a raw abort;
+* every recovered run reaches a residual at or below 1e-10;
+* under --on-breakdown fallback every scenario recovers (exit 0), and
+  the --json run report lists each injected fault in
+  sections.robustness.faults_injected.
+
+Usage: check_faults.py /path/to/ardbt
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SHAPE = ["--n", "64", "--m", "4", "--p", "4", "--r", "8"]
+RESIDUAL_TOL = 1e-10
+TIMEOUT_S = 120  # generous hang detector; normal runs take well under 1 s
+
+FAULTS = ["delay", "dup", "flip", "straggle", "crash"]
+POLICIES = ["failfast", "refine", "fallback"]
+# Destructive injections abort a failfast run; everything else recovers.
+EXPECT_FAIL = {("flip", "failfast"), ("crash", "failfast")}
+
+
+def fail(msg):
+    print(f"check_faults: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cli, extra, report_path):
+    cmd = [cli, *SHAPE, "--json", str(report_path), *extra]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        fail(f"{' '.join(cmd)} hung for {TIMEOUT_S}s")
+    if proc.returncode not in (0, 1):
+        fail(f"{' '.join(cmd)} exited {proc.returncode} "
+             f"(crash, not a structured error):\n{proc.stderr}")
+    return proc
+
+
+def robustness(report_path):
+    doc = json.loads(Path(report_path).read_text())
+    sections = doc.get("sections", doc)
+    if "robustness" not in sections:
+        fail(f"{report_path} has no robustness section")
+    return sections
+
+
+def check_case(cli, tmp, scenario, extra, policy, expect_fail, n_injected):
+    report_path = Path(tmp) / "report.json"
+    proc = run(cli, [*extra, "--on-breakdown", policy], report_path)
+    label = f"{scenario} / --on-breakdown {policy}"
+    sections = robustness(report_path)
+    rob = sections["robustness"]
+
+    if expect_fail:
+        if proc.returncode != 1:
+            fail(f"{label}: expected a reported failure, got exit 0")
+        if "ardbt: error: [" not in proc.stderr:
+            fail(f"{label}: exit 1 without a structured error line:"
+                 f"\n{proc.stderr}")
+        if rob["ok"]:
+            fail(f"{label}: run report claims ok despite the failure")
+        return
+
+    if proc.returncode != 0:
+        fail(f"{label}: expected recovery, got exit {proc.returncode}:"
+             f"\n{proc.stderr}")
+    residual = sections["accuracy"]["relative_residual"]
+    if not residual <= RESIDUAL_TOL:
+        fail(f"{label}: recovered residual {residual} > {RESIDUAL_TOL}")
+    if len(rob["faults_injected"]) != n_injected:
+        fail(f"{label}: report lists {len(rob['faults_injected'])} injected "
+             f"faults, expected {n_injected}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_faults.py /path/to/ardbt")
+    cli = sys.argv[1]
+    cases = 0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Injected communication faults, one kind at a time.
+        for kind in FAULTS:
+            for policy in POLICIES:
+                check_case(cli, tmp, f"--fault {kind}", ["--fault", kind],
+                           policy, (kind, policy) in EXPECT_FAIL, 1)
+                cases += 1
+
+        # Planted numerical breakdowns: exactly singular and near-singular.
+        for eps, name in [("0", "singular"), ("1e-13", "near-singular")]:
+            plant = ["--plant-pivot", "0", "--plant-eps", eps]
+            for policy in POLICIES:
+                check_case(cli, tmp, f"{name} pivot", plant, policy,
+                           policy == "failfast", 0)
+                cases += 1
+
+        # The acceptance combo: singular pivot + corrupted message under
+        # fallback must still recover to an accurate solution.
+        check_case(cli, tmp, "singular pivot + flip",
+                   ["--plant-pivot", "0", "--fault", "flip"], "fallback",
+                   False, 1)
+        cases += 1
+
+    print(f"check_faults: OK ({cases} scenarios)")
+
+
+if __name__ == "__main__":
+    main()
