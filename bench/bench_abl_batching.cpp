@@ -13,12 +13,12 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t n = 1024;
-  const la::index_t m = 16;
-  const la::index_t r_total = 256;
-  const int p = 4;
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t n = args.smoke() ? 64 : 1024;
+  const la::index_t m = args.smoke() ? 8 : 16;
+  const la::index_t r_total = args.smoke() ? 16 : 256;
+  const int p = 4;
   bench::JsonReport report(args, "bench_abl_batching");
   report.config("n", n).config("m", m).config("r_total", r_total).config("p", p)
       .config("cost_model", engine.cost.name);
@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(r_total), p);
   bench::Table table({"k_batches", "R_each", "t_ard[s]", "t_rd_refactor[s]", "rd/ard"});
 
-  for (la::index_t k : {1, 4, 16, 64, 256}) {
+  for (la::index_t k : args.smoke() ? std::vector<la::index_t>{1, 4, 16}
+                                    : std::vector<la::index_t>{1, 4, 16, 64, 256}) {
     const la::index_t r_each = r_total / k;
     std::vector<la::Matrix> batches;
     for (la::index_t s = 0; s < k; ++s) {

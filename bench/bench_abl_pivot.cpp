@@ -14,11 +14,11 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t n = 2048;
-  const la::index_t r = 32;
-  const int p = 4;
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t n = args.smoke() ? 128 : 2048;
+  const la::index_t r = args.smoke() ? 4 : 32;
+  const int p = 4;
   bench::JsonReport report(args, "bench_abl_pivot");
   report.config("n", n).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(n), static_cast<long long>(r), p);
   bench::Table table({"M", "t_factor_lu[s]", "t_factor_chol[s]", "lu/chol", "residual_lu",
                       "residual_chol"});
-  for (la::index_t m : {4, 8, 16, 32}) {
+  for (la::index_t m : args.smoke() ? std::vector<la::index_t>{4, 8}
+                                    : std::vector<la::index_t>{4, 8, 16, 32}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kPoisson2D, n, m);
     const auto b = btds::make_rhs(n, m, r);
     const btds::RowPartition part(n, p);

@@ -33,10 +33,11 @@ std::string guarded(const btds::BlockTridiag& sys, const la::Matrix& b,
   }
 }
 
-void sweep(la::index_t m, const char* label, bench::JsonReport& report) {
+void sweep(la::index_t m, bool smoke, const char* label, bench::JsonReport& report) {
   std::printf("\n### %s (M = %lld)\n", label, static_cast<long long>(m));
   bench::Table table({"N", "shooting", "transfer_noscale", "transfer_rescaled", "ard_twoport"});
-  for (la::index_t n : {16, 32, 64, 128, 256, 512, 1024}) {
+  for (la::index_t n : smoke ? std::vector<la::index_t>{16, 32, 64}
+                             : std::vector<la::index_t>{16, 32, 64, 128, 256, 512, 1024}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kPoisson2D, n, m);
     const auto b = btds::make_rhs(n, m, 2);
     table.add_row(
@@ -62,9 +63,10 @@ int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   bench::JsonReport report(args, "bench_abl_scaling");
   std::printf("# B-abl-scaling: prefix-operator stability tiers (2-D Poisson family)\n");
-  sweep(1, "scalar blocks: a single growing mode, so rescaled transfer RD survives", report);
-  sweep(4, "block size 4: spectral spread kills the transfer pair, two-port unaffected",
-        report);
+  sweep(1, args.smoke(),
+        "scalar blocks: a single growing mode, so rescaled transfer RD survives", report);
+  sweep(4, args.smoke(),
+        "block size 4: spectral spread kills the transfer pair, two-port unaffected", report);
   report.write();
   return 0;
 }

@@ -17,10 +17,10 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t n = 4096;
-  const la::index_t m = 16;
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t n = args.smoke() ? 128 : 4096;
+  const la::index_t m = args.smoke() ? 8 : 16;
   bench::JsonReport report(args, "bench_abl_update");
   report.config("n", n).config("m", m).config("cost_model", engine.cost.name);
 
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(n), static_cast<long long>(m));
   bench::Table table({"P", "t_factor[s]", "t_update[s]", "flops_factor", "flops_update",
                       "work_saved"});
-  for (int p : {2, 4, 16, 64}) {
+  for (int p : args.smoke() ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 16, 64}) {
     btds::BlockTridiag sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const btds::RowPartition part(n, p);
     double t_factor = 0.0;

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,9 +30,11 @@ namespace ardbt::bench {
 /// Shared command line of every experiment binary:
 ///   --json FILE   mirror the printed tables into an ardbt.run_report v1
 ///   --threads T   worker threads per rank for pool-aware sections
+///   --smoke       tiny problem shapes, for CI smoke runs
 ///   --help/--list usage
 /// Unknown flags exit(2) with a nearest-flag suggestion (edit distance),
-/// matching the ardbt CLI's behavior.
+/// matching the ardbt CLI's behavior; malformed numeric values take the
+/// structured `error: [invalid-argument]` path with exit 1.
 class Args {
  public:
   Args(int argc, char** argv) : program_(argc > 0 ? argv[0] : "bench") {
@@ -41,13 +45,14 @@ class Args {
         return argv[++i];
       };
       if (flag == "--help" || flag == "--list") {
-        std::printf("usage: %s [--json FILE] [--threads T]\n", program_.c_str());
+        std::printf("usage: %s [--json FILE] [--threads T] [--smoke]\n", program_.c_str());
         std::exit(0);
       } else if (flag == "--json") {
         json_path_ = next();
       } else if (flag == "--threads") {
-        threads_ = std::atoi(next().c_str());
-        if (threads_ < 1) die("--threads must be positive");
+        threads_ = parse_positive_int(flag, next());
+      } else if (flag == "--smoke") {
+        smoke_ = true;
       } else {
         die_unknown(flag);
       }
@@ -57,9 +62,27 @@ class Args {
   const std::string& json_path() const { return json_path_; }
   /// Worker threads per rank (EngineOptions::threads_per_rank).
   int threads() const { return threads_; }
+  /// Shrink the sweep to a seconds-scale shape (ctest smoke runs).
+  bool smoke() const { return smoke_; }
 
  private:
-  static constexpr const char* kFlags[] = {"--json", "--threads", "--help", "--list"};
+  static constexpr const char* kFlags[] = {"--json", "--threads", "--smoke", "--help", "--list"};
+
+  /// Strict parse of a positive integer flag value: the whole token must
+  /// be a decimal number >= 1. Garbage, zero, and negative values take
+  /// the structured error path (exit 1), matching the ardbt CLI.
+  int parse_positive_int(const std::string& flag, const std::string& text) const {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE || v < 1 ||
+        v > std::numeric_limits<int>::max()) {
+      std::fprintf(stderr, "%s: error: [invalid-argument] %s expects a positive integer, got '%s'\n",
+                   program_.c_str(), flag.c_str(), text.c_str());
+      std::exit(1);
+    }
+    return static_cast<int>(v);
+  }
 
   [[noreturn]] void die(const std::string& message) const {
     std::fprintf(stderr, "%s: %s (try --help)\n", program_.c_str(), message.c_str());
@@ -103,6 +126,7 @@ class Args {
   std::string program_;
   std::string json_path_;
   int threads_ = 1;
+  bool smoke_ = false;
 };
 
 /// Engine options for the virtual-time experiments: deterministic

@@ -29,10 +29,13 @@ namespace {
 
 using namespace ardbt;
 
-void run_for_block_size(la::index_t m, bench::JsonReport& report) {
-  const la::index_t n = 512;
+void run_for_block_size(la::index_t m, bool smoke, bench::JsonReport& report) {
+  const la::index_t n = smoke ? 64 : 512;
   const int p = 4;
-  const std::vector<la::index_t> rs = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  // Smoke keeps rs[2] == 4 so the RD-per-RHS identity check below still runs.
+  const std::vector<la::index_t> rs =
+      smoke ? std::vector<la::index_t>{1, 2, 4, 8}
+            : std::vector<la::index_t>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
 
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
   std::vector<la::Matrix> batches;
@@ -74,8 +77,8 @@ void run_for_block_size(la::index_t m, bench::JsonReport& report) {
 // P = 1 keeps the host's cores for the pool (with P simulated rank
 // threads plus pools the run would oversubscribe), and makes the whole
 // solve the panel-parallel hot path.
-void run_threads_scaling(bench::JsonReport& report) {
-  const la::index_t n = 128, m = 32, r = 1024;
+void run_threads_scaling(bool smoke, bench::JsonReport& report) {
+  const la::index_t n = smoke ? 32 : 128, m = 32, r = smoke ? 32 : 1024;
   const int p = 1;
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
   const la::Matrix b = btds::make_rhs(n, m, r, /*seed=*/7);
@@ -91,7 +94,7 @@ void run_threads_scaling(bench::JsonReport& report) {
   la::Matrix reference;
   double t1 = 0.0;
   bench::Table table({"workers", "t_solve_wall[s]", "speedup", "bit_identical"});
-  for (int workers : {1, 2, 4, 8}) {
+  for (int workers : smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8}) {
     mpsim::EngineOptions engine = bench::virtual_engine();
     engine.threads_per_rank = workers;
     core::Session session(core::Method::kArd, sys, p, {}, engine);
@@ -116,13 +119,17 @@ void run_threads_scaling(bench::JsonReport& report) {
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   bench::JsonReport report(args, "bench_f1_speedup_vs_R");
-  report.config("n", 512).config("p", 4).config("cost_model",
-                                                bench::virtual_engine().cost.name);
+  report.config("n", args.smoke() ? 64 : 512)
+      .config("p", 4)
+      .config("cost_model", bench::virtual_engine().cost.name);
   std::printf("# F1: ARD speedup over per-RHS recursive doubling vs R\n");
   std::printf("# (virtual time, calibrated %s)\n",
               bench::virtual_engine().cost.name.c_str());
-  for (la::index_t m : {4, 8, 16, 32}) run_for_block_size(m, report);
-  run_threads_scaling(report);
+  for (la::index_t m : args.smoke() ? std::vector<la::index_t>{4, 8}
+                                    : std::vector<la::index_t>{4, 8, 16, 32}) {
+    run_for_block_size(m, args.smoke(), report);
+  }
+  run_threads_scaling(args.smoke(), report);
   report.write();
   return 0;
 }

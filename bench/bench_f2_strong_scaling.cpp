@@ -14,12 +14,12 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t n = 4096;
-  const la::index_t m = 16;
-  const la::index_t r = 128;
-
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t n = args.smoke() ? 64 : 4096;
+  const la::index_t m = 16;
+  const la::index_t r = args.smoke() ? 8 : 128;
+  const int p_max = args.smoke() ? 4 : 1024;
   bench::JsonReport report(args, "bench_f2_strong_scaling");
   report.config("n", n).config("m", m).config("r", r).config("cost_model", engine.cost.name);
   const core::PerfModel model(engine.cost);
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                       "model_rd_per_rhs[s]", "speedup_vs_P1", "ideal"});
 
   double t1 = 0.0;
-  for (int p = 1; p <= 1024; p *= 2) {
+  for (int p = 1; p <= p_max; p *= 2) {
     const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);
     const double t_ard = res.factor_vtime + res.solve_vtime;
     if (p == 1) t1 = t_ard;

@@ -10,11 +10,11 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t m = 16;
-  const la::index_t r = 64;
-  const int p = 16;
   const auto engine = ardbt::bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t m = 16;
+  const la::index_t r = args.smoke() ? 8 : 64;
+  const int p = args.smoke() ? 4 : 16;
   bench::JsonReport report(args, "bench_f3_scaling_N");
   report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(r), p);
   bench::Table table(
       {"N", "t_factor[s]", "t_solve[s]", "t_ard[s]", "t/N [us]", "rd_per_rhs/ard"});
-  for (la::index_t n : {256, 512, 1024, 2048, 4096, 8192, 16384}) {
+  for (la::index_t n : args.smoke()
+                           ? std::vector<la::index_t>{32, 64}
+                           : std::vector<la::index_t>{256, 512, 1024, 2048, 4096, 8192,
+                                                      16384}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
     const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);

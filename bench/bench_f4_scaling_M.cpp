@@ -10,11 +10,11 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t n = 1024;
-  const la::index_t r = 64;
-  const int p = 8;
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t n = args.smoke() ? 64 : 1024;
+  const la::index_t r = args.smoke() ? 8 : 64;
+  const int p = args.smoke() ? 4 : 8;
   bench::JsonReport report(args, "bench_f4_scaling_M");
   report.config("n", n).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(r), p);
   bench::Table table({"M", "t_factor[s]", "t_solve[s]", "factor/M^3 [ns]", "solve/(M^2 R) [ns]",
                       "factor/solve_per_rhs"});
-  for (la::index_t m : {2, 4, 8, 16, 32, 64}) {
+  for (la::index_t m : args.smoke() ? std::vector<la::index_t>{2, 4, 8}
+                                    : std::vector<la::index_t>{2, 4, 8, 16, 32, 64}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
     const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);

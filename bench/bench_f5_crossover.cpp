@@ -15,11 +15,12 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t n = 2048;
-  const la::index_t m = 8;
-  const la::index_t r = 32;
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t n = args.smoke() ? 64 : 2048;
+  const la::index_t m = 8;
+  const la::index_t r = args.smoke() ? 4 : 32;
+  const int p_max = args.smoke() ? 4 : 256;
   bench::JsonReport report(args, "bench_f5_crossover");
   report.config("n", n).config("m", m).config("r", r).config("cost_model", engine.cost.name);
   const core::PerfModel model(engine.cost);
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
   bench::Table table({"P", "t_ard[s]", "t_rd[s]", "ard/thomas", "rd/thomas"});
   int ard_crossover = -1;
   int rd_crossover = -1;
-  for (int p = 1; p <= 256; p *= 2) {
+  for (int p = 1; p <= p_max; p *= 2) {
     const auto ard = core::solve(core::Method::kArd, sys, b, p, {}, engine);
     const auto rd = core::solve(core::Method::kRdBatched, sys, b, p, {}, engine);
     const double t_ard = ard.factor_vtime + ard.solve_vtime;

@@ -15,11 +15,11 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t m = 16;
-  const la::index_t r = 64;
-  const int p = 16;
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t m = 16;
+  const la::index_t r = args.smoke() ? 8 : 64;
+  const int p = args.smoke() ? 4 : 16;
   bench::JsonReport report(args, "bench_f6_rd_vs_pcr");
   report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(m), static_cast<long long>(r), p);
   bench::Table table({"N", "ard_factor[s]", "pcr_factor[s]", "ard_solve[s]", "pcr_solve[s]",
                       "pcr/ard_total", "log2N"});
-  for (la::index_t n : {256, 1024, 4096, 16384}) {
+  for (la::index_t n : args.smoke() ? std::vector<la::index_t>{64, 128}
+                                    : std::vector<la::index_t>{256, 1024, 4096, 16384}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
     const auto ard = core::solve(core::Method::kArd, sys, b, p, {}, engine);

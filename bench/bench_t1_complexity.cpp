@@ -68,11 +68,14 @@ int main(int argc, char** argv) {
     la::index_t n, m, r;
     int p;
   };
-  const std::vector<Config> configs = {
-      {512, 8, 16, 1},   {512, 8, 16, 4},   {512, 8, 16, 16},  {2048, 8, 16, 16},
-      {2048, 16, 16, 16}, {2048, 32, 16, 16}, {2048, 16, 64, 16}, {2048, 16, 256, 16},
-      {2048, 16, 1024, 16}, {4096, 16, 64, 32},
-  };
+  const std::vector<Config> configs =
+      args.smoke() ? std::vector<Config>{{64, 4, 4, 2}, {64, 8, 4, 4}}
+                   : std::vector<Config>{
+                         {512, 8, 16, 1},   {512, 8, 16, 4},   {512, 8, 16, 16},
+                         {2048, 8, 16, 16}, {2048, 16, 16, 16}, {2048, 32, 16, 16},
+                         {2048, 16, 64, 16}, {2048, 16, 256, 16}, {2048, 16, 1024, 16},
+                         {4096, 16, 64, 32},
+                     };
   for (const Config& c : configs) {
     const Sample s = measure(c.n, c.m, c.p, c.r);
     const double fm = core::flops::ard_factor(c.n, c.m, c.p);

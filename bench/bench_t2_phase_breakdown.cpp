@@ -12,12 +12,12 @@
 
 int main(int argc, char** argv) {
   using namespace ardbt;
-  const la::index_t n = 2048;
-  const la::index_t m = 32;
-  const la::index_t r = 128;  // per batch
-  const int num_batches = 4;
   const auto engine = bench::virtual_engine();
   const bench::Args args(argc, argv);
+  const la::index_t n = args.smoke() ? 64 : 2048;
+  const la::index_t m = args.smoke() ? 8 : 32;
+  const la::index_t r = args.smoke() ? 8 : 128;  // per batch
+  const int num_batches = 4;
   bench::JsonReport report(args, "bench_t2_phase_breakdown");
   report.config("n", n).config("m", m).config("r", r).config("num_batches", num_batches)
       .config("cost_model", engine.cost.name);
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   for (const auto& b : batches) ptrs.push_back(&b);
 
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
-  for (int p : {1, 4, 16, 64}) {
+  for (int p : args.smoke() ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16, 64}) {
     const auto session = core::ard_session(sys, ptrs, p, {}, engine);
     double solve_sum = 0.0;
     for (double t : session.solve_vtimes) solve_sum += t;

@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
     std::printf("\n### %s\n", std::string(btds::to_string(kind)).c_str());
     bench::Table table({"N", "thomas", "cyclic_red", "ard(P=4)", "rd(P=4)", "transfer_rd",
                         "shooting"});
-    for (la::index_t n : {16, 64, 256, 1024}) {
+    for (la::index_t n : args.smoke() ? std::vector<la::index_t>{16, 64}
+                                      : std::vector<la::index_t>{16, 64, 256, 1024}) {
       const auto sys = btds::make_problem(kind, n, m);
       const auto b = btds::make_rhs(n, m, r);
       table.add_row(

@@ -21,8 +21,11 @@ int main(int argc, char** argv) {
     la::index_t n, m;
     int p;
   };
-  for (const Config& c : {Config{512, 8, 4}, Config{2048, 8, 4}, Config{8192, 8, 4},
-                          Config{2048, 16, 4}, Config{2048, 32, 4}, Config{2048, 16, 16}}) {
+  const std::vector<Config> configs =
+      args.smoke() ? std::vector<Config>{{64, 4, 2}, {128, 8, 4}}
+                   : std::vector<Config>{{512, 8, 4},   {2048, 8, 4},  {8192, 8, 4},
+                                         {2048, 16, 4}, {2048, 32, 4}, {2048, 16, 16}};
+  for (const Config& c : configs) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, c.n, c.m);
     const btds::RowPartition part(c.n, c.p);
     std::size_t ard_bytes = 0;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/btds/block_tridiag.hpp"
@@ -9,6 +10,9 @@
 
 namespace ardbt::par {
 class Pool;
+}
+namespace ardbt::la {
+class Workspace;
 }
 
 /// \file thomas.hpp
@@ -51,7 +55,11 @@ class ThomasFactorization {
   /// recurrences run along block rows, so columns never couple). Each
   /// column sees the exact serial operation order — the result is
   /// bit-identical for any pool size.
-  Matrix solve(const Matrix& b, par::Pool* pool = nullptr) const;
+  ///
+  /// A non-null `ws` sources the result matrix from the workspace arena
+  /// (the caller owns it and may release it back); results are
+  /// bit-identical with or without one.
+  Matrix solve(const Matrix& b, par::Pool* pool = nullptr, la::Workspace* ws = nullptr) const;
 
   index_t num_blocks() const { return n_; }
   index_t block_size() const { return m_; }
@@ -69,17 +77,50 @@ class ThomasFactorization {
   void pivot_solve(index_t i, la::MatrixView b) const;
 
   /// Both sweeps on one column panel of x (pre-initialized with b's
-  /// columns). Strided views keep this zero-copy.
+  /// columns). Strided views keep this zero-copy. For dispatchable block
+  /// sizes with LU pivots, the fixed-M microkernel sweep below runs
+  /// instead — one M-dispatch per panel rather than one per block.
   void solve_panel(la::MatrixView x) const;
+  template <index_t M>
+  void solve_panel_fixed(la::MatrixView x) const;
+
+  /// Slab-resident LU factor sweep (see the member comments below): the
+  /// whole factorization runs in three contiguous slabs with one
+  /// M-dispatch and zero per-block allocations.
+  template <index_t M>
+  void factor_slab(const BlockTridiag& t);
+
+  /// Per-block views that read whichever representation this
+  /// factorization was built with.
+  la::ConstMatrixView lower_view(index_t i) const;
+  la::ConstMatrixView g_view(index_t i) const;
+  la::ConstMatrixView pivot_lu_view(index_t i) const;
+  const la::index_t* pivot_piv(index_t i) const;
 
   index_t n_ = 0;
   index_t m_ = 0;
   PivotKind pivot_ = PivotKind::kLu;
+  bool slab_ = false;  ///< true when the slab representation is in use
   fault::PivotDiagnostics diag_;
+  // Per-block representation (kCholesky always; kLu when the smallblock
+  // layer is disabled or M is not dispatchable at factor time).
   std::vector<la::LuFactors> pivot_lu_;          // LU of D'_i (kLu)
   std::vector<la::CholeskyFactors> pivot_chol_;  // Cholesky of D'_i (kCholesky)
   std::vector<Matrix> g_;                        // G_i = D'_i^{-1} C_i, i < N-1
   std::vector<Matrix> lower_;                    // copies of A_i, i >= 1
+  // Slab representation (kLu with a dispatchable M and the smallblock
+  // layer enabled): the same blocks packed into one contiguous
+  // uninitialized allocation (every byte is overwritten by the factor
+  // sweep, so zero-filling Matrix storage would be pure overhead at
+  // small M) — the sweep runs with zero per-block allocations and the
+  // solve sweeps stream sequential memory. Layout: N pivot LUs, then
+  // N-1 G_i, then N-1 A_i copies, each an M x M row-major block.
+  // Numerical content is bit-identical to the per-block form.
+  std::unique_ptr<double[]> slab_store_;  // (3N-2) * M * M doubles
+  std::unique_ptr<la::index_t[]> piv_;    // N * M pivot indices
+  const double* lu_base(index_t i) const { return slab_store_.get() + i * m_ * m_; }
+  const double* g_base(index_t i) const { return lu_base(n_ + i); }
+  const double* lower_base(index_t i) const { return g_base(n_ - 1 + i); }
 };
 
 /// One-shot convenience: factor + solve.

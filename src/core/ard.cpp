@@ -6,6 +6,7 @@
 
 #include "src/la/blas1.hpp"
 #include "src/la/gemm.hpp"
+#include "src/la/workspace.hpp"
 #include "src/par/pool.hpp"
 
 namespace ardbt::core {
@@ -16,8 +17,9 @@ using btds::ThomasFactorization;
 using la::Matrix;
 
 /// Copy this rank's block rows out of a global (N*M) x R matrix.
-Matrix extract_local(const Matrix& global, la::index_t lo, la::index_t nloc, la::index_t m) {
-  Matrix local(nloc * m, global.cols());
+Matrix extract_local(const Matrix& global, la::index_t lo, la::index_t nloc, la::index_t m,
+                     la::Workspace* ws) {
+  Matrix local = la::ws_acquire(ws, nloc * m, global.cols());
   la::copy(global.block(lo * m, 0, nloc * m, global.cols()), local.view());
   return local;
 }
@@ -51,12 +53,12 @@ void ArdFactorization::local_phase(mpsim::Comm& comm, const SysView& sys) {
   // [0, M) carry the unit load on the first block row, columns [M, 2M)
   // on the last, so the corners of the solution are the corner blocks of
   // T_loc^{-1}.
-  Matrix e(nloc * m, 2 * m);
+  Matrix e = la::ws_acquire(ws_, nloc * m, 2 * m);
   for (la::index_t i = 0; i < m; ++i) {
     e(i, i) = 1.0;
     e((nloc - 1) * m + i, m + i) = 1.0;
   }
-  const Matrix w = unmodified_.solve(e, comm.pool());
+  Matrix w = unmodified_.solve(e, comm.pool(), ws_);
   comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, 2 * m));
 
   tp_.P = la::to_matrix(w.block(0, 0, m, m));
@@ -67,6 +69,8 @@ void ArdFactorization::local_phase(mpsim::Comm& comm, const SysView& sys) {
   tp_.c_last = (hi_ < n_) ? sys.upper(hi_ - 1) : Matrix(m, m);
   a_lo_ = tp_.a_first;
   c_hi_ = tp_.c_last;
+  la::ws_release(ws_, std::move(e));
+  la::ws_release(ws_, std::move(w));
 }
 
 template <typename SysView>
@@ -76,10 +80,10 @@ void ArdFactorization::global_phase(mpsim::Comm& comm, const SysView& sys) {
   const la::index_t nloc = hi_ - lo_;
 
   // --- 3. Forward and backward two-port prefix scans (the log P term).
-  fwd_ = CachedScan<TwoPortOp>::factor(comm, ScanDirection::kForward, TwoPortOp::Context{m}, tp_,
-                                       ard_tags::kFwdFactor);
-  bwd_ = CachedScan<TwoPortOpReversed>::factor(comm, ScanDirection::kBackward,
-                                               TwoPortOp::Context{m}, tp_, ard_tags::kBwdFactor);
+  fwd_ = CachedScan<TwoPortOp>::factor(comm, ScanDirection::kForward, TwoPortOp::Context{m, ws_},
+                                       tp_, ard_tags::kFwdFactor);
+  bwd_ = CachedScan<TwoPortOpReversed>::factor(
+      comm, ScanDirection::kBackward, TwoPortOp::Context{m, ws_}, tp_, ard_tags::kBwdFactor);
 
   // --- 4. Fold the boundary relations into the segment's corner diagonal
   // blocks and factor the modified segment:
@@ -88,14 +92,18 @@ void ArdFactorization::global_phase(mpsim::Comm& comm, const SysView& sys) {
   BlockTridiag tloc = copy_segment(sys, lo_, nloc, m);
   if (fwd_.has_incoming()) {
     const TwoPort& pre = fwd_.incoming_mat();
-    const Matrix as = la::matmul(a_lo_.view(), pre.S.view());
+    Matrix as = la::ws_acquire(ws_, m, m);
+    la::gemm(1.0, a_lo_.view(), pre.S.view(), 0.0, as.view());
     la::gemm(-1.0, as.view(), pre.c_last.view(), 1.0, tloc.diag(0).view());
+    la::ws_release(ws_, std::move(as));
     comm.charge_flops(2.0 * la::gemm_flops(m, m, m));
   }
   if (bwd_.has_incoming()) {
     const TwoPort& suf = bwd_.incoming_mat();
-    const Matrix cp = la::matmul(c_hi_.view(), suf.P.view());
+    Matrix cp = la::ws_acquire(ws_, m, m);
+    la::gemm(1.0, c_hi_.view(), suf.P.view(), 0.0, cp.view());
     la::gemm(-1.0, cp.view(), suf.a_first.view(), 1.0, tloc.diag(nloc - 1).view());
+    la::ws_release(ws_, std::move(cp));
     comm.charge_flops(2.0 * la::gemm_flops(m, m, m));
   }
   modified_ = ThomasFactorization::factor(tloc, opts_.pivot);
@@ -105,10 +113,11 @@ void ArdFactorization::global_phase(mpsim::Comm& comm, const SysView& sys) {
 template <typename SysView>
 ArdFactorization ArdFactorization::factor_impl(mpsim::Comm& comm, const SysView& sys,
                                                const btds::RowPartition& part,
-                                               const ArdOptions& opts) {
+                                               const ArdOptions& opts, la::Workspace* ws) {
   ArdFactorization f;
   f.rank_ = comm.rank();
   f.opts_ = opts;
+  f.ws_ = ws;
   f.n_ = sys.num_blocks();
   f.m_ = sys.block_size();
   f.lo_ = part.begin(comm.rank());
@@ -132,17 +141,17 @@ ArdFactorization ArdFactorization::factor_impl(mpsim::Comm& comm, const SysView&
 }
 
 ArdFactorization ArdFactorization::factor(mpsim::Comm& comm, const btds::BlockTridiag& sys,
-                                          const btds::RowPartition& part,
-                                          const ArdOptions& opts) {
-  return factor_impl(comm, sys, part, opts);
+                                          const btds::RowPartition& part, const ArdOptions& opts,
+                                          la::Workspace* ws) {
+  return factor_impl(comm, sys, part, opts, ws);
 }
 
 ArdFactorization ArdFactorization::factor(mpsim::Comm& comm,
                                           const btds::LocalBlockTridiag& sys,
-                                          const btds::RowPartition& part,
-                                          const ArdOptions& opts) {
+                                          const btds::RowPartition& part, const ArdOptions& opts,
+                                          la::Workspace* ws) {
   assert(part.begin(comm.rank()) == sys.lo() && part.end(comm.rank()) == sys.hi());
-  return factor_impl(comm, sys, part, opts);
+  return factor_impl(comm, sys, part, opts, ws);
 }
 
 void ArdFactorization::update(mpsim::Comm& comm, const btds::BlockTridiag& sys,
@@ -162,8 +171,11 @@ void ArdFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix&
   const la::index_t nloc = hi_ - lo_;
   const la::index_t r = b.cols();
   assert(b.rows() == n_ * m_ && x.rows() == b.rows() && x.cols() == r);
-  const la::Matrix xloc = solve_local(comm, extract_local(b, lo_, nloc, m));
+  Matrix b_local = extract_local(b, lo_, nloc, m, ws_);
+  Matrix xloc = solve_local(comm, b_local);
   la::copy(xloc.view(), x.block(lo_ * m, 0, nloc * m, r));
+  la::ws_release(ws_, std::move(b_local));
+  la::ws_release(ws_, std::move(xloc));
 }
 
 la::Matrix ArdFactorization::solve_local(mpsim::Comm& comm, const la::Matrix& b_local) const {
@@ -173,33 +185,44 @@ la::Matrix ArdFactorization::solve_local(mpsim::Comm& comm, const la::Matrix& b_
   const la::index_t r = b_local.cols();
   assert(b_local.rows() == nloc * m);
 
-  Matrix bloc = b_local;
+  Matrix bloc = la::ws_acquire(ws_, b_local.rows(), b_local.cols());
+  la::copy(b_local.view(), bloc.view());
   par::Pool* pool = comm.pool();
 
   if (comm.size() > 1) {
     // Segment vector two-port: first/last blocks of T_loc^{-1} b_loc.
-    const Matrix t = unmodified_.solve(bloc, pool);
+    Matrix t = unmodified_.solve(bloc, pool, ws_);
     comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, r));
-    TwoPortVec v{.p = la::to_matrix(t.block(0, 0, m, r)),
-                 .q = la::to_matrix(t.block((nloc - 1) * m, 0, m, r))};
+    TwoPortVec v{.p = la::ws_acquire(ws_, m, r), .q = la::ws_acquire(ws_, m, r)};
+    la::copy(t.block(0, 0, m, r), v.p.view());
+    la::copy(t.block((nloc - 1) * m, 0, m, r), v.q.view());
+    la::ws_release(ws_, std::move(t));
 
-    const std::optional<TwoPortVec> pre = fwd_.solve(comm, v, ard_tags::kFwdSolve);
-    const std::optional<TwoPortVec> suf = bwd_.solve(comm, std::move(v), ard_tags::kBwdSolve);
+    // The forward replay consumes its own copy of v (the seed path passed
+    // v by value); the backward replay consumes v itself.
+    TwoPortVec v_fwd{.p = la::ws_acquire(ws_, m, r), .q = la::ws_acquire(ws_, m, r)};
+    la::copy(v.p.view(), v_fwd.p.view());
+    la::copy(v.q.view(), v_fwd.q.view());
+    std::optional<TwoPortVec> pre = fwd_.solve(comm, std::move(v_fwd), ard_tags::kFwdSolve);
+    std::optional<TwoPortVec> suf = bwd_.solve(comm, std::move(v), ard_tags::kBwdSolve);
 
     // Boundary corrections: b'_lo -= A_lo q_pre, b'_{hi-1} -= C_{hi-1} p_suf.
     if (pre) {
       la::gemm(-1.0, a_lo_.view(), pre->q.view(), 1.0, bloc.block(0, 0, m, r), pool);
       comm.charge_flops(la::gemm_flops(m, r, m));
+      TwoPortOp::recycle_vec(TwoPortOp::Context{m, ws_}, std::move(*pre));
     }
     if (suf) {
       la::gemm(-1.0, c_hi_.view(), suf->p.view(), 1.0, bloc.block((nloc - 1) * m, 0, m, r),
                pool);
       comm.charge_flops(la::gemm_flops(m, r, m));
+      TwoPortOp::recycle_vec(TwoPortOp::Context{m, ws_}, std::move(*suf));
     }
   }
 
-  Matrix xloc = modified_.solve(bloc, pool);
+  Matrix xloc = modified_.solve(bloc, pool, ws_);
   comm.charge_flops(ThomasFactorization::solve_flops(nloc, m, r));
+  la::ws_release(ws_, std::move(bloc));
   return xloc;
 }
 

@@ -85,15 +85,24 @@ class ArdFactorization {
   /// Collective. Factor the system (phase 1). Throws std::runtime_error
   /// on singular segment or interface pivots (system not block-LU
   /// factorizable; cannot happen for block-diagonally-dominant input).
+  ///
+  /// A non-null `ws` is this rank's workspace arena: every solve-phase
+  /// temporary (boundary panels, scan replay vectors, right-divide
+  /// transposes) is drawn from and returned to it, making repeated
+  /// solve() calls allocation-free once the arena is warm. The arena must
+  /// outlive the factorization, is used only by this rank's thread, and
+  /// never changes results (bit-identical with or without one).
   static ArdFactorization factor(mpsim::Comm& comm, const btds::BlockTridiag& sys,
-                                 const btds::RowPartition& part, const ArdOptions& opts = {});
+                                 const btds::RowPartition& part, const ArdOptions& opts = {},
+                                 la::Workspace* ws = nullptr);
 
   /// Collective. Factor from truly distributed storage — each rank reads
   /// only the block rows it owns (see btds/distributed.hpp). This is the
   /// path a real MPI deployment uses; the shared-global overload above is
   /// a convenience for in-process runs.
   static ArdFactorization factor(mpsim::Comm& comm, const btds::LocalBlockTridiag& sys,
-                                 const btds::RowPartition& part, const ArdOptions& opts = {});
+                                 const btds::RowPartition& part, const ArdOptions& opts = {},
+                                 la::Workspace* ws = nullptr);
 
   /// Collective. Solve for all columns of `b` (phase 2); writes this
   /// rank's block rows of `x`. `b` and `x` are global (N*M) x R matrices;
@@ -139,7 +148,8 @@ class ArdFactorization {
   /// factorization) so `update` can skip the former on unchanged ranks.
   template <typename SysView>
   static ArdFactorization factor_impl(mpsim::Comm& comm, const SysView& sys,
-                                      const btds::RowPartition& part, const ArdOptions& opts);
+                                      const btds::RowPartition& part, const ArdOptions& opts,
+                                      la::Workspace* ws);
   template <typename SysView>
   void local_phase(mpsim::Comm& comm, const SysView& sys);
   template <typename SysView>
@@ -147,6 +157,7 @@ class ArdFactorization {
 
   int rank_ = 0;
   ArdOptions opts_{};
+  la::Workspace* ws_ = nullptr;  // per-rank scratch arena (not owned; may be null)
   la::index_t n_ = 0;   // global block rows
   la::index_t m_ = 0;   // block size
   la::index_t lo_ = 0;  // first local block row

@@ -10,6 +10,7 @@
 
 #include "src/la/blas1.hpp"
 #include "src/la/gemm.hpp"
+#include "src/la/smallblock/smallblock.hpp"
 #include "src/par/pool.hpp"
 
 namespace ardbt::core {
@@ -114,16 +115,24 @@ PcrFactorization PcrFactorization::factor_impl(mpsim::Comm& comm, const SysView&
     if (i + 1 < n) c_cur[uz(k)] = sys.upper(i);
   }
 
+  namespace sb = la::smallblock;
   for (index_t s = 1; s < n; s *= 2) {
     Level level;
     level.step = s;
     level.rows.resize(uz(nloc));
 
-    // Local half-updates ha = D^{-1} A, hc = D^{-1} C, cached per row.
-    std::vector<Matrix> ha(uz(nloc)), hc(uz(nloc));
+    // Factor every current diagonal in one batched sweep, then fold the
+    // per-row bookkeeping (flop charges, breakdown check, pivot stats) in
+    // the seed's row order: identical totals within the same compute
+    // region, identical first failure.
+    std::vector<la::ConstMatrixView> d_views;
+    d_views.reserve(uz(nloc));
+    for (index_t k = 0; k < nloc; ++k) d_views.push_back(d_cur[uz(k)].view());
+    std::vector<la::LuFactors> lus;
+    sb::batched_lu_factor(m, d_views, lus);
     for (index_t k = 0; k < nloc; ++k) {
       const index_t j = f.lo_ + k;
-      la::LuFactors lu = la::lu_factor(d_cur[uz(k)].view());
+      la::LuFactors& lu = lus[uz(k)];
       comm.charge_flops(la::lu_factor_flops(m));
       if (!lu.ok()) {
         throw fault::SingularPivotError(fault::ErrorCode::kSingularPivot,
@@ -131,17 +140,32 @@ PcrFactorization PcrFactorization::factor_impl(mpsim::Comm& comm, const SysView&
                                         static_cast<std::int64_t>(lu.info - 1), lu.growth);
       }
       f.diag_.observe(lu.min_pivot_abs, lu.max_pivot_abs, j);
-      if (has_a(j, s)) {
-        ha[uz(k)] = la::lu_solve(lu, a_cur[uz(k)].view());
-        comm.charge_flops(la::lu_solve_flops(m, m));
-      }
-      if (has_c(j, s, n)) {
-        hc[uz(k)] = la::lu_solve(lu, c_cur[uz(k)].view());
-        comm.charge_flops(la::lu_solve_flops(m, m));
-      }
       level.rows[uz(k)] =
           RowCache{.d_lu = std::move(lu), .a = a_cur[uz(k)], .c = c_cur[uz(k)]};
     }
+
+    // Local half-updates ha = D^{-1} A, hc = D^{-1} C, solved as one
+    // batch against the just-cached level LUs.
+    std::vector<Matrix> ha(uz(nloc)), hc(uz(nloc));
+    std::vector<sb::LuSolveItem> half_items;
+    half_items.reserve(2 * uz(nloc));
+    double nsolves = 0.0;
+    for (index_t k = 0; k < nloc; ++k) {
+      const index_t j = f.lo_ + k;
+      const la::LuFactors& lu = level.rows[uz(k)].d_lu;
+      if (has_a(j, s)) {
+        ha[uz(k)] = la::to_matrix(a_cur[uz(k)].view());
+        half_items.push_back({&lu, ha[uz(k)].view()});
+        nsolves += 1.0;
+      }
+      if (has_c(j, s, n)) {
+        hc[uz(k)] = la::to_matrix(c_cur[uz(k)].view());
+        half_items.push_back({&lu, hc[uz(k)].view()});
+        nsolves += 1.0;
+      }
+    }
+    sb::batched_lu_solve(m, half_items);
+    comm.charge_flops(nsolves * la::lu_solve_flops(m, m));
 
     // Fetch remote neighbours' half-updates.
     std::map<index_t, std::pair<Matrix, Matrix>> remote;  // j -> (ha_j, hc_j)
@@ -168,41 +192,54 @@ PcrFactorization PcrFactorization::factor_impl(mpsim::Comm& comm, const SysView&
       return remote.at(j).second;
     };
 
-    // Level update (reads the cached level-entry coefficients).
+    // Level update (reads the cached level-entry coefficients), swept as
+    // two batched gemm families: the beta=1 diagonal updates and the
+    // beta=0 off-diagonal rebuilds. Every item writes its own output
+    // except one row's two diagonal updates, which stay in the seed's
+    // a-then-c order — per-element operation order is unchanged.
+    std::vector<Matrix> d_new(uz(nloc)), a_new(uz(nloc)), c_new(uz(nloc));
+    std::vector<sb::GemmItem> d_items, off_items;
+    double ngemms = 0.0;
     for (index_t k = 0; k < nloc; ++k) {
       const index_t i = f.lo_ + k;
       const RowCache& row = level.rows[uz(k)];
-      Matrix d_new = d_cur[uz(k)];
-      Matrix a_new, c_new;
+      d_new[uz(k)] = d_cur[uz(k)];
       if (has_a(i, s)) {
-        la::gemm(-1.0, row.a.view(), get_hc(i - s).view(), 1.0, d_new.view());
-        comm.charge_flops(la::gemm_flops(m, m, m));
+        d_items.push_back({row.a.view(), get_hc(i - s).view(), d_new[uz(k)].view()});
+        ngemms += 1.0;
         if (has_a(i, 2 * s)) {
-          a_new = Matrix(m, m);
-          la::gemm(-1.0, row.a.view(), get_ha(i - s).view(), 0.0, a_new.view());
-          comm.charge_flops(la::gemm_flops(m, m, m));
+          a_new[uz(k)] = Matrix(m, m);
+          off_items.push_back({row.a.view(), get_ha(i - s).view(), a_new[uz(k)].view()});
+          ngemms += 1.0;
         }
       }
       if (has_c(i, s, n)) {
-        la::gemm(-1.0, row.c.view(), get_ha(i + s).view(), 1.0, d_new.view());
-        comm.charge_flops(la::gemm_flops(m, m, m));
+        d_items.push_back({row.c.view(), get_ha(i + s).view(), d_new[uz(k)].view()});
+        ngemms += 1.0;
         if (has_c(i, 2 * s, n)) {
-          c_new = Matrix(m, m);
-          la::gemm(-1.0, row.c.view(), get_hc(i + s).view(), 0.0, c_new.view());
-          comm.charge_flops(la::gemm_flops(m, m, m));
+          c_new[uz(k)] = Matrix(m, m);
+          off_items.push_back({row.c.view(), get_hc(i + s).view(), c_new[uz(k)].view()});
+          ngemms += 1.0;
         }
       }
-      d_cur[uz(k)] = std::move(d_new);
-      a_cur[uz(k)] = std::move(a_new);
-      c_cur[uz(k)] = std::move(c_new);
+    }
+    sb::batched_gemm(m, -1.0, d_items, 1.0);
+    sb::batched_gemm(m, -1.0, off_items, 0.0);
+    comm.charge_flops(ngemms * la::gemm_flops(m, m, m));
+    for (index_t k = 0; k < nloc; ++k) {
+      d_cur[uz(k)] = std::move(d_new[uz(k)]);
+      a_cur[uz(k)] = std::move(a_new[uz(k)]);
+      c_cur[uz(k)] = std::move(c_new[uz(k)]);
     }
     f.levels_.push_back(std::move(level));
   }
 
-  // Fully decoupled: factor the final diagonals.
-  f.final_lu_.resize(uz(nloc));
+  // Fully decoupled: factor the final diagonals in one batched sweep.
+  std::vector<la::ConstMatrixView> final_views;
+  final_views.reserve(uz(nloc));
+  for (index_t k = 0; k < nloc; ++k) final_views.push_back(d_cur[uz(k)].view());
+  sb::batched_lu_factor(m, final_views, f.final_lu_);
   for (index_t k = 0; k < nloc; ++k) {
-    f.final_lu_[uz(k)] = la::lu_factor(std::move(d_cur[uz(k)]));
     comm.charge_flops(la::lu_factor_flops(m));
     const la::LuFactors& lu = f.final_lu_[uz(k)];
     if (!lu.ok()) {

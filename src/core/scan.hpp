@@ -39,6 +39,9 @@
 ///     // des_vec must infer the RHS width from the byte count — solves
 ///     // with different widths replay the same factored scan.
 ///     static Vec des_vec(const Context&, std::span<const std::byte>);
+///     // Optional: reclaim a consumed vector part (e.g. return arena
+///     // storage). Called by solve() the moment a Vec's value is dead.
+///     static void recycle_vec(const Context&, Vec&&);
 ///   };
 ///
 /// Direction::kBackward runs the scan over reversed rank order (for
@@ -116,15 +119,26 @@ class CachedScan {
 
       if (round.partner_is_lower) {
         if (round.result_was_set) {
-          result = Op::merge_vec(ctx_, *round.cache_result, tmp, *result, comm);
+          Vec prev = std::move(*result);
+          result = Op::merge_vec(ctx_, *round.cache_result, tmp, prev, comm);
+          recycle(std::move(prev));
         }
         Vec merged = Op::merge_vec(ctx_, round.cache_partial, tmp, partial, comm);
+        recycle(std::move(partial));
         partial = std::move(merged);
-        if (!round.result_was_set) result = std::move(tmp);
+        if (!round.result_was_set) {
+          result = std::move(tmp);
+        } else {
+          recycle(std::move(tmp));
+        }
       } else {
-        partial = Op::merge_vec(ctx_, round.cache_partial, partial, tmp, comm);
+        Vec merged = Op::merge_vec(ctx_, round.cache_partial, partial, tmp, comm);
+        recycle(std::move(partial));
+        recycle(std::move(tmp));
+        partial = std::move(merged);
       }
     }
+    recycle(std::move(partial));
     return result;
   }
 
@@ -140,6 +154,14 @@ class CachedScan {
   std::size_t num_rounds() const { return rounds_.size(); }
 
  private:
+  /// Hand a dead Vec back to the policy if it wants it (arena reuse);
+  /// policies without a recycle_vec hook compile to a plain destructor.
+  void recycle(Vec&& v) const {
+    if constexpr (requires { Op::recycle_vec(ctx_, std::move(v)); }) {
+      Op::recycle_vec(ctx_, std::move(v));
+    }
+  }
+
   struct Round {
     int partner = -1;
     bool partner_is_lower = false;

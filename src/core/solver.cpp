@@ -8,6 +8,7 @@
 #include "src/core/rd.hpp"
 #include "src/core/refine.hpp"
 #include "src/mpsim/collectives.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace ardbt::core {
 
@@ -147,6 +148,7 @@ void Session::factor() {
       return;
     case Method::kArd:
       ard_.resize(static_cast<std::size_t>(nranks_));
+      ws_.resize(static_cast<std::size_t>(nranks_));
       break;
     case Method::kPcr:
       pcr_.resize(static_cast<std::size_t>(nranks_));
@@ -167,7 +169,7 @@ void Session::factor() {
       const std::size_t r = static_cast<std::size_t>(comm.rank());
       switch (method_) {
         case Method::kArd:
-          ard_[r] = ArdFactorization::factor(comm, *sys_, part_, opts_);
+          ard_[r] = ArdFactorization::factor(comm, *sys_, part_, opts_, &ws_[r]);
           growths[r] = ard_[r].diagnostics().growth();
           break;
         case Method::kPcr:
@@ -208,6 +210,8 @@ void Session::factor() {
     factored_ = true;
     return;
   }
+  ws_after_factor_.clear();
+  for (const la::Workspace& w : ws_) ws_after_factor_.push_back(w.stats());
   pivot_growth_ = *std::max_element(growths.begin(), growths.end());
   SolveOutcome outcome{.phase = "factor",
                        .retries = last_retries_,
@@ -232,6 +236,42 @@ void Session::factor() {
   factor_vtime_ = vtime;
   storage_bytes_ = bytes;
   factored_ = true;
+}
+
+la::Workspace::Stats Session::arena_stats(int r) const {
+  const auto idx = static_cast<std::size_t>(r);
+  return idx < ws_.size() ? ws_[idx].stats() : la::Workspace::Stats{};
+}
+
+la::Workspace::Stats Session::arena_stats_after_factor(int r) const {
+  const auto idx = static_cast<std::size_t>(r);
+  return idx < ws_after_factor_.size() ? ws_after_factor_[idx] : la::Workspace::Stats{};
+}
+
+void Session::export_arena_metrics(obs::MetricsRegistry& reg) const {
+  if (ws_.empty()) return;
+  double factor_hw = 0.0, hw = 0.0, slab_bytes = 0.0, factor_slabs = 0.0, slabs = 0.0;
+  for (std::size_t r = 0; r < ws_.size(); ++r) {
+    const la::Workspace::Stats now = ws_[r].stats();
+    const la::Workspace::Stats after = arena_stats_after_factor(static_cast<int>(r));
+    const std::string prefix = "arena.rank." + std::to_string(r) + ".";
+    reg.gauge(prefix + "high_water_bytes").set(static_cast<double>(now.high_water_bytes));
+    reg.gauge(prefix + "slab_bytes").set(static_cast<double>(now.slab_bytes));
+    reg.gauge(prefix + "slab_allocs").set(static_cast<double>(now.slab_allocs));
+    reg.gauge(prefix + "solve_slab_allocs")
+        .set(static_cast<double>(now.slab_allocs - after.slab_allocs));
+    factor_hw = std::max(factor_hw, static_cast<double>(after.high_water_bytes));
+    hw = std::max(hw, static_cast<double>(now.high_water_bytes));
+    slab_bytes += static_cast<double>(now.slab_bytes);
+    factor_slabs += static_cast<double>(after.slab_allocs);
+    slabs += static_cast<double>(now.slab_allocs);
+  }
+  reg.gauge("arena.factor.high_water_bytes").set(factor_hw);
+  reg.gauge("arena.factor.slab_allocs").set(factor_slabs);
+  reg.gauge("arena.high_water_bytes").set(hw);
+  reg.gauge("arena.slab_bytes").set(slab_bytes);
+  reg.gauge("arena.slab_allocs").set(slabs);
+  reg.gauge("arena.solve.slab_allocs").set(slabs - factor_slabs);
 }
 
 la::Matrix Session::solve(const la::Matrix& b) {

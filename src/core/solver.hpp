@@ -11,7 +11,12 @@
 #include "src/core/pcr.hpp"
 #include "src/core/transfer_rd.hpp"
 #include "src/fault/status.hpp"
+#include "src/la/workspace.hpp"
 #include "src/mpsim/engine.hpp"
+
+namespace ardbt::obs {
+class MetricsRegistry;
+}
 
 /// \file solver.hpp
 /// Driver API: an explicit factor/solve `Session` plus one-shot
@@ -98,6 +103,18 @@ class Session {
   /// Bytes of factored state on rank 0 (0 for methods without one).
   std::size_t storage_bytes() const { return storage_bytes_; }
 
+  /// Arena statistics of rank `r`'s workspace (populated for Method::kArd
+  /// once factored; all-zero otherwise). Steady-state contract: after the
+  /// first solve(B) of a given shape, further solves of that shape add
+  /// zero slab_allocs — every scratch matrix recycles through the arena.
+  la::Workspace::Stats arena_stats(int r) const;
+  /// The same counters snapshotted right after factor() — the factor
+  /// phase's share; solve-phase deltas are arena_stats() minus this.
+  la::Workspace::Stats arena_stats_after_factor(int r) const;
+  /// Export per-phase arena gauges ("arena.rank.R.*", "arena.factor.*",
+  /// "arena.solve.slab_allocs", aggregate high-water marks) into `reg`.
+  void export_arena_metrics(obs::MetricsRegistry& reg) const;
+
   /// Engine counters accumulated over every run so far (virtual-clock
   /// fields reflect the session timeline, counters sum across runs).
   const mpsim::RunReport& report() const { return report_; }
@@ -151,6 +168,12 @@ class Session {
   std::vector<ArdFactorization> ard_;
   std::vector<PcrFactorization> pcr_;
   std::vector<TransferRdFactorization> trd_;
+
+  // Per-rank scratch arenas (kArd): ard_[r] keeps a pointer to ws_[r], so
+  // the vector is sized exactly once, in factor(). Each arena is touched
+  // only by its rank's engine thread.
+  std::vector<la::Workspace> ws_;
+  std::vector<la::Workspace::Stats> ws_after_factor_;
 };
 
 /// Result of a one-shot driver call.

@@ -1,7 +1,9 @@
 #include "src/core/twoport.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "src/core/serde.hpp"
 #include "src/la/blas1.hpp"
@@ -30,10 +32,22 @@ Matrix unpack_one(std::span<const std::byte>& bytes, index_t rows, index_t cols)
   return m;
 }
 
+/// unpack_one into an arena-backed matrix (replay path: one fresh Matrix
+/// per round per rank would otherwise defeat the allocation-free solve).
+Matrix unpack_one_ws(la::Workspace* ws, std::span<const std::byte>& bytes, index_t rows,
+                     index_t cols) {
+  if (ws == nullptr) return unpack_one(bytes, rows, cols);
+  const std::size_t n = static_cast<std::size_t>(rows * cols) * sizeof(double);
+  Matrix m = ws->acquire(rows, cols);
+  std::memcpy(m.data().data(), bytes.data(), n);
+  bytes = bytes.subspan(n);
+  return m;
+}
+
 }  // namespace
 
 TwoPort merge_twoport(const TwoPort& left, const TwoPort& right, TwoPortCache& cache,
-                      mpsim::Comm& comm) {
+                      mpsim::Comm& comm, la::Workspace* ws) {
   const index_t m = left.P.rows();
   assert(right.P.rows() == m);
   const Matrix& a = right.a_first;  // coupling of the interface rows
@@ -41,10 +55,13 @@ TwoPort merge_twoport(const TwoPort& left, const TwoPort& right, TwoPortCache& c
   double flops = 0.0;
 
   // X4 = P_R a, X2 = R_R a.
-  cache.x4 = la::matmul(right.P.view(), a.view());
-  cache.x2 = la::matmul(right.R.view(), a.view());
+  cache.x4 = la::ws_acquire(ws, m, m);
+  la::gemm(1.0, right.P.view(), a.view(), 0.0, cache.x4.view());
+  cache.x2 = la::ws_acquire(ws, m, m);
+  la::gemm(1.0, right.R.view(), a.view(), 0.0, cache.x2.view());
   // Interface system K = I - X4 (S_L c).
-  Matrix slc = la::matmul(left.S.view(), c.view());
+  Matrix slc = la::ws_acquire(ws, m, m);
+  la::gemm(1.0, left.S.view(), c.view(), 0.0, slc.view());
   Matrix k = Matrix::identity(m);
   la::gemm(-1.0, cache.x4.view(), slc.view(), 1.0, k.view());
   flops += 4.0 * la::gemm_flops(m, m, m);
@@ -56,9 +73,12 @@ TwoPort merge_twoport(const TwoPort& left, const TwoPort& right, TwoPortCache& c
   }
 
   // X1 = (Q_L c) K^{-1}, X3 = (S_L c) K^{-1} (right divisions).
-  Matrix qlc = la::matmul(left.Q.view(), c.view());
-  cache.x1 = la::right_divide(qlc.view(), k_lu);
-  cache.x3 = la::right_divide(slc.view(), k_lu);
+  Matrix qlc = la::ws_acquire(ws, m, m);
+  la::gemm(1.0, left.Q.view(), c.view(), 0.0, qlc.view());
+  cache.x1 = la::right_divide(qlc.view(), k_lu, ws);
+  cache.x3 = la::right_divide(slc.view(), k_lu, ws);
+  la::ws_release(ws, std::move(qlc));
+  la::ws_release(ws, std::move(slc));
   flops += la::gemm_flops(m, m, m) + 2.0 * la::lu_solve_flops(m, m);
 
   TwoPort out;
@@ -66,22 +86,28 @@ TwoPort merge_twoport(const TwoPort& left, const TwoPort& right, TwoPortCache& c
   out.c_last = right.c_last;
 
   // P' = P_L + X1 X4 R_L.
-  Matrix x1x4 = la::matmul(cache.x1.view(), cache.x4.view());
+  Matrix x1x4 = la::ws_acquire(ws, m, m);
+  la::gemm(1.0, cache.x1.view(), cache.x4.view(), 0.0, x1x4.view());
   out.P = left.P;
   la::gemm(1.0, x1x4.view(), left.R.view(), 1.0, out.P.view());
+  la::ws_release(ws, std::move(x1x4));
   // Q' = -X1 Q_R.
   out.Q = Matrix(m, m);
   la::gemm(-1.0, cache.x1.view(), right.Q.view(), 0.0, out.Q.view());
   // R' = -X2 (I + X3 X4) R_L.
   Matrix inner = Matrix::identity(m);
   la::gemm(1.0, cache.x3.view(), cache.x4.view(), 1.0, inner.view());
-  Matrix inner_rl = la::matmul(inner.view(), left.R.view());
+  Matrix inner_rl = la::ws_acquire(ws, m, m);
+  la::gemm(1.0, inner.view(), left.R.view(), 0.0, inner_rl.view());
   out.R = Matrix(m, m);
   la::gemm(-1.0, cache.x2.view(), inner_rl.view(), 0.0, out.R.view());
+  la::ws_release(ws, std::move(inner_rl));
   // S' = S_R + X2 X3 Q_R.
-  Matrix x2x3 = la::matmul(cache.x2.view(), cache.x3.view());
+  Matrix x2x3 = la::ws_acquire(ws, m, m);
+  la::gemm(1.0, cache.x2.view(), cache.x3.view(), 0.0, x2x3.view());
   out.S = right.S;
   la::gemm(1.0, x2x3.view(), right.Q.view(), 1.0, out.S.view());
+  la::ws_release(ws, std::move(x2x3));
   flops += 8.0 * la::gemm_flops(m, m, m);
 
   comm.charge_flops(flops);
@@ -89,24 +115,30 @@ TwoPort merge_twoport(const TwoPort& left, const TwoPort& right, TwoPortCache& c
 }
 
 TwoPortVec merge_twoport_vec(const TwoPortCache& cache, const TwoPortVec& left,
-                             const TwoPortVec& right, mpsim::Comm& comm) {
+                             const TwoPortVec& right, mpsim::Comm& comm, la::Workspace* ws) {
   const index_t m = cache.x1.rows();
   const index_t r = left.p.cols();
   assert(right.p.cols() == r);
 
   // t = p_R - X4 q_L.
-  Matrix t = right.p;
+  Matrix t = la::ws_acquire(ws, m, r);
+  la::copy(right.p.view(), t.view());
   la::gemm(-1.0, cache.x4.view(), left.q.view(), 1.0, t.view());
 
   TwoPortVec out;
   // p' = p_L - X1 t.
-  out.p = left.p;
+  out.p = la::ws_acquire(ws, m, r);
+  la::copy(left.p.view(), out.p.view());
   la::gemm(-1.0, cache.x1.view(), t.view(), 1.0, out.p.view());
   // q' = q_R - X2 (q_L - X3 t).
-  Matrix inner = left.q;
+  Matrix inner = la::ws_acquire(ws, m, r);
+  la::copy(left.q.view(), inner.view());
   la::gemm(-1.0, cache.x3.view(), t.view(), 1.0, inner.view());
-  out.q = right.q;
+  out.q = la::ws_acquire(ws, m, r);
+  la::copy(right.q.view(), out.q.view());
   la::gemm(-1.0, cache.x2.view(), inner.view(), 1.0, out.q.view());
+  la::ws_release(ws, std::move(t));
+  la::ws_release(ws, std::move(inner));
 
   comm.charge_flops(4.0 * la::gemm_flops(m, r, m));
   return out;
@@ -135,8 +167,8 @@ std::vector<std::byte> TwoPortOp::ser_vec(const Context&, const Vec& v) {
 TwoPortOp::Vec TwoPortOp::des_vec(const Context& ctx, std::span<const std::byte> bytes) {
   const auto r = static_cast<index_t>(bytes.size() / sizeof(double)) / (2 * ctx.m);
   TwoPortVec out;
-  out.p = unpack_one(bytes, ctx.m, r);
-  out.q = unpack_one(bytes, ctx.m, r);
+  out.p = unpack_one_ws(ctx.ws, bytes, ctx.m, r);
+  out.q = unpack_one_ws(ctx.ws, bytes, ctx.m, r);
   assert(bytes.empty());
   return out;
 }

@@ -3,6 +3,7 @@
 #include "src/core/scan.hpp"
 #include "src/la/lu.hpp"
 #include "src/la/matrix.hpp"
+#include "src/la/workspace.hpp"
 
 /// \file twoport.hpp
 /// The stable prefix operator of the production solver: Schur-complement
@@ -62,29 +63,41 @@ struct TwoPortCache {
 /// Merge two adjacent segments' matrix parts (`left` covers lower rows),
 /// filling `cache` for later vector merges. Throws on a singular
 /// interface system (cannot happen for block-diagonally-dominant input).
+/// A non-null `ws` sources the merge temporaries (and the cached
+/// right-division results) from the workspace arena.
 TwoPort merge_twoport(const TwoPort& left, const TwoPort& right, TwoPortCache& cache,
-                      mpsim::Comm& comm);
+                      mpsim::Comm& comm, la::Workspace* ws = nullptr);
 
-/// Merge the vector parts of the same (left, right) pair.
+/// Merge the vector parts of the same (left, right) pair. With a `ws` the
+/// scratch and the result both come from the arena (the caller recycles
+/// the result when consumed); results are bit-identical either way.
 TwoPortVec merge_twoport_vec(const TwoPortCache& cache, const TwoPortVec& left,
-                             const TwoPortVec& right, mpsim::Comm& comm);
+                             const TwoPortVec& right, mpsim::Comm& comm,
+                             la::Workspace* ws = nullptr);
 
 /// CachedScan policy running the two-port prefix.
 struct TwoPortOp {
   struct Context {
-    index_t m = 0;  ///< block size
+    index_t m = 0;                 ///< block size
+    la::Workspace* ws = nullptr;   ///< arena for merge scratch / replay vectors
   };
   using Mat = TwoPort;
   using Vec = TwoPortVec;
   using Cache = TwoPortCache;
 
-  static Mat merge_mat(const Context&, const Mat& left, const Mat& right, Cache& cache,
+  static Mat merge_mat(const Context& ctx, const Mat& left, const Mat& right, Cache& cache,
                        mpsim::Comm& comm) {
-    return merge_twoport(left, right, cache, comm);
+    return merge_twoport(left, right, cache, comm, ctx.ws);
   }
-  static Vec merge_vec(const Context&, const Cache& cache, const Vec& left, const Vec& right,
+  static Vec merge_vec(const Context& ctx, const Cache& cache, const Vec& left, const Vec& right,
                        mpsim::Comm& comm) {
-    return merge_twoport_vec(cache, left, right, comm);
+    return merge_twoport_vec(cache, left, right, comm, ctx.ws);
+  }
+  /// CachedScan recycle hook: consumed replay vectors return their
+  /// storage to the arena (no-op without one).
+  static void recycle_vec(const Context& ctx, Vec&& v) {
+    la::ws_release(ctx.ws, std::move(v.p));
+    la::ws_release(ctx.ws, std::move(v.q));
   }
   static std::vector<std::byte> ser_mat(const Context& ctx, const Mat& m);
   static Mat des_mat(const Context& ctx, std::span<const std::byte> bytes);
@@ -96,13 +109,13 @@ struct TwoPortOp {
 /// scan "lower sequence position" means *higher* block rows, so the
 /// row-space roles of the operands are swapped before merging.
 struct TwoPortOpReversed : TwoPortOp {
-  static Mat merge_mat(const Context&, const Mat& left, const Mat& right, Cache& cache,
+  static Mat merge_mat(const Context& ctx, const Mat& left, const Mat& right, Cache& cache,
                        mpsim::Comm& comm) {
-    return merge_twoport(right, left, cache, comm);
+    return merge_twoport(right, left, cache, comm, ctx.ws);
   }
-  static Vec merge_vec(const Context&, const Cache& cache, const Vec& left, const Vec& right,
+  static Vec merge_vec(const Context& ctx, const Cache& cache, const Vec& left, const Vec& right,
                        mpsim::Comm& comm) {
-    return merge_twoport_vec(cache, right, left, comm);
+    return merge_twoport_vec(cache, right, left, comm, ctx.ws);
   }
 };
 

@@ -45,6 +45,10 @@ std::string_view to_string(ErrorCode code) {
       return "deadline";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kShapeMismatch:
+      return "shape-mismatch";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
   }
   return "unknown";
 }
@@ -74,6 +78,14 @@ BreakdownError::BreakdownError(const std::string& where, double growth, double t
                                             format_double(threshold)),
       growth_(growth),
       threshold_(threshold) {}
+
+ShapeMismatchError::ShapeMismatchError(const char* where, const char* detail, std::int64_t got,
+                                       std::int64_t expected)
+    : SolveError(ErrorCode::kShapeMismatch,
+                 std::string(where) + ": shape mismatch, " + detail + " violated (got " +
+                     std::to_string(got) + ", expected " + std::to_string(expected) + ")"),
+      got_(got),
+      expected_(expected) {}
 
 MessageSizeError::MessageSizeError(int src, int tag, std::size_t expected_bytes,
                                    std::size_t got_bytes)

@@ -16,8 +16,9 @@
 /// exception type derived from SolveError, so callers can dispatch on
 /// `code()` without parsing strings. The library never reports a runtime
 /// numerical/communication failure through `assert` (which is a silent
-/// no-op under NDEBUG); asserts remain only for programmer errors such as
-/// shape mismatches of caller-owned buffers.
+/// no-op under NDEBUG); dense-kernel shape mismatches throw
+/// kShapeMismatch in every build mode (src/la/{gemm,gemv,lu}.cpp), so a
+/// dimension bug surfaces identically in release and debug runs.
 ///
 /// This module sits below every other library (no la/mpsim/obs
 /// dependencies) so all layers share one vocabulary.
@@ -35,6 +36,8 @@ enum class ErrorCode : std::uint8_t {
   kInjectedCrash,    ///< a FaultPlan crashed this rank before a send
   kDeadline,         ///< a blocked receive exceeded its wall-clock deadline
   kInternal,         ///< invariant violation that is not a caller error
+  kShapeMismatch,    ///< kernel called with incompatible matrix dimensions
+  kInvalidArgument,  ///< malformed user input (e.g. a garbage numeric flag)
 };
 
 /// Stable lowercase name ("ok", "singular-pivot", ...).
@@ -111,6 +114,25 @@ class BreakdownError : public SolveError {
  private:
   double growth_;
   double threshold_;
+};
+
+/// A dense kernel was handed views with incompatible dimensions. These
+/// used to be bare `assert`s that compiled out under NDEBUG and let the
+/// kernels write out of bounds; the checks are now always on (a handful of
+/// integer compares, invisible next to the O(M^3) work they guard).
+class ShapeMismatchError : public SolveError {
+ public:
+  /// `where` names the kernel ("la::gemm"), `detail` the violated
+  /// relation ("a.cols() == b.rows()"), and the dims the offending values.
+  ShapeMismatchError(const char* where, const char* detail, std::int64_t got,
+                     std::int64_t expected);
+
+  std::int64_t got() const { return got_; }
+  std::int64_t expected() const { return expected_; }
+
+ private:
+  std::int64_t got_;
+  std::int64_t expected_;
 };
 
 /// A typed receive got a payload whose size does not match the buffer.

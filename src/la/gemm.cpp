@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/la/shape_check.hpp"
+#include "src/la/smallblock/smallblock.hpp"
 #include "src/par/pool.hpp"
 
 namespace ardbt::la {
@@ -47,9 +49,12 @@ void scale_c(double beta, MatrixView c) {
 
 void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c,
           par::Pool* pool) {
-  assert(a.rows() == c.rows());
-  assert(a.cols() == b.rows());
-  assert(b.cols() == c.cols());
+  detail::check_shape(a.rows() == c.rows(), "la::gemm", "a.rows() == c.rows()", a.rows(),
+                      c.rows());
+  detail::check_shape(a.cols() == b.rows(), "la::gemm", "a.cols() == b.rows()", a.cols(),
+                      b.rows());
+  detail::check_shape(b.cols() == c.cols(), "la::gemm", "b.cols() == c.cols()", b.cols(),
+                      c.cols());
   assert(a.data() != c.data() && b.data() != c.data() && "gemm output must not alias inputs");
 
   const index_t m = c.rows();
@@ -71,6 +76,15 @@ void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, Matri
                c.block(0, static_cast<index_t>(j0), m, w));
         },
         "la.gemm");
+    return;
+  }
+
+  // Square small-block left operands — the shape the solvers hammer —
+  // take the fixed-M microkernel. Placed after the pool branch so the
+  // parallel split is unchanged; results are bit-identical either way
+  // (same scale-then-saxpy order per element).
+  if (m == k && smallblock::enabled() && smallblock::dispatchable(m)) {
+    smallblock::gemm_fixed(m, alpha, a, b, beta, c);
     return;
   }
 
@@ -96,9 +110,12 @@ void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, Matri
 }
 
 void gemm_naive(double alpha, ConstMatrixView a, ConstMatrixView b, double beta, MatrixView c) {
-  assert(a.rows() == c.rows());
-  assert(a.cols() == b.rows());
-  assert(b.cols() == c.cols());
+  detail::check_shape(a.rows() == c.rows(), "la::gemm_naive", "a.rows() == c.rows()", a.rows(),
+                      c.rows());
+  detail::check_shape(a.cols() == b.rows(), "la::gemm_naive", "a.cols() == b.rows()", a.cols(),
+                      b.rows());
+  detail::check_shape(b.cols() == c.cols(), "la::gemm_naive", "b.cols() == c.cols()", b.cols(),
+                      c.cols());
   for (index_t i = 0; i < c.rows(); ++i) {
     for (index_t j = 0; j < c.cols(); ++j) {
       double s = 0.0;

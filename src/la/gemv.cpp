@@ -1,15 +1,16 @@
 #include "src/la/gemv.hpp"
 
-#include <cassert>
-
+#include "src/la/shape_check.hpp"
 #include "src/par/pool.hpp"
 
 namespace ardbt::la {
 
 void gemv(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
           std::span<double> y, par::Pool* pool) {
-  assert(static_cast<index_t>(x.size()) == a.cols());
-  assert(static_cast<index_t>(y.size()) == a.rows());
+  detail::check_shape(static_cast<index_t>(x.size()) == a.cols(), "la::gemv",
+                      "x.size() == a.cols()", static_cast<index_t>(x.size()), a.cols());
+  detail::check_shape(static_cast<index_t>(y.size()) == a.rows(), "la::gemv",
+                      "y.size() == a.rows()", static_cast<index_t>(y.size()), a.rows());
   constexpr double kMinParallelFlops = 32.0 * 1024.0;
   if (pool != nullptr && pool->threads() > 1 && a.rows() >= 2 &&
       gemv_flops(a.rows(), a.cols()) >= kMinParallelFlops) {
@@ -34,8 +35,10 @@ void gemv(double alpha, ConstMatrixView a, std::span<const double> x, double bet
 
 void gemv_t(double alpha, ConstMatrixView a, std::span<const double> x, double beta,
             std::span<double> y) {
-  assert(static_cast<index_t>(x.size()) == a.rows());
-  assert(static_cast<index_t>(y.size()) == a.cols());
+  detail::check_shape(static_cast<index_t>(x.size()) == a.rows(), "la::gemv_t",
+                      "x.size() == a.rows()", static_cast<index_t>(x.size()), a.rows());
+  detail::check_shape(static_cast<index_t>(y.size()) == a.cols(), "la::gemv_t",
+                      "y.size() == a.cols()", static_cast<index_t>(y.size()), a.cols());
   if (beta != 1.0) {
     for (auto& v : y) v *= beta;
   }

@@ -1,21 +1,27 @@
 #include "src/la/lu.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "src/la/blas1.hpp"
+#include "src/la/shape_check.hpp"
+#include "src/la/smallblock/smallblock.hpp"
+#include "src/la/workspace.hpp"
 
 namespace ardbt::la {
 
-LuFactors lu_factor(Matrix a) {
-  assert(a.rows() == a.cols());
-  const index_t n = a.rows();
-  LuFactors f;
-  f.piv.resize(static_cast<std::size_t>(n));
-  MatrixView m = a.view();
+LuInPlaceInfo lu_factor_inplace(MatrixView m, std::span<index_t> piv) {
+  detail::check_shape(m.rows() == m.cols(), "la::lu_factor", "a.rows() == a.cols()", m.rows(),
+                      m.cols());
+  const index_t n = m.rows();
+  detail::check_shape(static_cast<index_t>(piv.size()) == n, "la::lu_factor",
+                      "piv.size() == a.rows()", static_cast<index_t>(piv.size()), n);
+  if (smallblock::enabled() && smallblock::dispatchable(n)) {
+    return smallblock::lu_factor_inplace_fixed(n, m, piv.data());
+  }
+  LuInPlaceInfo d;
 
   // ||A||_max before elimination, the growth-factor denominator.
   double a_max = 0.0;
@@ -34,15 +40,15 @@ LuFactors lu_factor(Matrix a) {
         p = i;
       }
     }
-    f.piv[static_cast<std::size_t>(k)] = p;
+    piv[static_cast<std::size_t>(k)] = p;
     if (p != k) {
       for (index_t j = 0; j < n; ++j) std::swap(m(k, j), m(p, j));
     }
     const double pivot = m(k, k);
-    f.min_pivot_abs = std::min(f.min_pivot_abs, std::abs(pivot));
-    f.max_pivot_abs = std::max(f.max_pivot_abs, std::abs(pivot));
+    d.min_pivot_abs = std::min(d.min_pivot_abs, std::abs(pivot));
+    d.max_pivot_abs = std::max(d.max_pivot_abs, std::abs(pivot));
     if (pivot == 0.0) {
-      if (f.info == 0) f.info = k + 1;
+      if (d.info == 0) d.info = k + 1;
       continue;  // complete the factorization LAPACK-style
     }
     const double inv_pivot = 1.0 / pivot;
@@ -60,7 +66,18 @@ LuFactors lu_factor(Matrix a) {
   for (index_t i = 0; i < n; ++i) {
     for (index_t j = i; j < n; ++j) u_max = std::max(u_max, std::abs(m(i, j)));
   }
-  f.growth = a_max > 0.0 ? u_max / a_max : 1.0;
+  d.growth = a_max > 0.0 ? u_max / a_max : 1.0;
+  return d;
+}
+
+LuFactors lu_factor(Matrix a) {
+  LuFactors f;
+  f.piv.resize(static_cast<std::size_t>(a.rows()));
+  const LuInPlaceInfo d = lu_factor_inplace(a.view(), f.piv);
+  f.info = d.info;
+  f.min_pivot_abs = d.min_pivot_abs;
+  f.max_pivot_abs = d.max_pivot_abs;
+  f.growth = d.growth;
   f.lu = std::move(a);
   return f;
 }
@@ -82,13 +99,20 @@ LuFactors lu_factor(ConstMatrixView a) { return lu_factor(to_matrix(a)); }
 
 void lu_solve_inplace(const LuFactors& f, MatrixView b) {
   require_ok(f, "la::lu_solve");
-  const index_t n = f.n();
-  assert(b.rows() == n);
-  const ConstMatrixView lu = f.lu.view();
+  lu_solve_inplace(f.lu.view(), f.piv, b);
+}
+
+void lu_solve_inplace(ConstMatrixView lu, std::span<const index_t> piv, MatrixView b) {
+  const index_t n = lu.rows();
+  detail::check_shape(b.rows() == n, "la::lu_solve", "b.rows() == f.n()", b.rows(), n);
+  if (smallblock::enabled() && smallblock::dispatchable(n)) {
+    smallblock::lu_solve_inplace_fixed(n, lu, piv.data(), b);
+    return;
+  }
 
   // Apply the row permutation: b := P b.
   for (index_t k = 0; k < n; ++k) {
-    const index_t p = f.piv[static_cast<std::size_t>(k)];
+    const index_t p = piv[static_cast<std::size_t>(k)];
     if (p != k) {
       for (index_t j = 0; j < b.cols(); ++j) std::swap(b(k, j), b(p, j));
     }
@@ -133,7 +157,7 @@ void lu_solve_inplace(const LuFactors& f, std::span<double> b) {
 void lu_solve_transposed_inplace(const LuFactors& f, MatrixView b) {
   require_ok(f, "la::lu_solve_transposed");
   const index_t n = f.n();
-  assert(b.rows() == n);
+  detail::check_shape(b.rows() == n, "la::lu_solve_transposed", "b.rows() == f.n()", b.rows(), n);
   const ConstMatrixView lu = f.lu.view();
 
   // Forward substitution with U^T (lower triangular, diagonal from U).
@@ -173,8 +197,23 @@ Matrix right_divide(ConstMatrixView b, const LuFactors& f) {
   return transposed(bt.view());
 }
 
+Matrix right_divide(ConstMatrixView b, const LuFactors& f, Workspace* ws) {
+  Matrix bt = ws_acquire(ws, b.cols(), b.rows());
+  for (index_t i = 0; i < b.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) bt(j, i) = b(i, j);
+  }
+  lu_solve_transposed_inplace(f, bt.view());
+  Matrix x = ws_acquire(ws, b.rows(), b.cols());
+  for (index_t i = 0; i < bt.rows(); ++i) {
+    for (index_t j = 0; j < bt.cols(); ++j) x(j, i) = bt(i, j);
+  }
+  ws_release(ws, std::move(bt));
+  return x;
+}
+
 Matrix inverse(ConstMatrixView a) {
-  assert(a.rows() == a.cols());
+  detail::check_shape(a.rows() == a.cols(), "la::inverse", "a.rows() == a.cols()", a.rows(),
+                      a.cols());
   const LuFactors f = lu_factor(a);
   require_ok(f, "la::inverse");
   Matrix inv = Matrix::identity(a.rows());

@@ -38,11 +38,35 @@ struct LuFactors {
   index_t n() const { return lu.rows(); }
 };
 
+/// Diagnostics of an in-place factorization (lu_factor_inplace): the same
+/// fields LuFactors carries, for callers that own the LU storage (e.g. a
+/// contiguous slab of many small blocks) and only need the numbers back.
+struct LuInPlaceInfo {
+  index_t info = 0;
+  double min_pivot_abs = std::numeric_limits<double>::infinity();
+  double max_pivot_abs = 0.0;
+  double growth = 1.0;
+
+  bool ok() const { return info == 0; }
+};
+
 /// Factor a square matrix (taken by value; moved into the result).
 LuFactors lu_factor(Matrix a);
 
 /// Factor a copy of a square view.
 LuFactors lu_factor(ConstMatrixView a);
+
+/// Factor a square view in place, writing the row swaps into the
+/// caller-owned `piv` (size n). Identical arithmetic and diagnostics to
+/// lu_factor — this is the storage-free core the slab-resident callers
+/// (block-Thomas factor sweeps) use to avoid one Matrix + pivot vector
+/// allocation per block.
+LuInPlaceInfo lu_factor_inplace(MatrixView a, std::span<index_t> piv);
+
+/// B := A^{-1} B through caller-owned factors (the in-place counterpart
+/// of lu_solve_inplace(const LuFactors&, ...)). The caller is responsible
+/// for having checked ok() at factor time.
+void lu_solve_inplace(ConstMatrixView lu, std::span<const index_t> piv, MatrixView b);
 
 /// B := A^{-1} B for a factored A; B has n rows and any number of columns.
 void lu_solve_inplace(const LuFactors& f, MatrixView b);
@@ -60,6 +84,14 @@ void lu_solve_transposed_inplace(const LuFactors& f, MatrixView b);
 /// Right division: returns X = B A^{-1} (i.e. solves X A = B) via the
 /// transposed system. B has any number of rows and n columns.
 Matrix right_divide(ConstMatrixView b, const LuFactors& f);
+
+class Workspace;
+
+/// Workspace-backed right division: the transpose scratch and the result
+/// both come from `ws` (result storage returns to the pool when the
+/// caller releases it). `ws == nullptr` behaves exactly like the
+/// two-argument overload; results are bit-identical either way.
+Matrix right_divide(ConstMatrixView b, const LuFactors& f, Workspace* ws);
 
 /// Explicit inverse via LU (test/diagnostic utility; solvers never call it).
 Matrix inverse(ConstMatrixView a);

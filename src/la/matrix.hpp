@@ -30,6 +30,15 @@ class Matrix {
     assert(rows >= 0 && cols >= 0);
   }
 
+  /// Zero-initialized `rows x cols` matrix recycling `storage`'s
+  /// allocation (Workspace pooling): assign() keeps the vector's capacity,
+  /// so no heap traffic when it already fits rows*cols.
+  Matrix(index_t rows, index_t cols, std::vector<double>&& storage)
+      : rows_(rows), cols_(cols), data_(std::move(storage)) {
+    assert(rows >= 0 && cols >= 0);
+    data_.assign(static_cast<std::size_t>(rows * cols), 0.0);
+  }
+
   /// Construct from nested initializer lists (row major):
   /// `Matrix m{{1,2},{3,4}};`. All rows must have equal length.
   Matrix(std::initializer_list<std::initializer_list<double>> init) {
@@ -100,6 +109,14 @@ class Matrix {
     rows_ = rows;
     cols_ = cols;
     data_.assign(static_cast<std::size_t>(rows * cols), 0.0);
+  }
+
+  /// Steal the underlying allocation (leaves the matrix empty). Used by
+  /// Workspace to return a released matrix's storage to its pool.
+  std::vector<double> take_storage() && {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
   }
 
   friend bool operator==(const Matrix& a, const Matrix& b) {

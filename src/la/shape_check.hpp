@@ -1,0 +1,26 @@
+#pragma once
+
+#include "src/fault/status.hpp"
+#include "src/la/matrix.hpp"
+
+/// \file shape_check.hpp
+/// Always-on dimension checks for the dense kernel entry points. These
+/// used to be bare `assert`s, which compile out under -DNDEBUG (the
+/// default RelWithDebInfo build!) and let mismatched views write out of
+/// bounds. A failed check raises fault::ShapeMismatchError
+/// (ErrorCode::kShapeMismatch); the cost is a handful of predictable
+/// integer compares per kernel call, invisible next to the O(M^3) work
+/// they guard.
+
+namespace ardbt::la::detail {
+
+/// Throws ShapeMismatchError("<where>: shape mismatch, <relation> violated
+/// (got ..., expected ...)") when `ok` is false.
+inline void check_shape(bool ok, const char* where, const char* relation, index_t got,
+                        index_t expected) {
+  if (!ok) [[unlikely]] {
+    throw fault::ShapeMismatchError(where, relation, got, expected);
+  }
+}
+
+}  // namespace ardbt::la::detail

@@ -1,0 +1,306 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+#include <utility>
+
+#include "src/la/lu.hpp"
+#include "src/la/matrix.hpp"
+#include "src/la/views.hpp"
+
+/// \file kernels.hpp
+/// The fixed-M kernel templates behind smallblock.hpp's entry points,
+/// exposed so sweeping call sites (block-Thomas panels, PCR levels) can
+/// hoist the M-dispatch out of their per-block loops: dispatch(m, ...)
+/// once per segment, then run the templated sweep with zero per-block
+/// branching.
+///
+/// Every template here is a transcription of the corresponding generic
+/// loop in gemm.cpp / lu.cpp with the M-extent promoted to a template
+/// parameter. The per-element floating-point operation order — including
+/// the skip-on-zero multiplier branches — is preserved exactly; any
+/// reordering breaks the library-wide bit-identity contract
+/// (docs/KERNELS.md).
+
+namespace ardbt::la::smallblock {
+
+/// Invoke `f` with std::integral_constant<index_t, M> when `m` is a
+/// dispatchable size; returns false (without calling f) otherwise.
+template <typename F>
+bool dispatch(index_t m, F&& f) {
+  switch (m) {
+    case 2:
+      f(std::integral_constant<index_t, 2>{});
+      return true;
+    case 4:
+      f(std::integral_constant<index_t, 4>{});
+      return true;
+    case 8:
+      f(std::integral_constant<index_t, 8>{});
+      return true;
+    case 16:
+      f(std::integral_constant<index_t, 16>{});
+      return true;
+    case 32:
+      f(std::integral_constant<index_t, 32>{});
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Same beta handling as gemm.cpp's scale_c.
+inline void scale_c(double beta, MatrixView c) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    for (index_t i = 0; i < c.rows(); ++i) std::fill(c.row_ptr(i), c.row_ptr(i) + c.cols(), 0.0);
+    return;
+  }
+  for (index_t i = 0; i < c.rows(); ++i) {
+    double* ci = c.row_ptr(i);
+    for (index_t j = 0; j < c.cols(); ++j) ci[j] *= beta;
+  }
+}
+
+/// Column-tile widths held in registers by the kernels below. The generic
+/// saxpy loops stream each output row from memory M times; these kernels
+/// keep a T-column accumulator tile in registers across the whole
+/// (unrolled, compile-time-M) k loop and write each element exactly once.
+/// The per-element arithmetic is unchanged — the same terms are added in
+/// the same k-ascending order — so results stay bit-identical. Tiles
+/// shrink 8 -> 4 -> 2 -> 1 so narrow panels (factor-path couplings are
+/// only M columns wide) still run register-blocked.
+namespace detail {
+
+template <index_t M, index_t T>
+inline void gemm_tile(double alpha, const double* ai, ConstMatrixView b, double* ci, index_t j) {
+  double acc[T];
+  for (index_t t = 0; t < T; ++t) acc[t] = ci[j + t];
+  for (index_t k = 0; k < M; ++k) {
+    const double aik = alpha * ai[k];
+    const double* bk = b.row_ptr(k) + j;
+    for (index_t t = 0; t < T; ++t) acc[t] += aik * bk[t];
+  }
+  for (index_t t = 0; t < T; ++t) ci[j + t] = acc[t];
+}
+
+}  // namespace detail
+
+/// C += alpha * A * B with A M x M; same per-element operation order as
+/// gemm.cpp's saxpy (i,k,j) loops. Callers apply scale_c / the alpha == 0
+/// early-out first.
+template <index_t M>
+void gemm_kernel(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  const index_t n = c.cols();
+  for (index_t i = 0; i < M; ++i) {
+    double* ci = c.row_ptr(i);
+    const double* ai = a.row_ptr(i);
+    index_t j = 0;
+    for (; j + 8 <= n; j += 8) detail::gemm_tile<M, 8>(alpha, ai, b, ci, j);
+    if (j + 4 <= n) {
+      detail::gemm_tile<M, 4>(alpha, ai, b, ci, j);
+      j += 4;
+    }
+    if (j + 2 <= n) {
+      detail::gemm_tile<M, 2>(alpha, ai, b, ci, j);
+      j += 2;
+    }
+    if (j < n) detail::gemm_tile<M, 1>(alpha, ai, b, ci, j);
+  }
+}
+
+namespace detail {
+
+/// One register tile of forward substitution: row i of B minus the
+/// already-final rows k < i, subtracted in k-ascending order with the
+/// same skip-on-zero branches as lu.cpp's generic loops.
+template <index_t M, index_t T>
+inline void trsm_lower_tile(const double* li, index_t i, MatrixView b, double* bi, index_t j) {
+  double acc[T];
+  for (index_t t = 0; t < T; ++t) acc[t] = bi[j + t];
+  for (index_t k = 0; k < i; ++k) {
+    const double lik = li[k];
+    if (lik == 0.0) continue;
+    const double* bk = b.row_ptr(k) + j;
+    for (index_t t = 0; t < T; ++t) acc[t] -= lik * bk[t];
+  }
+  for (index_t t = 0; t < T; ++t) bi[j + t] = acc[t];
+}
+
+/// One register tile of backward substitution (rows k > i are final),
+/// with the trailing inv_uii scale applied at store time — the same
+/// final multiply the generic loop performs in place.
+template <index_t M, index_t T>
+inline void trsm_upper_tile(const double* ui, index_t i, double inv_uii, MatrixView b, double* bi,
+                            index_t j) {
+  double acc[T];
+  for (index_t t = 0; t < T; ++t) acc[t] = bi[j + t];
+  for (index_t k = i + 1; k < M; ++k) {
+    const double uik = ui[k];
+    if (uik == 0.0) continue;
+    const double* bk = b.row_ptr(k) + j;
+    for (index_t t = 0; t < T; ++t) acc[t] -= uik * bk[t];
+  }
+  for (index_t t = 0; t < T; ++t) bi[j + t] = acc[t] * inv_uii;
+}
+
+}  // namespace detail
+
+/// B := L^{-1} B with the unit-lower triangle of a packed M x M LU.
+template <index_t M>
+void trsm_lower_unit_kernel(ConstMatrixView lu, MatrixView b) {
+  const index_t n = b.cols();
+  for (index_t i = 1; i < M; ++i) {
+    double* bi = b.row_ptr(i);
+    const double* li = lu.row_ptr(i);
+    index_t j = 0;
+    for (; j + 8 <= n; j += 8) detail::trsm_lower_tile<M, 8>(li, i, b, bi, j);
+    if (j + 4 <= n) {
+      detail::trsm_lower_tile<M, 4>(li, i, b, bi, j);
+      j += 4;
+    }
+    if (j + 2 <= n) {
+      detail::trsm_lower_tile<M, 2>(li, i, b, bi, j);
+      j += 2;
+    }
+    if (j < n) detail::trsm_lower_tile<M, 1>(li, i, b, bi, j);
+  }
+}
+
+/// B := U^{-1} B with the upper triangle of a packed M x M LU.
+template <index_t M>
+void trsm_upper_kernel(ConstMatrixView lu, MatrixView b) {
+  const index_t n = b.cols();
+  for (index_t i = M - 1; i >= 0; --i) {
+    double* bi = b.row_ptr(i);
+    const double* ui = lu.row_ptr(i);
+    const double inv_uii = 1.0 / ui[i];
+    index_t j = 0;
+    for (; j + 8 <= n; j += 8) detail::trsm_upper_tile<M, 8>(ui, i, inv_uii, b, bi, j);
+    if (j + 4 <= n) {
+      detail::trsm_upper_tile<M, 4>(ui, i, inv_uii, b, bi, j);
+      j += 4;
+    }
+    if (j + 2 <= n) {
+      detail::trsm_upper_tile<M, 2>(ui, i, inv_uii, b, bi, j);
+      j += 2;
+    }
+    if (j < n) detail::trsm_upper_tile<M, 1>(ui, i, inv_uii, b, bi, j);
+  }
+}
+
+/// b := P b with a row permutation in caller-owned storage (no FP
+/// arithmetic, so no ordering concerns).
+inline void apply_permutation_kernel(const index_t* piv, index_t n, MatrixView b) {
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = piv[k];
+    if (p != k) {
+      for (index_t j = 0; j < b.cols(); ++j) std::swap(b(k, j), b(p, j));
+    }
+  }
+}
+
+/// Full getrs with a dispatched M over caller-owned factors: permutation,
+/// forward, backward. The caller has already verified the factorization
+/// is ok() (lu.cpp's require_ok contract).
+template <index_t M>
+void lu_solve_view_kernel(ConstMatrixView lu, const index_t* piv, MatrixView b) {
+  apply_permutation_kernel(piv, M, b);
+  trsm_lower_unit_kernel<M>(lu, b);
+  trsm_upper_kernel<M>(lu, b);
+}
+
+/// LuFactors-packed convenience over lu_solve_view_kernel.
+template <index_t M>
+void lu_solve_kernel(const LuFactors& f, MatrixView b) {
+  lu_solve_view_kernel<M>(f.lu.view(), f.piv.data(), b);
+}
+
+/// getrf with partial pivoting, M x M extents compile-time, factoring the
+/// view in place with caller-owned pivots; identical arithmetic, pivot
+/// diagnostics, and LAPACK-style zero-pivot completion to la::lu_factor.
+template <index_t M>
+LuInPlaceInfo lu_factor_view_kernel(MatrixView m, index_t* piv) {
+  LuInPlaceInfo d;
+
+  double a_max = 0.0;
+  for (index_t i = 0; i < M; ++i) {
+    for (index_t j = 0; j < M; ++j) a_max = std::max(a_max, std::abs(m(i, j)));
+  }
+
+  for (index_t k = 0; k < M; ++k) {
+    index_t p = k;
+    double best = std::abs(m(k, k));
+    for (index_t i = k + 1; i < M; ++i) {
+      const double v = std::abs(m(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    piv[k] = p;
+    if (p != k) {
+      for (index_t j = 0; j < M; ++j) std::swap(m(k, j), m(p, j));
+    }
+    const double pivot = m(k, k);
+    d.min_pivot_abs = std::min(d.min_pivot_abs, std::abs(pivot));
+    d.max_pivot_abs = std::max(d.max_pivot_abs, std::abs(pivot));
+    if (pivot == 0.0) {
+      if (d.info == 0) d.info = k + 1;
+      continue;  // complete the factorization LAPACK-style, like lu_factor
+    }
+    const double inv_pivot = 1.0 / pivot;
+    for (index_t i = k + 1; i < M; ++i) {
+      const double lik = m(i, k) * inv_pivot;
+      m(i, k) = lik;
+      if (lik == 0.0) continue;
+      double* mi = m.row_ptr(i);
+      const double* mk = m.row_ptr(k);
+      for (index_t j = k + 1; j < M; ++j) mi[j] -= lik * mk[j];
+    }
+  }
+  double u_max = 0.0;
+  for (index_t i = 0; i < M; ++i) {
+    for (index_t j = i; j < M; ++j) u_max = std::max(u_max, std::abs(m(i, j)));
+  }
+  d.growth = a_max > 0.0 ? u_max / a_max : 1.0;
+  return d;
+}
+
+/// LuFactors-packed convenience over lu_factor_view_kernel.
+template <index_t M>
+LuFactors lu_factor_kernel(Matrix a) {
+  LuFactors f;
+  f.piv.resize(static_cast<std::size_t>(M));
+  const LuInPlaceInfo d = lu_factor_view_kernel<M>(a.view(), f.piv.data());
+  f.info = d.info;
+  f.min_pivot_abs = d.min_pivot_abs;
+  f.max_pivot_abs = d.max_pivot_abs;
+  f.growth = d.growth;
+  f.lu = std::move(a);
+  return f;
+}
+
+// All call sites share the instantiations defined in smallblock.cpp —
+// that one translation unit is compiled with the kernel-tuning flags
+// (see src/la/CMakeLists.txt), so every caller gets the same code and
+// the same bits regardless of its own TU's options.
+#define ARDBT_SMALLBLOCK_EXTERN(M)                                                     \
+  extern template void gemm_kernel<M>(double, ConstMatrixView, ConstMatrixView,        \
+                                      MatrixView);                                     \
+  extern template void trsm_lower_unit_kernel<M>(ConstMatrixView, MatrixView);         \
+  extern template void trsm_upper_kernel<M>(ConstMatrixView, MatrixView);              \
+  extern template void lu_solve_view_kernel<M>(ConstMatrixView, const index_t*,        \
+                                               MatrixView);                            \
+  extern template void lu_solve_kernel<M>(const LuFactors&, MatrixView);               \
+  extern template LuInPlaceInfo lu_factor_view_kernel<M>(MatrixView, index_t*);        \
+  extern template LuFactors lu_factor_kernel<M>(Matrix)
+ARDBT_SMALLBLOCK_EXTERN(2);
+ARDBT_SMALLBLOCK_EXTERN(4);
+ARDBT_SMALLBLOCK_EXTERN(8);
+ARDBT_SMALLBLOCK_EXTERN(16);
+ARDBT_SMALLBLOCK_EXTERN(32);
+#undef ARDBT_SMALLBLOCK_EXTERN
+
+}  // namespace ardbt::la::smallblock

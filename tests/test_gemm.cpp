@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/fault/status.hpp"
+
 #include <tuple>
 
 #include "src/la/blas1.hpp"
@@ -99,6 +101,22 @@ TEST(Gemm, WorksOnStridedSubBlocks) {
 TEST(Gemm, FlopFormula) {
   EXPECT_EQ(gemm_flops(2, 3, 4), 48.0);
   EXPECT_EQ(gemm_flops(1, 1, 1), 2.0);
+}
+
+// Regression: these used to be bare asserts, compiled out under the
+// default -DNDEBUG build — the checks must throw in release mode too.
+TEST(Gemm, MismatchedShapesThrow) {
+  Matrix a(3, 4);
+  Matrix b(5, 2);  // inner dimension 4 != 5
+  Matrix c(3, 2);
+  EXPECT_THROW(gemm(1.0, a.view(), b.view(), 0.0, c.view()), fault::ShapeMismatchError);
+
+  Matrix b_ok(4, 2);
+  Matrix c_bad(2, 2);  // output rows 2 != 3
+  EXPECT_THROW(gemm(1.0, a.view(), b_ok.view(), 0.0, c_bad.view()), fault::ShapeMismatchError);
+  Matrix c_bad2(3, 3);  // output cols 3 != 2
+  EXPECT_THROW(gemm_naive(1.0, a.view(), b_ok.view(), 0.0, c_bad2.view()),
+               fault::ShapeMismatchError);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/fault/status.hpp"
+
 #include <vector>
 
 #include "src/la/gemm.hpp"
@@ -57,6 +59,19 @@ TEST(Gemv, BetaZero) {
 }
 
 TEST(Gemv, FlopFormula) { EXPECT_EQ(gemv_flops(3, 4), 24.0); }
+
+// Regression: the dimension checks must stay live under -DNDEBUG.
+TEST(Gemv, MismatchedShapesThrow) {
+  const Matrix a = Matrix::identity(3);
+  std::vector<double> x(2);  // needs 3
+  std::vector<double> y(3);
+  EXPECT_THROW(gemv(1.0, a.view(), x, 0.0, y), fault::ShapeMismatchError);
+
+  std::vector<double> x_ok(3);
+  std::vector<double> y_bad(4);  // needs 3
+  EXPECT_THROW(gemv(1.0, a.view(), x_ok, 0.0, y_bad), fault::ShapeMismatchError);
+  EXPECT_THROW(gemv_t(1.0, a.view(), x_ok, 0.0, y_bad), fault::ShapeMismatchError);
+}
 
 }  // namespace
 }  // namespace ardbt::la

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/fault/status.hpp"
+
 #include "src/la/blas1.hpp"
 #include "src/la/gemm.hpp"
 #include "src/la/random.hpp"
@@ -112,6 +114,20 @@ TEST(Lu, ConditionOfIdentityIsOne) {
 TEST(Lu, ConditionOfSingularIsInf) {
   const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
   EXPECT_TRUE(std::isinf(condition_inf(a.view())));
+}
+
+// Regression: these checks used to be asserts, absent from the default
+// -DNDEBUG build — they must throw in release mode.
+TEST(Lu, MismatchedShapesThrow) {
+  EXPECT_THROW(lu_factor(Matrix(3, 4).view()), fault::ShapeMismatchError);
+
+  const Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  const LuFactors f = lu_factor(a.view());
+  Matrix b(3, 1);  // rows 3 != 2
+  EXPECT_THROW(lu_solve_inplace(f, b.view()), fault::ShapeMismatchError);
+  EXPECT_THROW(lu_solve(f, b.view()), fault::ShapeMismatchError);
+  Matrix c(1, 3);  // right_divide: cols 3 != 2
+  EXPECT_THROW(right_divide(c.view(), f), fault::ShapeMismatchError);
 }
 
 TEST(Lu, SolveSpanOverloadMatchesMatrixOverload) {

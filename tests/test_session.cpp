@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/btds/generators.hpp"
 #include "src/btds/spmv.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace ardbt::core {
 namespace {
@@ -144,6 +148,55 @@ TEST(Session, RunsChainOnOneVirtualTimeline) {
   EXPECT_GT(after_factor, 0.0);
   EXPECT_GT(after_one, after_factor);
   EXPECT_GT(after_two, after_one);
+}
+
+TEST(Session, ArdSolveIsArenaSteadyStateAfterFirstSolve) {
+  // The zero-allocation contract of the workspace arena: the first
+  // solve(B) of a given shape may grow the per-rank arenas, but every
+  // further solve of that shape must be satisfied entirely from pooled
+  // slabs — the slab_allocs counters stop moving.
+  const auto sys = make_problem(ProblemKind::kPoisson2D, 24, 4);
+  const auto b = make_rhs(24, 4, 5, 3);
+  const int nranks = 4;
+  Session session(Method::kArd, sys, nranks, {}, charged());
+  session.factor();
+
+  for (int r = 0; r < nranks; ++r) {
+    const la::Workspace::Stats after_factor = session.arena_stats_after_factor(r);
+    EXPECT_GT(after_factor.slab_allocs, 0u) << r;  // factor used the arena
+    EXPECT_EQ(session.arena_stats(r).slab_allocs, after_factor.slab_allocs) << r;
+  }
+
+  session.solve(b);  // warm-up: sizes the solve-phase slabs
+  std::vector<std::uint64_t> warm(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    warm[static_cast<std::size_t>(r)] = session.arena_stats(r).slab_allocs;
+  }
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    session.solve(b);
+    for (int r = 0; r < nranks; ++r) {
+      const la::Workspace::Stats s = session.arena_stats(r);
+      EXPECT_EQ(s.slab_allocs, warm[static_cast<std::size_t>(r)])
+          << "rank " << r << " allocated a new slab on steady-state solve " << repeat;
+      EXPECT_GT(s.acquires, 0u) << r;  // arena is actually in use
+    }
+  }
+
+  // Out-of-range queries are harmless zero stats.
+  EXPECT_EQ(session.arena_stats(-1).acquires, 0u);
+  EXPECT_EQ(session.arena_stats(nranks).acquires, 0u);
+
+  // The registry export mirrors the per-rank counters. The solve-phase
+  // slab count includes the warm-up solve, but is frozen in steady state.
+  obs::MetricsRegistry reg;
+  session.export_arena_metrics(reg);
+  EXPECT_GT(reg.gauge("arena.high_water_bytes").value(), 0.0);
+  const double solve_allocs = reg.gauge("arena.solve.slab_allocs").value();
+  session.solve(b);
+  obs::MetricsRegistry reg2;
+  session.export_arena_metrics(reg2);
+  EXPECT_EQ(reg2.gauge("arena.solve.slab_allocs").value(), solve_allocs);
 }
 
 TEST(Session, RejectsBadShapesAndRankCounts) {

@@ -1,0 +1,304 @@
+#include "src/la/smallblock/smallblock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/btds/generators.hpp"
+#include "src/btds/spmv.hpp"
+#include "src/btds/thomas.hpp"
+#include "src/core/solver.hpp"
+#include "src/la/blas1.hpp"
+#include "src/la/gemm.hpp"
+#include "src/la/lu.hpp"
+#include "src/la/random.hpp"
+#include "src/la/workspace.hpp"
+#include "src/par/pool.hpp"
+
+namespace ardbt::la {
+namespace {
+
+/// Every dispatched block size, plus non-dispatchable controls.
+constexpr index_t kDispatched[] = {2, 4, 8, 16, 32};
+
+/// Restore the global microkernel switch no matter how a test exits.
+class DisabledGuard {
+ public:
+  DisabledGuard() { smallblock::set_enabled(false); }
+  ~DisabledGuard() { smallblock::set_enabled(true); }
+};
+
+TEST(SmallBlock, DispatchTable) {
+  for (index_t m : kDispatched) EXPECT_TRUE(smallblock::dispatchable(m)) << m;
+  for (index_t m : {1, 3, 5, 6, 7, 9, 15, 17, 31, 33, 64}) {
+    EXPECT_FALSE(smallblock::dispatchable(m)) << m;
+  }
+}
+
+/// The determinism contract: the fixed-M kernel, the generic gemm, and
+/// the naive triple loop share the same per-element operation order, so
+/// their results are bit-identical (max abs diff exactly zero).
+TEST(SmallBlock, GemmBitIdenticalToGenericAndNaive) {
+  for (index_t m : kDispatched) {
+    for (index_t r : {index_t{1}, index_t{3}, m, index_t{2} * m + 1}) {
+      Rng rng = make_rng(11, static_cast<std::uint64_t>(m * 1000 + r));
+      const Matrix a = random_uniform(m, m, rng);
+      const Matrix b = random_uniform(m, r, rng);
+      const Matrix c0 = random_uniform(m, r, rng);
+      for (const double beta : {0.0, 1.0, -0.25}) {
+        Matrix c_fixed = c0;
+        smallblock::gemm_fixed(m, 1.7, a.view(), b.view(), beta, c_fixed.view());
+
+        Matrix c_generic = c0;
+        {
+          DisabledGuard off;
+          gemm(1.7, a.view(), b.view(), beta, c_generic.view());
+        }
+        Matrix c_dispatch = c0;
+        gemm(1.7, a.view(), b.view(), beta, c_dispatch.view());
+
+        Matrix c_naive = c0;
+        gemm_naive(1.7, a.view(), b.view(), beta, c_naive.view());
+
+        // Bit-identity holds against the generic kernel (same saxpy
+        // order); the naive dot-product order only agrees to rounding.
+        EXPECT_TRUE(c_fixed == c_generic) << "m=" << m << " r=" << r << " beta=" << beta;
+        EXPECT_TRUE(c_fixed == c_dispatch) << "m=" << m << " r=" << r << " beta=" << beta;
+        double naive_diff = 0.0;
+        for (index_t i = 0; i < m; ++i) {
+          for (index_t j = 0; j < r; ++j) {
+            naive_diff = std::max(naive_diff, std::abs(c_fixed(i, j) - c_naive(i, j)));
+          }
+        }
+        EXPECT_LT(naive_diff, 1e-12 * static_cast<double>(m))
+            << "m=" << m << " r=" << r << " beta=" << beta;
+      }
+    }
+  }
+}
+
+TEST(SmallBlock, LuFactorAndSolveBitIdentical) {
+  for (index_t m : kDispatched) {
+    Rng rng = make_rng(12, static_cast<std::uint64_t>(m));
+    const Matrix a = random_diag_dominant(m, rng);
+    const Matrix b = random_uniform(m, 5, rng);
+
+    LuFactors f_fixed = lu_factor(a.view());  // dispatches to the microkernel
+    LuFactors f_generic;
+    {
+      DisabledGuard off;
+      f_generic = lu_factor(a.view());
+    }
+    EXPECT_TRUE(f_fixed.lu == f_generic.lu) << m;
+    EXPECT_EQ(f_fixed.piv, f_generic.piv) << m;
+    EXPECT_EQ(f_fixed.info, f_generic.info) << m;
+    EXPECT_EQ(f_fixed.min_pivot_abs, f_generic.min_pivot_abs) << m;
+    EXPECT_EQ(f_fixed.max_pivot_abs, f_generic.max_pivot_abs) << m;
+    EXPECT_EQ(f_fixed.growth, f_generic.growth) << m;
+
+    Matrix x_fixed = b;
+    lu_solve_inplace(f_fixed, x_fixed.view());
+    Matrix x_generic = b;
+    {
+      DisabledGuard off;
+      lu_solve_inplace(f_generic, x_generic.view());
+    }
+    EXPECT_TRUE(x_fixed == x_generic) << m;
+  }
+}
+
+/// Zero pivots must complete with identical LAPACK-style info/diagnostics
+/// on both paths (the `if (x == 0.0) continue` skips are part of the
+/// contract).
+TEST(SmallBlock, SingularFactorDiagnosticsMatch) {
+  for (index_t m : {index_t{2}, index_t{4}}) {
+    Matrix a(m, m);  // all zero -> every pivot singular
+    LuFactors f_fixed = lu_factor(a.view());
+    LuFactors f_generic;
+    {
+      DisabledGuard off;
+      f_generic = lu_factor(a.view());
+    }
+    EXPECT_FALSE(f_fixed.ok());
+    EXPECT_EQ(f_fixed.info, f_generic.info) << m;
+    EXPECT_TRUE(f_fixed.lu == f_generic.lu) << m;
+  }
+}
+
+TEST(SmallBlock, BatchedEntryPointsMatchPerItemCalls) {
+  for (index_t m : {index_t{4}, index_t{6}}) {  // one dispatched, one fallback
+    Rng rng = make_rng(13, static_cast<std::uint64_t>(m));
+    const index_t count = 7;
+    std::vector<Matrix> as, bs, cs_batched, cs_ref;
+    for (index_t i = 0; i < count; ++i) {
+      as.push_back(random_diag_dominant(m, rng));
+      bs.push_back(random_uniform(m, 3, rng));
+      cs_batched.push_back(random_uniform(m, 3, rng));
+      cs_ref.push_back(cs_batched.back());
+    }
+
+    std::vector<smallblock::GemmItem> items;
+    for (index_t i = 0; i < count; ++i) {
+      items.push_back({as[static_cast<std::size_t>(i)].view(),
+                       bs[static_cast<std::size_t>(i)].view(),
+                       cs_batched[static_cast<std::size_t>(i)].view()});
+    }
+    smallblock::batched_gemm(m, -1.0, items, 1.0);
+    {
+      DisabledGuard off;
+      for (index_t i = 0; i < count; ++i) {
+        gemm(-1.0, as[static_cast<std::size_t>(i)].view(),
+             bs[static_cast<std::size_t>(i)].view(), 1.0,
+             cs_ref[static_cast<std::size_t>(i)].view());
+      }
+    }
+    for (index_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(cs_batched[static_cast<std::size_t>(i)] == cs_ref[static_cast<std::size_t>(i)])
+          << "m=" << m << " i=" << i;
+    }
+
+    std::vector<ConstMatrixView> views;
+    for (const Matrix& a : as) views.push_back(a.view());
+    std::vector<LuFactors> lus;
+    smallblock::batched_lu_factor(m, views, lus);
+    ASSERT_EQ(lus.size(), static_cast<std::size_t>(count));
+
+    std::vector<Matrix> xs_batched, xs_ref;
+    for (index_t i = 0; i < count; ++i) {
+      xs_batched.push_back(bs[static_cast<std::size_t>(i)]);
+      xs_ref.push_back(bs[static_cast<std::size_t>(i)]);
+    }
+    std::vector<smallblock::LuSolveItem> solves;
+    for (index_t i = 0; i < count; ++i) {
+      solves.push_back(
+          {&lus[static_cast<std::size_t>(i)], xs_batched[static_cast<std::size_t>(i)].view()});
+    }
+    smallblock::batched_lu_solve(m, solves);
+    {
+      DisabledGuard off;
+      for (index_t i = 0; i < count; ++i) {
+        LuFactors ref = lu_factor(as[static_cast<std::size_t>(i)].view());
+        EXPECT_TRUE(ref.lu == lus[static_cast<std::size_t>(i)].lu) << "m=" << m << " i=" << i;
+        lu_solve_inplace(ref, xs_ref[static_cast<std::size_t>(i)].view());
+      }
+    }
+    for (index_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(xs_batched[static_cast<std::size_t>(i)] == xs_ref[static_cast<std::size_t>(i)])
+          << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+/// Thomas solve must be bit-identical with the microkernel sweep on and
+/// off, with an arena and without, and for any pool size.
+TEST(SmallBlock, ThomasSolveBitIdenticalAcrossPaths) {
+  for (index_t m : {index_t{4}, index_t{8}}) {
+    const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, 12, m);
+    const la::Matrix b = btds::make_rhs(12, m, 6, 3);
+    const auto f = btds::ThomasFactorization::factor(sys);
+
+    const Matrix x_fixed = f.solve(b);
+    Matrix x_generic;
+    {
+      DisabledGuard off;
+      x_generic = f.solve(b);
+    }
+    EXPECT_TRUE(x_fixed == x_generic) << m;
+
+    Workspace ws;
+    const Matrix x_ws = f.solve(b, nullptr, &ws);
+    EXPECT_TRUE(x_fixed == x_ws) << m;
+
+    par::Pool pool(8);  // more lanes than the 6 RHS columns
+    const Matrix x_pool = f.solve(b, &pool);
+    EXPECT_TRUE(x_fixed == x_pool) << m;
+  }
+}
+
+// --- degenerate shapes ------------------------------------------------
+
+TEST(SmallBlock, ScalarBlocksSolveCorrectly) {  // M=1 never dispatches
+  const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, 16, 1);
+  const la::Matrix b = btds::make_rhs(16, 1, 3, 5);
+  const Matrix x = btds::thomas_solve(sys, b);
+  EXPECT_LT(btds::relative_residual(sys, x, b), 1e-12);
+
+  core::Session session(core::Method::kArd, sys, 4);
+  const Matrix x_ard = session.solve(b);
+  EXPECT_LT(btds::relative_residual(sys, x_ard, b), 1e-10);
+}
+
+TEST(SmallBlock, SingleRhsColumn) {  // R=1 panels
+  const auto sys = btds::make_problem(btds::ProblemKind::kPoisson2D, 9, 4);
+  const la::Matrix b = btds::make_rhs(9, 4, 1, 7);
+  const auto f = btds::ThomasFactorization::factor(sys);
+  const Matrix x = f.solve(b);
+  Matrix x_generic;
+  {
+    DisabledGuard off;
+    x_generic = f.solve(b);
+  }
+  EXPECT_TRUE(x == x_generic);
+  EXPECT_LT(btds::relative_residual(sys, x, b), 1e-12);
+}
+
+TEST(SmallBlock, PoolRangeSmallerThanThreads) {
+  par::Pool pool(8);
+  std::vector<int> hits(3, 0);
+  pool.parallel_for(
+      0, 3, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) hits[static_cast<std::size_t>(i)]++;
+      },
+      "test.small_range");
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(SmallBlock, EmptyParallelForRange) {
+  par::Pool pool(4);
+  bool called = false;
+  pool.parallel_for(0, 0, [&](std::int64_t, std::int64_t) { called = true; }, "test.empty");
+  EXPECT_FALSE(called);
+}
+
+// --- workspace arena --------------------------------------------------
+
+TEST(SmallBlock, WorkspaceRecyclesSlabs) {
+  Workspace ws;
+  Matrix a = ws.acquire(8, 8);
+  EXPECT_EQ(a.rows(), 8);
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) EXPECT_EQ(a(i, j), 0.0);  // acquire zero-fills
+  }
+  a(0, 0) = 42.0;
+  ws.release(std::move(a));
+  EXPECT_EQ(ws.stats().slab_allocs, 1u);
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+
+  // Same shape -> the pooled slab is reused, zeroed again.
+  Matrix b = ws.acquire(8, 8);
+  EXPECT_EQ(b(0, 0), 0.0);
+  EXPECT_EQ(ws.stats().slab_allocs, 1u);
+  // A smaller request also fits the pooled capacity.
+  ws.release(std::move(b));
+  Matrix c = ws.acquire(4, 4);
+  EXPECT_EQ(ws.stats().slab_allocs, 1u);
+  ws.release(std::move(c));
+  // A larger one does not.
+  Matrix d = ws.acquire(16, 16);
+  EXPECT_EQ(ws.stats().slab_allocs, 2u);
+  ws.release(std::move(d));
+  EXPECT_EQ(ws.stats().acquires, 4u);
+  EXPECT_EQ(ws.stats().releases, 4u);
+  EXPECT_GT(ws.stats().high_water_bytes, 0u);
+}
+
+TEST(SmallBlock, NullWorkspaceHelpersFallBackToPlainMatrices) {
+  Matrix a = ws_acquire(nullptr, 3, 4);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  ws_release(nullptr, std::move(a));  // must be a safe no-op
+}
+
+}  // namespace
+}  // namespace ardbt::la

@@ -39,9 +39,11 @@
 //   --help    same as --list
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -72,6 +74,49 @@ constexpr const char* kKnownFlags[] = {
 [[noreturn]] void die(const std::string& message) {
   std::fprintf(stderr, "ardbt: %s (try --list)\n", message.c_str());
   std::exit(2);
+}
+
+/// Malformed flag *values* (garbage/zero/negative numbers) exit through
+/// the same structured `ardbt: error: [code]` channel as solver failures,
+/// with exit 1, so scripted callers parse one error grammar.
+[[noreturn]] void die_invalid(const std::string& message) {
+  std::fprintf(stderr, "ardbt: error: [%s] %s\n",
+               std::string(fault::to_string(fault::ErrorCode::kInvalidArgument)).c_str(),
+               message.c_str());
+  std::exit(1);
+}
+
+/// Strict decimal parse of an integer flag value in [min_value, max_value]:
+/// the whole token must be a number — "8x", "", "1e3" and out-of-range
+/// values are all rejected (std::atoi would silently return 0 or garbage).
+long long parse_int(const std::string& flag, const std::string& text, long long min_value,
+                    long long max_value = std::numeric_limits<long long>::max()) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    die_invalid(flag + " expects an integer, got '" + text + "'");
+  }
+  if (v < min_value || v > max_value) {
+    die_invalid(flag + " must be at least " + std::to_string(min_value) + ", got '" + text +
+                "'");
+  }
+  return v;
+}
+
+/// Strict parse of a non-negative double flag value.
+double parse_double(const std::string& flag, const std::string& text, double min_value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    die_invalid(flag + " expects a number, got '" + text + "'");
+  }
+  if (!(v >= min_value)) {
+    die_invalid(flag + " must be at least " + std::to_string(min_value) + ", got '" + text +
+                "'");
+  }
+  return v;
 }
 
 /// Classic dynamic-programming edit distance, for flag suggestions.
@@ -211,17 +256,18 @@ int main(int argc, char** argv) {
     } else if (flag == "--kind") {
       kind = parse_kind(next());
     } else if (flag == "--n") {
-      n = std::atoll(next().c_str());
+      n = static_cast<la::index_t>(parse_int(flag, next(), 1));
     } else if (flag == "--m") {
-      m = std::atoll(next().c_str());
+      m = static_cast<la::index_t>(parse_int(flag, next(), 1));
     } else if (flag == "--p") {
-      p = std::atoi(next().c_str());
+      p = static_cast<int>(parse_int(flag, next(), 1, std::numeric_limits<int>::max()));
     } else if (flag == "--r") {
-      r = std::atoll(next().c_str());
+      r = static_cast<la::index_t>(parse_int(flag, next(), 1));
     } else if (flag == "--seed") {
-      seed = std::strtoull(next().c_str(), nullptr, 10);
+      seed = static_cast<std::uint64_t>(parse_int(flag, next(), 0));
     } else if (flag == "--refine") {
-      refine_steps = std::atoi(next().c_str());
+      refine_steps =
+          static_cast<int>(parse_int(flag, next(), 0, std::numeric_limits<int>::max()));
     } else if (flag == "--load-sys") {
       load_sys = next();
     } else if (flag == "--save-sys") {
@@ -233,7 +279,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--json") {
       json_path = next();
     } else if (flag == "--threads") {
-      engine.threads_per_rank = std::atoi(next().c_str());
+      engine.threads_per_rank =
+          static_cast<int>(parse_int(flag, next(), 1, std::numeric_limits<int>::max()));
     } else if (flag == "--on-breakdown") {
       const std::string v = next();
       const auto policy = fault::parse_breakdown_policy(v);
@@ -242,9 +289,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--fault") {
       fault_kinds.push_back(next());
     } else if (flag == "--plant-pivot") {
-      plant_pivot = std::atoll(next().c_str());
+      plant_pivot = static_cast<la::index_t>(parse_int(flag, next(), 0));
     } else if (flag == "--plant-eps") {
-      plant_eps = std::atof(next().c_str());
+      plant_eps = parse_double(flag, next(), 0.0);
     } else if (flag == "--timing") {
       const std::string v = next();
       if (v == "charged") {
@@ -258,9 +305,7 @@ int main(int argc, char** argv) {
       die_unknown_flag(flag);
     }
   }
-  if (n < 1 || m < 1 || r < 1 || p < 1) die("shape values must be positive");
   if (n < p) die("need N >= P");
-  if (engine.threads_per_rank < 1) die("--threads must be positive");
 
   btds::BlockTridiag sys;
   if (!load_sys.empty()) {

@@ -116,6 +116,30 @@ def main():
                    False, 1)
         cases += 1
 
+        # Malformed flag values: garbage / zero / negative numbers must
+        # exit 1 with the structured invalid-argument error, never parse
+        # silently to 0 (the old atoi behavior) or crash.
+        for scenario, argv in [
+            ("garbage --n", ["--n", "12x"]),
+            ("zero --m", ["--m", "0"]),
+            ("negative --p", ["--p", "-4"]),
+            ("garbage --threads", ["--threads", "many"]),
+            ("garbage --plant-eps", ["--plant-eps", "tiny"]),
+        ]:
+            cmd = [cli, *argv]
+            try:
+                proc = subprocess.run(cmd, capture_output=True, text=True,
+                                      timeout=TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                fail(f"{' '.join(cmd)} hung for {TIMEOUT_S}s")
+            if proc.returncode != 1:
+                fail(f"{scenario}: expected exit 1, got {proc.returncode}:"
+                     f"\n{proc.stderr}")
+            if "ardbt: error: [invalid-argument]" not in proc.stderr:
+                fail(f"{scenario}: missing structured invalid-argument error:"
+                     f"\n{proc.stderr}")
+            cases += 1
+
     print(f"check_faults: OK ({cases} scenarios)")
 
 
