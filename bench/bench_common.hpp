@@ -28,10 +28,13 @@
 namespace ardbt::bench {
 
 /// Shared command line of every experiment binary:
-///   --json FILE   mirror the printed tables into an ardbt.run_report v1
-///   --threads T   worker threads per rank for pool-aware sections
-///   --smoke       tiny problem shapes, for CI smoke runs
-///   --help/--list usage
+///   --json FILE    mirror the printed tables into an ardbt.run_report v2
+///   --history FILE append the same document as one line of an append-only
+///                  ardbt.bench_history JSONL file (the perf-gate baseline
+///                  format: the trajectory accumulates one entry per run)
+///   --threads T    worker threads per rank for pool-aware sections
+///   --smoke        tiny problem shapes, for CI smoke runs
+///   --help/--list  usage
 /// Unknown flags exit(2) with a nearest-flag suggestion (edit distance),
 /// matching the ardbt CLI's behavior; malformed numeric values take the
 /// structured `error: [invalid-argument]` path with exit 1.
@@ -45,10 +48,13 @@ class Args {
         return argv[++i];
       };
       if (flag == "--help" || flag == "--list") {
-        std::printf("usage: %s [--json FILE] [--threads T] [--smoke]\n", program_.c_str());
+        std::printf("usage: %s [--json FILE] [--history FILE] [--threads T] [--smoke]\n",
+                    program_.c_str());
         std::exit(0);
       } else if (flag == "--json") {
         json_path_ = next();
+      } else if (flag == "--history") {
+        history_path_ = next();
       } else if (flag == "--threads") {
         threads_ = parse_positive_int(flag, next());
       } else if (flag == "--smoke") {
@@ -60,13 +66,15 @@ class Args {
   }
 
   const std::string& json_path() const { return json_path_; }
+  const std::string& history_path() const { return history_path_; }
   /// Worker threads per rank (EngineOptions::threads_per_rank).
   int threads() const { return threads_; }
   /// Shrink the sweep to a seconds-scale shape (ctest smoke runs).
   bool smoke() const { return smoke_; }
 
  private:
-  static constexpr const char* kFlags[] = {"--json", "--threads", "--smoke", "--help", "--list"};
+  static constexpr const char* kFlags[] = {"--json",  "--history", "--threads",
+                                           "--smoke", "--help",    "--list"};
 
   /// Strict parse of a positive integer flag value: the whole token must
   /// be a decimal number >= 1. Garbage, zero, and negative values take
@@ -125,6 +133,7 @@ class Args {
 
   std::string program_;
   std::string json_path_;
+  std::string history_path_;
   int threads_ = 1;
   bool smoke_ = false;
 };
@@ -210,12 +219,16 @@ inline std::string fmt_sci(double v) { return fmt(v, "%.2e"); }
 /// Machine-readable companion to the printed tables. Construct from the
 /// parsed Args: when the binary was invoked with `--json FILE`, every
 /// add_table()/config()/set_section() call lands in an ardbt.run_report
-/// v1 document written to FILE by write() (or the destructor as a
-/// backstop); without the flag everything is a no-op.
+/// v2 document written to FILE by write() (or the destructor as a
+/// backstop); `--history FILE` appends the same document as one compact
+/// line of an append-only ardbt.bench_history JSONL file instead of (or
+/// in addition to) overwriting a standalone report. Without either flag
+/// everything is a no-op.
 class JsonReport {
  public:
   JsonReport(const Args& args, std::string experiment)
-      : path_(args.json_path()), builder_(std::move(experiment)) {}
+      : path_(args.json_path()), history_path_(args.history_path()),
+        builder_(std::move(experiment)) {}
 
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
@@ -227,7 +240,7 @@ class JsonReport {
     }
   }
 
-  bool enabled() const { return !path_.empty(); }
+  bool enabled() const { return !path_.empty() || !history_path_.empty(); }
 
   JsonReport& config(const std::string& key, obs::Json value) {
     if (enabled()) builder_.config(key, std::move(value));
@@ -256,17 +269,24 @@ class JsonReport {
     return *this;
   }
 
-  /// Write the report (idempotent; no-op without --json).
+  /// Write the report (idempotent; no-op without --json/--history).
   void write() {
     if (!enabled() || written_) return;
     if (tables_.size() > 0) builder_.set_section("tables", tables_);
-    builder_.write(path_);
+    if (!path_.empty()) {
+      builder_.write(path_);
+      std::printf("\n[json report: %s]\n", path_.c_str());
+    }
+    if (!history_path_.empty()) {
+      obs::append_history_line(history_path_, builder_.build());
+      std::printf("\n[bench history: appended to %s]\n", history_path_.c_str());
+    }
     written_ = true;
-    std::printf("\n[json report: %s]\n", path_.c_str());
   }
 
  private:
   std::string path_;
+  std::string history_path_;
   obs::RunReportBuilder builder_;
   obs::Json tables_ = obs::Json::object();
   bool written_ = false;

@@ -2,6 +2,12 @@
 // per-batch solve cost across rank counts, and the amortized per-RHS cost
 // as more batches reuse one factorization — the time-stepping scenario
 // that motivates ARD.
+//
+// Phase times come from the tracer's attribution layer (obs::analyze):
+// every rank's driver.factor / driver.solve spans are aggregated into the
+// deterministic per-phase stats, and the critical-path / wait columns
+// show where the session's makespan actually went — the same numbers the
+// CLI exports in run_report v2, so this bench measures what it reports.
 
 #include <cstdio>
 #include <vector>
@@ -9,6 +15,7 @@
 #include "bench/bench_common.hpp"
 #include "src/btds/generators.hpp"
 #include "src/core/solver.hpp"
+#include "src/obs/attribution.hpp"
 
 int main(int argc, char** argv) {
   using namespace ardbt;
@@ -26,34 +33,56 @@ int main(int argc, char** argv) {
               static_cast<long long>(n), static_cast<long long>(m), num_batches,
               static_cast<long long>(r));
   bench::Table table({"P", "t_factor[s]", "t_solve_batch[s]", "factor/solve", "amortized_1",
-                      "amortized_4", "rd_rebuild_4"});
+                      "amortized_4", "rd_rebuild_4", "cp_comm_frac", "wait_frac"});
 
   std::vector<la::Matrix> batches;
   for (int s = 0; s < num_batches; ++s) {
     batches.push_back(btds::make_rhs(n, m, r, static_cast<std::uint64_t>(s + 1)));
   }
-  std::vector<const la::Matrix*> ptrs;
-  for (const auto& b : batches) ptrs.push_back(&b);
 
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
   for (int p : args.smoke() ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16, 64}) {
-    const auto session = core::ard_session(sys, ptrs, p, {}, engine);
-    double solve_sum = 0.0;
-    for (double t : session.solve_vtimes) solve_sum += t;
-    const double avg_solve = solve_sum / num_batches;
-    const double amortized1 = session.factor_vtime + session.solve_vtimes[0];
-    const double amortized4 = session.factor_vtime + solve_sum;
+    // Fresh tracer per rank count: one session timeline (factor, then
+    // every solve batch) to attribute.
+    obs::Tracer tracer;
+    auto eng = engine;
+    eng.tracer = &tracer;
+    eng.threads_per_rank = args.threads();
+    core::Session session(core::Method::kArd, sys, p, {}, eng);
+    session.factor();
+    for (const auto& b : batches) (void)session.solve(b);
+
+    const obs::Attribution attr = obs::analyze(tracer);
+    const obs::PhaseStats& factor = attr.phases.at("driver.factor");
+    const obs::PhaseStats& solve = attr.phases.at("driver.solve");
+    // Spans are barrier-aligned, so the slowest rank's factor span is the
+    // phase's elapsed time and the mean solve span is the per-batch time.
+    const double t_factor = factor.max_s;
+    const double avg_solve = solve.total_s / static_cast<double>(solve.count);
+    const double amortized1 = t_factor + avg_solve;
+    const double amortized4 = t_factor + num_batches * avg_solve;
     // Classic RD re-factors for every batch.
-    const double rd4 = num_batches * (session.factor_vtime + avg_solve);
-    table.add_row({bench::fmt_int(p), bench::fmt_sci(session.factor_vtime),
-                   bench::fmt_sci(avg_solve), bench::fmt(session.factor_vtime / avg_solve),
-                   bench::fmt_sci(amortized1), bench::fmt_sci(amortized4), bench::fmt_sci(rd4)});
+    const double rd4 = num_batches * (t_factor + avg_solve);
+    double wait_sum = 0.0;
+    for (const obs::RankBreakdown& rb : attr.ranks) wait_sum += rb.wait_s;
+    const double wait_frac =
+        attr.makespan_s > 0.0
+            ? wait_sum / (static_cast<double>(attr.nranks) * attr.makespan_s)
+            : 0.0;
+    const obs::CriticalPath& cp = attr.critical_path;
+    const double cp_comm = cp.length_s > 0.0 ? cp.comm_s / cp.length_s : 0.0;
+    table.add_row({bench::fmt_int(p), bench::fmt_sci(t_factor), bench::fmt_sci(avg_solve),
+                   bench::fmt(t_factor / avg_solve), bench::fmt_sci(amortized1),
+                   bench::fmt_sci(amortized4), bench::fmt_sci(rd4), bench::fmt(cp_comm),
+                   bench::fmt(wait_frac)});
   }
   table.print();
   report.add_table("main", table);
   report.write();
   std::printf("\nExpected shapes: factor/solve stays roughly constant in P (both phases\n"
               "share the N/P + log P structure); rd_rebuild_4 exceeds amortized_4 by a\n"
-              "factor approaching (1 + factor/solve) as batches accumulate.\n");
+              "factor approaching (1 + factor/solve) as batches accumulate; cp_comm_frac\n"
+              "and wait_frac grow with P as the log P scan rounds take over — the\n"
+              "overlappable share a pipelined scan could hide.\n");
   return 0;
 }

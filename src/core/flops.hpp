@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/la/types.hpp"
+#include "src/obs/cost_model.hpp"
 
 /// \file flops.hpp
 /// Closed-form work and communication counts mirroring the kernels the
@@ -89,5 +90,32 @@ inline double ard_factor_messages(int p) { return 2.0 * log2_rounds(p); }
 
 /// Solve-phase message count per rank.
 inline double ard_solve_messages(int p) { return 2.0 * log2_rounds(p); }
+
+/// Workload terms of the ARD factor phase for the cost-model oracle
+/// (obs::CostModel::predict / judge): the same counts as ard_factor /
+/// ard_factor_messages / ard_factor_bytes, bundled.
+inline obs::PhaseTerms ard_factor_terms(index_t n, index_t m, int p) {
+  return {ard_factor(n, m, p), ard_factor_messages(p), ard_factor_bytes(m, p)};
+}
+
+/// Workload terms of one ARD solve batch with R right-hand sides.
+inline obs::PhaseTerms ard_solve_terms(index_t n, index_t m, index_t r, int p) {
+  return {ard_solve(n, m, r, p), ard_solve_messages(p), ard_solve_bytes(m, r, p)};
+}
+
+/// Classic batched RD does factor-equivalent and solve-equivalent work in
+/// one pass: the sum of both phases' terms.
+inline obs::PhaseTerms rd_batched_terms(index_t n, index_t m, index_t r, int p) {
+  const obs::PhaseTerms f = ard_factor_terms(n, m, p);
+  const obs::PhaseTerms s = ard_solve_terms(n, m, r, p);
+  return {f.flops + s.flops, f.messages + s.messages, f.bytes + s.bytes};
+}
+
+/// Per-RHS RD repeats the full pass once per right-hand side.
+inline obs::PhaseTerms rd_per_rhs_terms(index_t n, index_t m, index_t r, int p) {
+  const obs::PhaseTerms one = rd_batched_terms(n, m, 1, p);
+  const double rr = static_cast<double>(r);
+  return {rr * one.flops, rr * one.messages, rr * one.bytes};
+}
 
 }  // namespace ardbt::core::flops

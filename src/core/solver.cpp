@@ -274,6 +274,14 @@ void Session::export_arena_metrics(obs::MetricsRegistry& reg) const {
   reg.gauge("arena.solve.slab_allocs").set(slabs - factor_slabs);
 }
 
+void Session::export_latency_metrics(obs::MetricsRegistry& reg) const {
+  if (factor_vtime_ > 0.0) reg.latency("latency.session.factor_s").observe(factor_vtime_);
+  if (!solve_vtimes_.empty()) {
+    obs::LatencyHistogram& h = reg.latency("latency.session.solve_s");
+    for (double s : solve_vtimes_) h.observe(s);
+  }
+}
+
 la::Matrix Session::solve(const la::Matrix& b) {
   if (b.rows() != sys_->num_blocks() * sys_->block_size()) {
     throw std::invalid_argument("Session::solve: b has wrong row count");

@@ -115,6 +115,13 @@ class Session {
   /// "arena.solve.slab_allocs", aggregate high-water marks) into `reg`.
   void export_arena_metrics(obs::MetricsRegistry& reg) const;
 
+  /// Export modeled phase latencies into `reg`: the factor run into
+  /// "latency.session.factor_s" (when one ran) and every solve batch into
+  /// "latency.session.solve_s" — the p50/p99 source for the service-layer
+  /// view of a long-lived session. Virtual-clock values: deterministic
+  /// under ChargedFlops.
+  void export_latency_metrics(obs::MetricsRegistry& reg) const;
+
   /// Engine counters accumulated over every run so far (virtual-clock
   /// fields reflect the session timeline, counters sum across runs).
   const mpsim::RunReport& report() const { return report_; }

@@ -123,8 +123,10 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
   stats_.bytes_sent += nbytes;
   if constexpr (obs::kTraceCompiledIn) {
     if (trace_ != nullptr) {
+      msg.trace_seq = trace_->next_send_seq(dst);
       const double wall = trace_->wall_now();
-      trace_->complete(obs::SpanKind::kSend, "send", {v0, wall}, {vtime_, wall}, dst, nbytes);
+      trace_->complete(obs::SpanKind::kSend, "send", {v0, wall}, {vtime_, wall}, dst, nbytes,
+                       msg.trace_seq);
       trace_->tally_sent(nbytes);
     }
   }
@@ -153,7 +155,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
         if (trace_ != nullptr) {
           const double wall = trace_->wall_now();
           trace_->complete(obs::SpanKind::kWait, "wait", {v0, wall}, {vtime_, wall}, src,
-                           static_cast<std::uint64_t>(msg.payload.size()));
+                           static_cast<std::uint64_t>(msg.payload.size()), msg.trace_seq);
         }
       }
     }
@@ -177,7 +179,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
       if constexpr (obs::kTraceCompiledIn) {
         if (trace_ != nullptr) {
           trace_->instant(obs::SpanKind::kRecv, "recv", {vtime_, trace_->wall_now()}, src,
-                          static_cast<std::uint64_t>(msg.payload.size()));
+                          static_cast<std::uint64_t>(msg.payload.size()), msg.trace_seq);
         }
       }
       reset_cpu_baseline();
@@ -224,7 +226,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
     if constexpr (obs::kTraceCompiledIn) {
       if (trace_ != nullptr) {
         trace_->instant(obs::SpanKind::kRecv, "recv", {vtime_, trace_->wall_now()}, src,
-                        static_cast<std::uint64_t>(data.size()));
+                        static_cast<std::uint64_t>(data.size()), msg.trace_seq);
       }
     }
     reset_cpu_baseline();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -33,6 +34,10 @@ struct Message {
   int tag = -1;
   std::vector<std::byte> payload;
   double available_vtime = 0.0;
+  /// Tracer-assigned per-(sender, destination) sequence number so the
+  /// receiver's wait/recv events can name the exact send that produced
+  /// them (obs::TraceEvent::seq). 0 when tracing is off.
+  std::uint64_t trace_seq = 0;
 };
 
 /// MPMC-push / single-consumer-pop queue with (source, tag) matching.

@@ -65,6 +65,25 @@ void export_metrics(const obs::Tracer& tracer, obs::MetricsRegistry& registry) {
     for (const auto& [phase, bytes] : rt.bytes_by_phase()) {
       registry.counter("trace.bytes_by_phase." + phase).add(bytes);
     }
+    for (const obs::TraceEvent& e : rt.events()) {
+      if (e.kind == obs::SpanKind::kPhase) {
+        registry.latency(std::string("latency.phase.") + e.name + "_s")
+            .observe(e.vtime_end - e.vtime_begin);
+      }
+    }
+  }
+  // Pool worker-lane jobs carry wall-anchored times (the virtual clock is
+  // frozen inside fork-join regions), so their latencies are real elapsed
+  // seconds and vary run to run — keep them out of deterministic
+  // snapshots (the CLI --metrics filter does).
+  for (int r = 0; r < tracer.nranks(); ++r) {
+    for (int w = 0; w < tracer.workers_per_rank(); ++w) {
+      for (const obs::TraceEvent& e : tracer.worker(r, w).events()) {
+        if (e.kind == obs::SpanKind::kPhase) {
+          registry.latency("latency.panel.wall_s").observe(e.wall_end - e.wall_begin);
+        }
+      }
+    }
   }
   registry.counter("trace.events_recorded").add(recorded);
   registry.counter("trace.events_dropped").add(dropped);

@@ -31,6 +31,11 @@ void export_metrics(const RunReport& report, obs::MetricsRegistry& registry);
 ///   histogram mpsim.message_size_bytes (log2 buckets)
 ///   counters  trace.bytes_by_phase.<phase>, trace.events_recorded,
 ///             trace.events_dropped
+///   latency   latency.phase.<name>_s — per-phase span durations on the
+///             virtual clock (deterministic under ChargedFlops);
+///             latency.panel.wall_s — pool worker-lane job durations on
+///             the host wall clock (real time; nondeterministic, present
+///             only when a pool ran under tracing)
 void export_metrics(const obs::Tracer& tracer, obs::MetricsRegistry& registry);
 
 }  // namespace ardbt::mpsim

@@ -1,0 +1,244 @@
+#include "src/obs/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "src/obs/metrics.hpp"
+
+namespace ardbt::obs {
+
+namespace {
+
+bool advances_clock(SpanKind k) {
+  return k == SpanKind::kSend || k == SpanKind::kWait || k == SpanKind::kCompute;
+}
+
+/// Innermost phase span on `phases` (one rank's kPhase events) containing
+/// [begin, end]; "(no phase)" when none does.
+const char* innermost_phase(const std::vector<TraceEvent>& phases, double begin, double end,
+                            double eps) {
+  const char* best = "(no phase)";
+  int best_depth = -1;
+  for (const TraceEvent& p : phases) {
+    if (p.vtime_begin <= begin + eps && p.vtime_end >= end - eps &&
+        static_cast<int>(p.depth) > best_depth) {
+      best_depth = static_cast<int>(p.depth);
+      best = p.name;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Attribution analyze(const Tracer& tracer) {
+  Attribution out;
+  out.nranks = tracer.nranks();
+  if (out.nranks == 0) return out;
+
+  // Snapshot per-rank streams once; split clock-advancing events from
+  // phase spans (phases overlap the former, they don't add time).
+  std::vector<std::vector<TraceEvent>> atomic(static_cast<std::size_t>(out.nranks));
+  std::vector<std::vector<TraceEvent>> phase_spans(static_cast<std::size_t>(out.nranks));
+  bool any_event = false;
+  for (int r = 0; r < out.nranks; ++r) {
+    const RankTrace& rt = tracer.rank(r);
+    out.dropped_events += rt.dropped();
+    for (const TraceEvent& e : rt.events()) {
+      if (advances_clock(e.kind)) {
+        atomic[static_cast<std::size_t>(r)].push_back(e);
+      } else if (e.kind == SpanKind::kPhase) {
+        phase_spans[static_cast<std::size_t>(r)].push_back(e);
+      }
+      if (!any_event || e.vtime_begin < out.t_begin_s) out.t_begin_s = e.vtime_begin;
+      if (!any_event || e.vtime_end > out.t_end_s) out.t_end_s = e.vtime_end;
+      any_event = true;
+    }
+  }
+  out.complete = out.dropped_events == 0;
+  if (!any_event) return out;
+  out.makespan_s = out.t_end_s - out.t_begin_s;
+  const double eps = 1e-12 * std::max(1.0, std::abs(out.t_end_s));
+
+  // Per-rank breakdown: event sums, remainder of the makespan is idle.
+  out.ranks.assign(static_cast<std::size_t>(out.nranks), RankBreakdown{});
+  for (int r = 0; r < out.nranks; ++r) {
+    RankBreakdown& b = out.ranks[static_cast<std::size_t>(r)];
+    for (const TraceEvent& e : atomic[static_cast<std::size_t>(r)]) {
+      const double dur = e.vtime_end - e.vtime_begin;
+      switch (e.kind) {
+        case SpanKind::kCompute: b.compute_s += dur; break;
+        case SpanKind::kSend: b.send_s += dur; break;
+        case SpanKind::kWait: b.wait_s += dur; break;
+        default: break;
+      }
+    }
+    b.idle_s = std::max(0.0, out.makespan_s - (b.compute_s + b.send_s + b.wait_s));
+  }
+
+  // Per-phase latency stats via the deterministic log2 histogram.
+  {
+    std::map<std::string, LatencyHistogram> hists;
+    for (int r = 0; r < out.nranks; ++r) {
+      for (const TraceEvent& p : phase_spans[static_cast<std::size_t>(r)]) {
+        hists[p.name].observe(p.vtime_end - p.vtime_begin);
+      }
+    }
+    for (const auto& [name, h] : hists) {
+      PhaseStats s;
+      s.count = h.total_count();
+      s.total_s = h.sum();
+      s.max_s = h.max();
+      s.p50_s = h.percentile(0.50);
+      s.p90_s = h.percentile(0.90);
+      s.p99_s = h.percentile(0.99);
+      out.phases.emplace(name, s);
+    }
+  }
+
+  // Index sends by (sender, dst, seq) -> position in the sender's atomic
+  // stream, for the cross-rank jumps.
+  std::map<std::tuple<int, int, std::uint64_t>, std::size_t> send_at;
+  for (int r = 0; r < out.nranks; ++r) {
+    const auto& evs = atomic[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      if (evs[i].kind == SpanKind::kSend && evs[i].seq != 0) {
+        send_at[{r, evs[i].peer, evs[i].seq}] = i;
+      }
+    }
+  }
+
+  // Backward walk. idx[r] = last not-yet-consumed event in rank r's
+  // stream; walking by index (not just by time) guarantees progress even
+  // through zero-duration events (e.g. alpha == 0 cost models).
+  CriticalPath& cp = out.critical_path;
+  cp.length_s = out.makespan_s;
+  std::vector<std::ptrdiff_t> idx(static_cast<std::size_t>(out.nranks));
+  int cur = 0;
+  for (int r = 0; r < out.nranks; ++r) {
+    const auto& evs = atomic[static_cast<std::size_t>(r)];
+    idx[static_cast<std::size_t>(r)] = static_cast<std::ptrdiff_t>(evs.size()) - 1;
+    if (!evs.empty() && (atomic[static_cast<std::size_t>(cur)].empty() ||
+                         evs.back().vtime_end >
+                             atomic[static_cast<std::size_t>(cur)].back().vtime_end)) {
+      cur = r;
+    }
+  }
+  cp.end_rank = cur;
+  double frontier = out.t_end_s;
+
+  auto attribute = [&](int rank, SpanKind kind, const char* name, double begin, double end,
+                       std::uint64_t seq, int from_rank, double* sum, const char* phase_override) {
+    const double dur = end - begin;
+    if (dur <= 0.0) return;
+    *sum += dur;
+    const char* phase =
+        phase_override != nullptr
+            ? phase_override
+            : innermost_phase(phase_spans[static_cast<std::size_t>(rank)], begin, end, eps);
+    cp.by_phase[phase] += dur;
+    cp.segments.push_back({rank, kind, name, begin, end, seq, from_rank});
+  };
+
+  while (frontier > out.t_begin_s + eps) {
+    auto& evs = atomic[static_cast<std::size_t>(cur)];
+    std::ptrdiff_t& i = idx[static_cast<std::size_t>(cur)];
+    while (i >= 0 && evs[static_cast<std::size_t>(i)].vtime_end > frontier + eps) --i;
+    if (i < 0) {
+      // Nothing earlier on this rank: the remainder is an uncovered gap.
+      attribute(cur, SpanKind::kMark, "(gap)", out.t_begin_s, frontier, 0, -1,
+                &cp.unattributed_s, "(gap)");
+      frontier = out.t_begin_s;
+      break;
+    }
+    const TraceEvent e = evs[static_cast<std::size_t>(i)];
+    if (e.vtime_end < frontier - eps) {
+      // Idle stretch on this rank between e and whatever ran at frontier.
+      attribute(cur, SpanKind::kMark, "(gap)", e.vtime_end, frontier, 0, -1,
+                &cp.unattributed_s, "(gap)");
+      frontier = e.vtime_end;
+      continue;
+    }
+    if (e.kind == SpanKind::kWait && e.seq != 0) {
+      const auto it = send_at.find({e.peer, cur, e.seq});
+      if (it != send_at.end() &&
+          static_cast<std::ptrdiff_t>(it->second) <= idx[static_cast<std::size_t>(e.peer)]) {
+        // Message in flight: [send begin, wait end] on the receiver's
+        // account, then resume the walk on the sender just before its send.
+        const TraceEvent& s =
+            atomic[static_cast<std::size_t>(e.peer)][it->second];
+        attribute(cur, SpanKind::kWait, "comm", std::max(s.vtime_begin, out.t_begin_s), frontier,
+                  e.seq, e.peer, &cp.comm_s, nullptr);
+        i -= 1;
+        idx[static_cast<std::size_t>(e.peer)] = static_cast<std::ptrdiff_t>(it->second) - 1;
+        cur = e.peer;
+        frontier = s.vtime_begin;
+        cp.hops += 1;
+        continue;
+      }
+    }
+    // On-rank event: compute, send (alpha charge), or an unresolvable wait.
+    double* sum = &cp.wait_s;
+    if (e.kind == SpanKind::kCompute) sum = &cp.compute_s;
+    if (e.kind == SpanKind::kSend) sum = &cp.send_s;
+    attribute(cur, e.kind, e.name, std::max(e.vtime_begin, out.t_begin_s), frontier, e.seq, -1,
+              sum, nullptr);
+    frontier = e.vtime_begin;
+    i -= 1;
+  }
+  cp.start_rank = cur;
+  return out;
+}
+
+Json to_json(const Attribution& a) {
+  Json out = Json::object();
+  out.set("nranks", a.nranks);
+  out.set("makespan_s", a.makespan_s);
+  out.set("complete", a.complete);
+  out.set("dropped_events", a.dropped_events);
+
+  Json ranks = Json::array();
+  for (const RankBreakdown& b : a.ranks) {
+    Json r = Json::object();
+    r.set("compute_s", b.compute_s);
+    r.set("send_s", b.send_s);
+    r.set("wait_s", b.wait_s);
+    r.set("idle_s", b.idle_s);
+    ranks.push(std::move(r));
+  }
+  out.set("ranks", std::move(ranks));
+
+  Json phases = Json::object();
+  for (const auto& [name, s] : a.phases) {
+    Json p = Json::object();
+    p.set("count", s.count);
+    p.set("total_s", s.total_s);
+    p.set("max_s", s.max_s);
+    p.set("p50_s", s.p50_s);
+    p.set("p90_s", s.p90_s);
+    p.set("p99_s", s.p99_s);
+    phases.set(name, std::move(p));
+  }
+  out.set("phases", std::move(phases));
+
+  const CriticalPath& cp = a.critical_path;
+  Json c = Json::object();
+  c.set("length_s", cp.length_s);
+  c.set("compute_s", cp.compute_s);
+  c.set("send_s", cp.send_s);
+  c.set("comm_s", cp.comm_s);
+  c.set("wait_s", cp.wait_s);
+  c.set("unattributed_s", cp.unattributed_s);
+  c.set("hops", cp.hops);
+  c.set("segments", static_cast<std::uint64_t>(cp.segments.size()));
+  c.set("start_rank", cp.start_rank);
+  c.set("end_rank", cp.end_rank);
+  Json by_phase = Json::object();
+  for (const auto& [name, s] : cp.by_phase) by_phase.set(name, s);
+  c.set("by_phase", std::move(by_phase));
+  out.set("critical_path", std::move(c));
+  return out;
+}
+
+}  // namespace ardbt::obs

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
+
+/// \file attribution.hpp
+/// Performance attribution over a finished Tracer: the span dependency
+/// graph (send -> wait edges via TraceEvent::seq), the virtual-clock
+/// critical path through it, per-rank compute/send/wait/idle breakdowns,
+/// and per-phase latency percentiles.
+///
+/// The critical path is computed by a backward walk on the virtual clock:
+/// start at the rank whose last clock-advancing event ends latest, and
+/// repeatedly consume the event that ends at the current time frontier.
+/// A wait whose seq matches a send on the peer rank jumps the walk across
+/// ranks — the interval [send begin, wait end] is one message in flight
+/// (alpha + beta*bytes + injected delay) and is attributed as `comm`; a
+/// wait with no resolvable producer stays on-rank as `wait`. Intervals no
+/// event covers (a rank idle before its first event of a region) are
+/// `unattributed`. The walk terminates at the earliest event time, so
+/// `length_s == makespan_s` and the component sums partition it exactly.
+///
+/// Everything here is derived from virtual-time fields only, which under
+/// TimingMode::ChargedFlops are bit-identical across repeated runs and
+/// `--threads` values — so the attribution (and its JSON) is golden-
+/// testable. analyze() assumes the per-rank event streams are monotone in
+/// virtual time, which holds for a single engine run and for multi-run
+/// Sessions (they chain vtime_origin); reusing one Tracer across
+/// *unchained* runs restarts the clock and breaks that assumption.
+
+namespace ardbt::obs {
+
+/// Where one simulated rank's virtual time went, in seconds on the
+/// virtual clock. `idle_s` is the remainder of the makespan not covered
+/// by the rank's own events — time after the rank finished (or before it
+/// started) while the slowest rank was still working.
+struct RankBreakdown {
+  double compute_s = 0.0;
+  double send_s = 0.0;
+  double wait_s = 0.0;
+  double idle_s = 0.0;
+};
+
+/// Aggregate latency statistics for one phase-span name across all ranks.
+/// Percentiles are nearest-rank log2-bucket estimates (LatencyHistogram),
+/// deterministic for identical sample multisets.
+struct PhaseStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double max_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+};
+
+/// One hop of the critical path, in walk (reverse-time) order.
+struct CriticalPathSegment {
+  int rank = -1;           ///< rank the segment is attributed to
+  SpanKind kind = SpanKind::kMark;
+  const char* name = "";   ///< event name ("send", "compute", ...) or "(gap)"
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  std::uint64_t seq = 0;   ///< message seq for comm segments, else 0
+  int from_rank = -1;      ///< sender rank for comm segments, else -1
+};
+
+/// The virtual-clock critical path. `length_s` equals the makespan and is
+/// partitioned exactly into compute + send + comm + wait + unattributed.
+struct CriticalPath {
+  double length_s = 0.0;
+  double compute_s = 0.0;
+  double send_s = 0.0;        ///< sender-side alpha charges on the path
+  double comm_s = 0.0;        ///< cross-rank message-in-flight intervals
+  double wait_s = 0.0;        ///< waits with no resolvable producer edge
+  double unattributed_s = 0.0;
+  std::uint64_t hops = 0;     ///< cross-rank jumps taken
+  int start_rank = -1;        ///< rank where the path begins (earliest end)
+  int end_rank = -1;          ///< rank whose final event ends the makespan
+  /// Path time per innermost enclosing phase-span name ("(no phase)" when
+  /// outside any span, "(gap)" for unattributed intervals).
+  std::map<std::string, double> by_phase;
+  std::vector<CriticalPathSegment> segments;  ///< reverse-time order
+};
+
+/// Full attribution result for one Tracer.
+struct Attribution {
+  int nranks = 0;
+  double t_begin_s = 0.0;   ///< earliest event begin across ranks
+  double t_end_s = 0.0;     ///< latest event end across ranks
+  double makespan_s = 0.0;  ///< t_end_s - t_begin_s
+  /// False when any rank's ring dropped events — sums and the critical
+  /// path are then lower bounds, not exact.
+  bool complete = true;
+  std::uint64_t dropped_events = 0;
+  std::vector<RankBreakdown> ranks;
+  std::map<std::string, PhaseStats> phases;
+  CriticalPath critical_path;
+};
+
+/// Analyze a finished run. Reads rank streams only (worker lanes are
+/// wall-anchored and nondeterministic); safe to call repeatedly.
+Attribution analyze(const Tracer& tracer);
+
+/// Deterministic JSON projection: {"makespan_s", "complete", "ranks":
+/// [{"compute_s",...}], "phases": {name: {"count","total_s","max_s",
+/// "p50_s","p90_s","p99_s"}}, "critical_path": {"length_s","compute_s",
+/// "send_s","comm_s","wait_s","unattributed_s","hops","segments",
+/// "start_rank","end_rank","by_phase"}}. Segments are summarized by
+/// count, not dumped.
+Json to_json(const Attribution& a);
+
+}  // namespace ardbt::obs

@@ -20,6 +20,7 @@ Json event_json(const TraceEvent& e, int tid) {
   Json args = Json::object();
   if (e.peer >= 0) args.set("peer", static_cast<std::int64_t>(e.peer));
   if (e.bytes > 0) args.set("bytes", e.bytes);
+  if (e.seq > 0) args.set("seq", e.seq);  // send->recv dependency edge
   if (e.kind == SpanKind::kCompute) args.set("flops", e.value);
   args.set("wall_begin_s", e.wall_begin);
   args.set("wall_end_s", e.wall_end);

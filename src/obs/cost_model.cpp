@@ -1,0 +1,52 @@
+#include "src/obs/cost_model.hpp"
+
+namespace ardbt::obs {
+
+double CostModel::calibrate(const PhaseTerms& terms, double measured_s) {
+  const double predicted = predict(terms);
+  if (predicted <= 0.0 || measured_s <= 0.0) return 1.0;
+  const double scale = measured_s / predicted;
+  constants_.seconds_per_flop *= scale;
+  constants_.alpha *= scale;
+  constants_.beta *= scale;
+  calibration_scale_ *= scale;
+  return scale;
+}
+
+CostVerdict CostModel::judge(const std::string& phase, const PhaseTerms& terms,
+                             double measured_s) const {
+  CostVerdict v;
+  v.phase = phase;
+  v.measured_s = measured_s;
+  v.predicted_s = predict(terms);
+  if (v.predicted_s > 0.0) {
+    v.ratio = measured_s / v.predicted_s;
+    v.flagged = v.ratio > threshold_ || v.ratio < 1.0 / threshold_;
+  }
+  return v;
+}
+
+Json CostModel::to_json(const std::vector<CostVerdict>& verdicts) const {
+  Json out = Json::object();
+  Json constants = Json::object();
+  constants.set("seconds_per_flop", constants_.seconds_per_flop);
+  constants.set("alpha_s", constants_.alpha);
+  constants.set("beta_s_per_byte", constants_.beta);
+  out.set("constants", std::move(constants));
+  out.set("threshold", threshold_);
+  out.set("calibration_scale", calibration_scale_);
+  Json phases = Json::array();
+  for (const CostVerdict& v : verdicts) {
+    Json p = Json::object();
+    p.set("phase", v.phase);
+    p.set("measured_s", v.measured_s);
+    p.set("predicted_s", v.predicted_s);
+    p.set("ratio", v.ratio);
+    p.set("flagged", v.flagged);
+    phases.push(std::move(p));
+  }
+  out.set("phases", std::move(phases));
+  return out;
+}
+
+}  // namespace ardbt::obs

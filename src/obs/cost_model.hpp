@@ -1,0 +1,92 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+/// \file cost_model.hpp
+/// Cost-model oracle: predicts per-phase virtual time from the paper's
+/// alpha-beta-gamma terms and judges measured phases against it.
+///
+/// The paper's argument is that ARD wins when measured time tracks
+/// O(M^3 (N/P + log P)) — this class makes that check executable. A
+/// phase's workload is summarized as PhaseTerms (flops, messages, payload
+/// bytes); the predicted time is the classic
+///
+///   T = flops * seconds_per_flop + messages * alpha + bytes * beta
+///
+/// with constants either taken from the simulator's mpsim::CostModel (the
+/// virtual clock charges exactly these terms, so ratios near 1 mean "the
+/// implementation does the work the formula says, no more") or calibrated
+/// from one measured phase via calibrate(). judge() flags phases whose
+/// measured/predicted ratio drifts past a threshold — the structured
+/// warning surfaced in run_report v2.
+///
+/// obs stays below core in the layering, so this header knows nothing
+/// about block sizes: core/flops.hpp provides the helpers that build
+/// PhaseTerms from (M, N, P, R).
+
+namespace ardbt::obs {
+
+/// Workload summary for one phase: what the paper's formulas count.
+struct PhaseTerms {
+  double flops = 0.0;
+  double messages = 0.0;
+  double bytes = 0.0;
+};
+
+/// Measured-vs-predicted result for one phase.
+struct CostVerdict {
+  std::string phase;
+  double measured_s = 0.0;
+  double predicted_s = 0.0;
+  double ratio = 0.0;  ///< measured / predicted (0 when predicted == 0)
+  bool flagged = false;
+};
+
+class CostModel {
+ public:
+  /// Machine constants of the predicted platform.
+  struct Constants {
+    double seconds_per_flop = 0.0;
+    double alpha = 0.0;  ///< per-message latency, seconds
+    double beta = 0.0;   ///< per-byte transfer time, seconds
+  };
+
+  CostModel() = default;
+  explicit CostModel(Constants c, double flag_threshold = 2.0)
+      : constants_(c), threshold_(flag_threshold) {}
+
+  const Constants& constants() const { return constants_; }
+  double threshold() const { return threshold_; }
+
+  /// T = flops/rate + messages*alpha + bytes*beta.
+  double predict(const PhaseTerms& t) const {
+    return t.flops * constants_.seconds_per_flop + t.messages * constants_.alpha +
+           t.bytes * constants_.beta;
+  }
+
+  /// One-run calibration: uniformly rescale the constants so the model
+  /// reproduces `measured_s` for `terms` exactly. With constants from the
+  /// simulator's own cost model the scale lands at 1 when the
+  /// implementation performs exactly the predicted work; a scale far from
+  /// 1 means the formula miscounts. No-op when the prediction is zero.
+  /// Returns the scale applied.
+  double calibrate(const PhaseTerms& terms, double measured_s);
+
+  /// Compare a measured phase against its prediction; flagged when
+  /// ratio > threshold or ratio < 1/threshold (with a nonzero prediction).
+  CostVerdict judge(const std::string& phase, const PhaseTerms& terms, double measured_s) const;
+
+  /// {"constants": {...}, "threshold", "calibration_scale",
+  ///  "phases": [{"phase","measured_s","predicted_s","ratio","flagged"}]}.
+  Json to_json(const std::vector<CostVerdict>& verdicts) const;
+
+ private:
+  Constants constants_;
+  double threshold_ = 2.0;
+  double calibration_scale_ = 1.0;
+};
+
+}  // namespace ardbt::obs

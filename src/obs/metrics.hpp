@@ -68,15 +68,59 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+/// Log2-bucketed histogram for latencies: bucket e (a signed exponent in
+/// [kMinExp, kMaxExp]) counts samples with 2^(e-1) < x <= 2^e, so
+/// sub-second durations land in negative-exponent buckets instead of all
+/// collapsing into Histogram's bucket 0. Non-positive samples go to a
+/// dedicated zero bucket; sub-2^kMinExp and beyond-2^kMaxExp samples clamp
+/// to the edge buckets (min/max stay exact). Percentiles are the
+/// nearest-rank bucket upper bound capped at the exact max — a purely
+/// count-based estimate, so identical sample multisets give bit-identical
+/// p50/p90/p99 regardless of observation order or thread count.
+class LatencyHistogram {
+ public:
+  static constexpr int kMinExp = -64;
+  static constexpr int kMaxExp = 64;
+
+  void observe(double x);
+
+  std::uint64_t total_count() const { return count_; }
+  std::uint64_t zero_count() const { return zero_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// Nearest-rank percentile for q in (0, 1]; 0 when empty.
+  double percentile(double q) const;
+
+  /// Occupied buckets as (signed exponent, count) pairs, ascending; the
+  /// zero bucket is reported separately (zero_count()).
+  std::vector<std::pair<int, std::uint64_t>> nonzero_buckets() const;
+
+  /// {"count", "sum", "min", "max", "p50", "p90", "p99",
+  ///  "log2_buckets": {"<exp>": count, ...}} (zero bucket under key "zero").
+  Json to_json() const;
+
+ private:
+  static constexpr std::size_t kBuckets = static_cast<std::size_t>(kMaxExp - kMinExp + 1);
+  std::vector<std::uint64_t> buckets_;  ///< lazily sized to kBuckets
+  std::uint64_t zero_ = 0;              ///< samples with x <= 0
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Name -> metric registry with a stable JSON snapshot.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  LatencyHistogram& latency(const std::string& name);
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
-  /// sorted by name; empty sections are omitted.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "latencies": {...}} with keys sorted by name; empty sections are
+  /// omitted.
   Json to_json() const;
 
  private:
@@ -84,6 +128,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
 };
 
 }  // namespace ardbt::obs

@@ -1,8 +1,28 @@
 #include "src/obs/run_report.hpp"
 
+#include <fstream>
+#include <stdexcept>
 #include <utility>
 
 namespace ardbt::obs {
+
+void append_history_line(const std::string& path, const Json& entry) {
+  bool need_header = false;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    need_header = !probe.good() || probe.peek() == std::ifstream::traits_type::eof();
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("append_history_line: cannot open " + path);
+  if (need_header) {
+    Json header = Json::object();
+    header.set("schema", kBenchHistorySchema);
+    header.set("version", kBenchHistoryVersion);
+    out << header.dump(0) << '\n';
+  }
+  out << entry.dump(0) << '\n';
+  if (!out) throw std::runtime_error("append_history_line: write failed for " + path);
+}
 
 RunReportBuilder::RunReportBuilder(std::string tool) : tool_(std::move(tool)) {}
 

@@ -64,7 +64,7 @@ void RankTrace::end_span(SpanHandle handle, TimeSample t) {
 }
 
 void RankTrace::complete(SpanKind kind, const char* name, TimeSample begin, TimeSample end,
-                         int peer, std::uint64_t bytes) {
+                         int peer, std::uint64_t bytes, std::uint64_t seq) {
   TraceEvent e;
   e.kind = kind;
   e.name = name;
@@ -74,12 +74,19 @@ void RankTrace::complete(SpanKind kind, const char* name, TimeSample begin, Time
   e.wall_end = end.wall;
   e.peer = peer;
   e.bytes = bytes;
+  e.seq = seq;
   push(e);
 }
 
 void RankTrace::instant(SpanKind kind, const char* name, TimeSample t, int peer,
-                        std::uint64_t bytes) {
-  complete(kind, name, t, t, peer, bytes);
+                        std::uint64_t bytes, std::uint64_t seq) {
+  complete(kind, name, t, t, peer, bytes, seq);
+}
+
+std::uint64_t RankTrace::next_send_seq(int dst) {
+  const std::size_t d = static_cast<std::size_t>(dst < 0 ? 0 : dst);
+  if (send_seq_.size() <= d) send_seq_.resize(d + 1, 0);
+  return ++send_seq_[d];
 }
 
 void RankTrace::add_compute(TimeSample begin, TimeSample end, double flops) {

@@ -69,6 +69,12 @@ struct TraceEvent {
   double wall_end = 0.0;
   double value = 0.0;  ///< kind-specific magnitude (flops for kCompute)
   std::uint64_t bytes = 0;
+  /// Message sequence number linking a send to the wait/recv that consumed
+  /// it: per-(sender, destination) counters start at 1 and persist across
+  /// engine runs, so (sender rank, seq) identifies one message for the
+  /// whole tracer lifetime. 0 means "no dependency edge" (compute, phase,
+  /// untraced messages).
+  std::uint64_t seq = 0;
   std::int32_t peer = -1;  ///< partner rank for send/recv/wait, else -1
   SpanKind kind = SpanKind::kMark;
   std::uint8_t depth = 0;  ///< phase-span nesting depth at record time
@@ -103,11 +109,18 @@ class RankTrace {
   void end_span(SpanHandle handle, TimeSample t);
 
   /// Record a completed span in one call (send/wait instrumentation).
+  /// `seq` carries the message dependency edge (see TraceEvent::seq).
   void complete(SpanKind kind, const char* name, TimeSample begin, TimeSample end, int peer,
-                std::uint64_t bytes);
+                std::uint64_t bytes, std::uint64_t seq = 0);
 
   /// Record an instant event (recv delivery, user markers).
-  void instant(SpanKind kind, const char* name, TimeSample t, int peer, std::uint64_t bytes);
+  void instant(SpanKind kind, const char* name, TimeSample t, int peer, std::uint64_t bytes,
+               std::uint64_t seq = 0);
+
+  /// Next send sequence number toward rank `dst` (1, 2, 3, ... per
+  /// destination, monotone for the lifetime of this RankTrace — i.e.
+  /// across engine runs of a multi-run session).
+  std::uint64_t next_send_seq(int dst);
 
   /// Record compute advancing the clock from `begin` to `end` for `flops`
   /// operations. Adjacent compute events (end == next begin, same nesting
@@ -149,6 +162,7 @@ class RankTrace {
   std::vector<TraceEvent> open_;  ///< stack of in-progress phase spans
   std::map<std::string, std::uint64_t> bytes_by_phase_;
   std::vector<std::uint64_t> msg_size_log2_;
+  std::vector<std::uint64_t> send_seq_;  ///< per-destination counters, lazily sized
 };
 
 /// Owns one RankTrace per simulated rank for an engine run. Install via

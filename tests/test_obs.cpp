@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -270,6 +272,81 @@ TEST(Metrics, RegistrySnapshot) {
             R"("log2_buckets":{"6":1,"7":1}}}})");
 }
 
+// ------------------------------------------------- LatencyHistogram
+
+TEST(Metrics, LatencyZeroAndNegativeSamplesLandInZeroBucket) {
+  obs::LatencyHistogram h;
+  h.observe(0.0);
+  h.observe(-1.5);  // negative duration: caller bug, must not poison stats
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.zero_count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(Metrics, LatencySubBucketTinyValueClampsToMinExp) {
+  obs::LatencyHistogram h;
+  h.observe(1e-300);  // far below 2^kMinExp
+  ASSERT_EQ(h.nonzero_buckets().size(), 1u);
+  EXPECT_EQ(h.nonzero_buckets()[0].first, obs::LatencyHistogram::kMinExp);
+  // The bucket's upper bound (2^-64) overshoots, so the percentile is
+  // capped at the exact maximum.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 1e-300);
+}
+
+TEST(Metrics, LatencyOverflowClampsToMaxExp) {
+  obs::LatencyHistogram h;
+  h.observe(1e300);
+  h.observe(std::numeric_limits<double>::infinity());
+  ASSERT_EQ(h.nonzero_buckets().size(), 1u);
+  EXPECT_EQ(h.nonzero_buckets()[0].first, obs::LatencyHistogram::kMaxExp);
+  EXPECT_EQ(h.nonzero_buckets()[0].second, 2u);
+  // Percentiles report the bucket bound 2^64, not the (infinite) max.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), std::ldexp(1.0, obs::LatencyHistogram::kMaxExp));
+}
+
+TEST(Metrics, LatencyNanIgnoredAndEmptyReportsZero) {
+  obs::LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 0.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Metrics, LatencyNearestRankPercentiles) {
+  obs::LatencyHistogram h;
+  // One sample per bucket: (1,2], (2,4], (4,8], (8,16].
+  for (double x : {1.5, 3.0, 6.0, 12.0}) h.observe(x);
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.00), 12.0);  // bound 16 capped at max
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);    // q clamps to rank 1
+}
+
+TEST(Metrics, LatencyExactPowerOfTwoLandsInLowerBucket) {
+  obs::LatencyHistogram h;
+  h.observe(4.0);  // bucket e counts 2^(e-1) < x <= 2^e, so 4 -> e = 2
+  ASSERT_EQ(h.nonzero_buckets().size(), 1u);
+  EXPECT_EQ(h.nonzero_buckets()[0].first, 2);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 4.0);
+}
+
+TEST(Metrics, LatencyMixedZeroAndPositiveToJson) {
+  obs::LatencyHistogram h;
+  h.observe(0.0);
+  h.observe(1.0);
+  EXPECT_EQ(h.to_json().dump(),
+            R"({"count":2,"sum":1,"min":0,"max":1,"p50":0,"p90":1,"p99":1,)"
+            R"("log2_buckets":{"zero":1,"0":1}})");
+}
+
 TEST(Metrics, TracerExportsMessageHistogram) {
   obs::Tracer tracer;
   tracer.prepare(2);
@@ -298,7 +375,7 @@ TEST(RunReport, BuilderEmitsSchemaHeaderFirst) {
   EXPECT_EQ(items[1].first, "version");
   EXPECT_EQ(items[2].first, "tool");
   EXPECT_EQ(doc.dump(),
-            R"({"schema":"ardbt.run_report","version":1,"tool":"test_tool",)"
+            R"({"schema":"ardbt.run_report","version":2,"tool":"test_tool",)"
             R"("config":{"n":64},"timing":{"wall_s":1.5}})");
 }
 

@@ -24,7 +24,10 @@
 //                     per simulated rank with send/recv/wait/compute and
 //                     phase spans on the virtual clock (docs/OBSERVABILITY.md)
 //   --json PATH       write the machine-readable run report
-//                     (schema ardbt.run_report v1)
+//                     (schema ardbt.run_report v2: timing, attribution
+//                     with critical path, cost-model verdicts, metrics)
+//   --metrics         print a deterministic metrics/percentile snapshot to
+//                     stdout (virtual-clock values only; no trace file)
 //   --on-breakdown M  failfast | refine | fallback — what the driver does
 //                     when a breakdown or recoverable fault is detected
 //                     (docs/ROBUSTNESS.md)
@@ -44,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,7 +60,9 @@
 #include "src/fault/plan.hpp"
 #include "src/fault/status.hpp"
 #include "src/mpsim/obs_bridge.hpp"
+#include "src/obs/attribution.hpp"
 #include "src/obs/chrome_trace.hpp"
+#include "src/obs/cost_model.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/run_report.hpp"
 
@@ -67,7 +73,7 @@ using namespace ardbt;
 constexpr const char* kKnownFlags[] = {
     "--method", "--kind",     "--n",        "--m",      "--p",     "--r",
     "--seed",   "--timing",   "--threads",  "--refine", "--load-sys", "--save-sys",
-    "--save-x", "--trace",    "--json",     "--list",   "--help",
+    "--save-x", "--trace",    "--json",     "--metrics", "--list",  "--help",
     "--on-breakdown", "--fault", "--plant-pivot", "--plant-eps",
 };
 
@@ -175,7 +181,12 @@ void print_usage() {
   std::printf("  --save-x PATH    save the solution (.csv suffix -> CSV)\n");
   std::printf("  --trace PATH     write a Chrome/Perfetto trace (one track per\n");
   std::printf("                   rank, virtual clock; see docs/OBSERVABILITY.md)\n");
-  std::printf("  --json PATH      write the ardbt.run_report v1 JSON report\n");
+  std::printf("  --json PATH      write the ardbt.run_report v2 JSON report\n");
+  std::printf("                   (timing, critical-path attribution, cost-model\n");
+  std::printf("                   verdicts, metrics with p50/p90/p99 latencies)\n");
+  std::printf("  --metrics        print a deterministic metrics snapshot to stdout\n");
+  std::printf("                   (virtual-clock values only, bit-identical across\n");
+  std::printf("                   runs and --threads in charged timing)\n");
   std::printf("  --on-breakdown M failfast | refine | fallback (default failfast)\n");
   std::printf("  --fault KIND     inject delay | dup | flip | straggle | crash\n");
   std::printf("                   (repeatable, deterministic; docs/ROBUSTNESS.md)\n");
@@ -211,6 +222,26 @@ obs::Json fault_event_json(const fault::FaultEvent& e) {
   return j;
 }
 
+/// Deterministic projection of a MetricsRegistry snapshot: drops every
+/// metric whose name mentions wall/cpu/panel time (host-clock values vary
+/// run to run; everything else is virtual-clock or count data,
+/// bit-identical under charged timing for any --threads).
+obs::Json deterministic_metrics(const obs::Json& snapshot) {
+  const auto keep = [](const std::string& name) {
+    return name.find("wall") == std::string::npos && name.find("cpu") == std::string::npos &&
+           name.find("panel") == std::string::npos;
+  };
+  obs::Json out = obs::Json::object();
+  for (const auto& [section, body] : snapshot.items()) {
+    obs::Json filtered = obs::Json::object();
+    for (const auto& [name, value] : body.items()) {
+      if (keep(name)) filtered.set(name, value);
+    }
+    if (filtered.size() > 0) out.set(section, std::move(filtered));
+  }
+  return out;
+}
+
 obs::Json outcome_json(const core::SolveOutcome& o) {
   obs::Json j = obs::Json::object();
   j.set("phase", o.phase);
@@ -235,6 +266,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   int refine_steps = 0;
   std::string load_sys, save_sys, save_x, trace_path, json_path;
+  bool print_metrics = false;
   std::vector<std::string> fault_kinds;
   la::index_t plant_pivot = -1;
   double plant_eps = 0.0;
@@ -278,6 +310,8 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (flag == "--json") {
       json_path = next();
+    } else if (flag == "--metrics") {
+      print_metrics = true;
     } else if (flag == "--threads") {
       engine.threads_per_rank =
           static_cast<int>(parse_int(flag, next(), 1, std::numeric_limits<int>::max()));
@@ -350,11 +384,13 @@ int main(int argc, char** argv) {
     engine.virtual_deadline = 2e-3;   // flags the injected 5e-3 s delay
   }
 
-  // Event tracing powers both --trace (the timeline itself) and --json
-  // (per-phase byte counters + message-size histogram).
+  // Event tracing powers --trace (the timeline itself), --json (per-phase
+  // byte counters, message-size histogram, critical-path attribution) and
+  // --metrics (latency percentiles).
   obs::Tracer tracer;
-  if (!trace_path.empty() || !json_path.empty()) engine.tracer = &tracer;
+  if (!trace_path.empty() || !json_path.empty() || print_metrics) engine.tracer = &tracer;
 
+  std::unique_ptr<core::Session> session;
   core::DriverResult res;
   core::RefineResult refined;
   bool degraded = false;
@@ -386,15 +422,15 @@ int main(int argc, char** argv) {
           },
           engine);
     } else {
-      core::Session session(method, sys, p, {}, engine);
-      session.factor();
-      res.x = session.solve(b);
-      res.report = session.report();
-      res.factor_vtime = session.factor_vtime();
-      res.solve_vtime = session.solve_vtimes().back();
-      res.outcomes = session.outcomes();
-      degraded = session.degraded();
-      pivot_growth = session.pivot_growth();
+      session = std::make_unique<core::Session>(method, sys, p, core::ArdOptions{}, engine);
+      session->factor();
+      res.x = session->solve(b);
+      res.report = session->report();
+      res.factor_vtime = session->factor_vtime();
+      res.solve_vtime = session->solve_vtimes().back();
+      res.outcomes = session->outcomes();
+      degraded = session->degraded();
+      pivot_growth = session->pivot_growth();
     }
   } catch (const fault::SolveError& e) {
     solve_status = e.status();
@@ -459,10 +495,62 @@ int main(int argc, char** argv) {
     std::printf("  trace       : saved to %s (chrome://tracing, ui.perfetto.dev)\n",
                 trace_path.c_str());
   }
-  if (!json_path.empty()) {
+  if (!json_path.empty() || print_metrics) {
     obs::MetricsRegistry metrics;
     mpsim::export_metrics(res.report, metrics);
     mpsim::export_metrics(tracer, metrics);
+    if (session) session->export_latency_metrics(metrics);
+
+    // Attribution: dependency graph + critical path over the traced run.
+    const obs::Attribution attr = obs::analyze(tracer);
+
+    // Cost-model oracle, seeded with the simulator's own constants and
+    // calibrated on the factor phase when the method has one. Phases
+    // whose measured/predicted ratio drifts past the threshold get a
+    // structured warning — the formulas count the per-rank critical path,
+    // so a clean run sits near ratio 1.
+    obs::CostModel::Constants constants;
+    constants.seconds_per_flop = 1.0 / engine.cost.flop_rate;
+    constants.alpha = engine.cost.alpha;
+    constants.beta = engine.cost.beta;
+    obs::CostModel oracle(constants);
+    std::vector<obs::CostVerdict> verdicts;
+    if (!failed) {
+      if (method == core::Method::kArd) {
+        oracle.calibrate(core::flops::ard_factor_terms(n, m, p), res.factor_vtime);
+        verdicts.push_back(
+            oracle.judge("factor", core::flops::ard_factor_terms(n, m, p), res.factor_vtime));
+        verdicts.push_back(
+            oracle.judge("solve", core::flops::ard_solve_terms(n, m, r, p), res.solve_vtime));
+      } else if (method == core::Method::kRdBatched) {
+        verdicts.push_back(
+            oracle.judge("solve", core::flops::rd_batched_terms(n, m, r, p), res.solve_vtime));
+      } else if (method == core::Method::kRdPerRhs) {
+        verdicts.push_back(
+            oracle.judge("solve", core::flops::rd_per_rhs_terms(n, m, r, p), res.solve_vtime));
+      }
+      for (const auto& v : verdicts) {
+        if (v.flagged) {
+          std::fprintf(stderr,
+                       "ardbt: warning: [cost-model] phase '%s' measured/predicted = %.3g "
+                       "outside [%.3g, %.3g]\n",
+                       v.phase.c_str(), v.ratio, 1.0 / oracle.threshold(), oracle.threshold());
+        }
+      }
+    }
+
+    if (print_metrics) {
+      // Everything between the sentinels is virtual-clock or count data:
+      // bit-identical across repeated runs and --threads values under
+      // charged timing (tools/check_trace.py asserts this).
+      obs::Json snapshot = obs::Json::object();
+      snapshot.set("metrics", deterministic_metrics(metrics.to_json()));
+      snapshot.set("attribution", obs::to_json(attr));
+      snapshot.set("cost_model", oracle.to_json(verdicts));
+      std::printf("--- metrics (deterministic) ---\n%s\n--- end metrics ---\n",
+                  snapshot.dump(1).c_str());
+    }
+    if (json_path.empty()) return failed ? 1 : 0;
 
     obs::RunReportBuilder report("ardbt_cli");
     report.config("method", std::string(core::to_string(method)))
@@ -493,6 +581,8 @@ int main(int argc, char** argv) {
       report.set_section("ranks", std::move(ranks));
     }
     report.set_section("metrics", metrics.to_json());
+    report.set_section("attribution", obs::to_json(attr));
+    report.set_section("cost_model", oracle.to_json(verdicts));
     {
       // Robustness: policy, per-phase outcomes, and the full fault log —
       // every injected fault plus every detection/recovery action.

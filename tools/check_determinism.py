@@ -9,7 +9,11 @@ once with --threads 3 — and checks the contract that par::Pool promises:
   change a single bit);
 * the run reports agree on residual, charged flops, and phase virtual
   times (flop charges stay on the rank thread, so the modeled clock is
-  independent of the worker count).
+  independent of the worker count);
+* the v2 attribution and cost_model sections are identical — the
+  critical path, per-rank breakdowns, phase percentiles, and oracle
+  verdicts are all derived from the virtual clock, so the worker count
+  must not perturb a single value.
 
 Usage: check_determinism.py /path/to/ardbt
 """
@@ -71,6 +75,16 @@ def main():
     if report1.get("config", {}).get("threads") == report3.get("config", {}).get("threads"):
         fail("report config.threads does not record the flag")
     print("check_determinism: residual/flops/vtimes equal across thread counts")
+
+    # The whole attribution and cost-model sections live on the virtual
+    # clock: compare them structurally, not key by key.
+    for section in ("attribution", "cost_model"):
+        s1, s3 = report1.get(section), report3.get(section)
+        if s1 is None:
+            fail(f"report missing '{section}' section")
+        if s1 != s3:
+            fail(f"report '{section}' differs between --threads 1 and --threads 3")
+    print("check_determinism: attribution/cost_model identical across thread counts")
     print("check_determinism: PASS")
 
 

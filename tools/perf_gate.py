@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Perf regression gate over ardbt bench reports.
+
+Compares the timing columns (headers ending in "[s]") of a fresh bench run
+against a baseline, row by row (rows are matched on the first column, e.g.
+the block size M). A cell regresses when fresh/baseline exceeds the
+threshold; cells under the noise floor on both sides are skipped, and the
+configs of the two reports must agree (so a smoke run is never judged
+against a full-mode baseline). Wall timings are noisy, so a failing
+comparison against a live binary is retried with fresh runs before the
+gate reports a regression.
+
+Inputs may be single ardbt.run_report documents (v1 or v2, pretty-printed
+or compact) or ardbt.bench_history JSONL files, in which case the latest
+entry is used.
+
+Modes:
+  perf_gate.py --baseline FILE --fresh FILE
+      compare two existing reports (no retries possible)
+  perf_gate.py --baseline FILE --binary BIN [--smoke]
+      run BIN fresh (with --json; plus --smoke when given) and compare
+      against the committed baseline; retries on failure
+  perf_gate.py --binary BIN [--smoke]
+      A/B: run BIN twice, second run judged against the first — proves the
+      build is not wildly unstable and exercises the full gate path
+  perf_gate.py --self-test --binary BIN [--smoke]
+      prove the gate works: a run must pass against itself and must FAIL
+      against a synthetically 2x-slower copy of itself
+
+Exit codes: 0 pass, 1 regression detected, 2 usage error, 3 malformed or
+incompatible input.
+
+Examples:
+  perf_gate.py --binary build/bench/bench_abl_smallblock --smoke
+  perf_gate.py --baseline BENCH_smallblock.json \
+      --binary build/bench/bench_abl_smallblock     # same-host full run
+"""
+
+import argparse
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+RUN_REPORT_SCHEMA = "ardbt.run_report"
+HISTORY_SCHEMA = "ardbt.bench_history"
+# Config keys that may differ between baseline and fresh without making
+# the comparison meaningless.
+CONFIG_IGNORE = {"threads"}
+
+
+def fail(code, msg):
+    print(f"perf_gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load_report(path):
+    """Load a run_report document or the latest entry of a JSONL history."""
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        if doc.get("schema") != RUN_REPORT_SCHEMA:
+            fail(3, f"{path}: schema {doc.get('schema')!r} != {RUN_REPORT_SCHEMA!r}")
+        return doc
+    entries = []
+    saw_header = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            fail(3, f"{path}:{lineno}: neither a JSON document nor a JSONL history line")
+        if obj.get("schema") == HISTORY_SCHEMA:
+            saw_header = True
+        elif obj.get("schema") == RUN_REPORT_SCHEMA:
+            entries.append(obj)
+    if not saw_header:
+        fail(3, f"{path}: missing {HISTORY_SCHEMA!r} header line")
+    if not entries:
+        fail(3, f"{path}: history has no run entries")
+    return entries[-1]
+
+
+def timing_columns(row):
+    return [col for col in row if col.endswith("[s]")]
+
+
+def row_key(row):
+    """Rows are matched on their first column (insertion order)."""
+    first = next(iter(row), None)
+    return (first, row.get(first)) if first else (None, None)
+
+
+def compare(baseline, fresh, threshold, min_seconds):
+    """Return (failures, cells_checked); failures is a list of strings."""
+    if baseline.get("tool") != fresh.get("tool"):
+        fail(3, f"tool mismatch: baseline {baseline.get('tool')!r} vs fresh {fresh.get('tool')!r}")
+    bconf, fconf = baseline.get("config", {}), fresh.get("config", {})
+    for key in sorted(set(bconf) & set(fconf) - CONFIG_IGNORE):
+        if bconf[key] != fconf[key]:
+            fail(3, f"config mismatch on {key!r}: baseline {bconf[key]!r} vs fresh "
+                    f"{fconf[key]!r} (refusing to compare different shapes)")
+
+    btables = baseline.get("tables", {})
+    ftables = fresh.get("tables", {})
+    failures, checked = [], 0
+    for name, brows in btables.items():
+        if name not in ftables:
+            failures.append(f"table {name!r} missing from fresh report")
+            continue
+        fresh_by_key = {row_key(r): r for r in ftables[name]}
+        for brow in brows:
+            key = row_key(brow)
+            frow = fresh_by_key.get(key)
+            if frow is None:
+                failures.append(f"{name}: row {key[0]}={key[1]} missing from fresh report")
+                continue
+            for col in timing_columns(brow):
+                if col not in frow:
+                    failures.append(f"{name} {key[0]}={key[1]}: column {col!r} missing")
+                    continue
+                try:
+                    b, f = float(brow[col]), float(frow[col])
+                except (TypeError, ValueError):
+                    failures.append(f"{name} {key[0]}={key[1]} {col}: non-numeric cell")
+                    continue
+                if b < min_seconds and f < min_seconds:
+                    continue  # both under the noise floor
+                checked += 1
+                ratio = f / b if b > 0 else float("inf")
+                # Inclusive: a genuine 2x slowdown must fail a 2x gate.
+                if ratio >= threshold:
+                    failures.append(
+                        f"{name} {key[0]}={key[1]} {col}: {b:.3e}s -> {f:.3e}s "
+                        f"({ratio:.2f}x > {threshold:g}x)")
+    return failures, checked
+
+
+def run_binary(binary, smoke, out_path):
+    cmd = [binary, "--json", out_path] + (["--smoke"] if smoke else [])
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(3, f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return load_report(out_path)
+
+
+def inflate(report, factor):
+    """Synthetic regression: multiply every timing cell by `factor`."""
+    doc = copy.deepcopy(report)
+    for rows in doc.get("tables", {}).values():
+        for row in rows:
+            for col in timing_columns(row):
+                row[col] = f"{float(row[col]) * factor:.6e}"
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", help="baseline report or history file")
+    ap.add_argument("--fresh", help="fresh report file (instead of --binary)")
+    ap.add_argument("--binary", help="bench binary to produce the fresh run")
+    ap.add_argument("--smoke", action="store_true", help="pass --smoke to the binary")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="fail when fresh/baseline exceeds this (default 2.0)")
+    ap.add_argument("--min-seconds", type=float, default=1e-5,
+                    help="skip cells under this on both sides (default 1e-5)")
+    ap.add_argument("--retries", type=int, default=2,
+                    help="extra fresh runs before trusting a failure (default 2)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate passes a run against itself and fails a 2x copy")
+    args = ap.parse_args()
+
+    if args.self_test:
+        if not args.binary:
+            fail(2, "--self-test needs --binary")
+        with tempfile.TemporaryDirectory() as tmp:
+            base = run_binary(args.binary, args.smoke, str(Path(tmp) / "base.json"))
+        failures, checked = compare(base, base, args.threshold, args.min_seconds)
+        if failures:
+            fail(1, "self-compare should pass but found:\n  " + "\n  ".join(failures))
+        if checked == 0:
+            fail(3, "self-compare checked no timing cells (noise floor too high?)")
+        slow = inflate(base, 2.0)
+        failures, _ = compare(base, slow, args.threshold, args.min_seconds)
+        if not failures:
+            fail(1, "gate did not flag a synthetic 2x slowdown")
+        print(f"perf_gate: self-test ok ({checked} cells; 2x fixture raised "
+              f"{len(failures)} failure(s), e.g. {failures[0]})")
+        print("perf_gate: PASS")
+        return
+
+    if args.fresh and args.binary:
+        fail(2, "give either --fresh or --binary, not both")
+    if not args.fresh and not args.binary:
+        fail(2, "need --fresh FILE or --binary BIN")
+    if args.fresh and not args.baseline:
+        fail(2, "--fresh needs --baseline")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        if args.baseline:
+            baseline = load_report(args.baseline)
+        else:
+            baseline = run_binary(args.binary, args.smoke, str(Path(tmp) / "ab_base.json"))
+            print("perf_gate: no --baseline; A/B mode (first run is the baseline)")
+        attempts = 1 + (args.retries if args.binary else 0)
+        failures, checked = [], 0
+        for attempt in range(attempts):
+            if args.fresh:
+                fresh = load_report(args.fresh)
+            else:
+                fresh = run_binary(args.binary, args.smoke,
+                                   str(Path(tmp) / f"fresh{attempt}.json"))
+            failures, checked = compare(baseline, fresh, args.threshold, args.min_seconds)
+            if not failures:
+                break
+            if attempt + 1 < attempts:
+                print(f"perf_gate: attempt {attempt + 1} failed ({len(failures)} cell(s)); "
+                      "retrying with a fresh run")
+    if checked == 0 and not failures:
+        fail(3, "no timing cells compared (empty tables or all under the noise floor)")
+    if failures:
+        fail(1, f"{len(failures)} regression(s):\n  " + "\n  ".join(failures))
+    print(f"perf_gate: PASS ({checked} timing cells within {args.threshold:g}x)")
+
+
+if __name__ == "__main__":
+    main()
