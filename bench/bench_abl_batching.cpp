@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const la::index_t r_total = args.smoke() ? 16 : 256;
   const int p = 4;
   bench::JsonReport report(args, "bench_abl_batching");
+  bench::LiveStream live(args);
   report.config("n", n).config("m", m).config("r_total", r_total).config("p", p)
       .config("cost_model", engine.cost.name);
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
     std::vector<const la::Matrix*> ptrs;
     for (const auto& b : batches) ptrs.push_back(&b);
 
-    const auto session = core::ard_session(sys, ptrs, p, {}, engine);
+    const auto session = core::ard_session(sys, ptrs, p, {}, engine, live.handle());
     double solve_sum = 0.0;
     for (double t : session.solve_vtimes) solve_sum += t;
     const double t_ard = session.factor_vtime + solve_sum;

@@ -33,7 +33,8 @@ std::string guarded(const btds::BlockTridiag& sys, const la::Matrix& b,
   }
 }
 
-void sweep(la::index_t m, bool smoke, const char* label, bench::JsonReport& report) {
+void sweep(la::index_t m, bool smoke, const char* label, bench::JsonReport& report,
+           const obs::live::Telemetry& live) {
   std::printf("\n### %s (M = %lld)\n", label, static_cast<long long>(m));
   bench::Table table({"N", "shooting", "transfer_noscale", "transfer_rescaled", "ard_twoport"});
   for (la::index_t n : smoke ? std::vector<la::index_t>{16, 32, 64}
@@ -46,12 +47,13 @@ void sweep(la::index_t m, bool smoke, const char* label, bench::JsonReport& repo
          guarded(sys, b,
                  [&] {
                    return core::solve(core::Method::kTransferRd, sys, b, 2,
-                                      core::ArdOptions{.rescale = false})
+                                      core::ArdOptions{.rescale = false}, {}, live)
                        .x;
                  }),
          guarded(sys, b,
-                 [&] { return core::solve(core::Method::kTransferRd, sys, b, 2).x; }),
-         guarded(sys, b, [&] { return core::solve(core::Method::kArd, sys, b, 2).x; })});
+                 [&] { return core::solve(core::Method::kTransferRd, sys, b, 2, {}, {}, live).x; }),
+         guarded(sys, b,
+                 [&] { return core::solve(core::Method::kArd, sys, b, 2, {}, {}, live).x; })});
   }
   table.print();
   report.add_table("M=" + std::to_string(m), table);
@@ -62,11 +64,15 @@ void sweep(la::index_t m, bool smoke, const char* label, bench::JsonReport& repo
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   bench::JsonReport report(args, "bench_abl_scaling");
+  bench::LiveStream live(args);
   std::printf("# B-abl-scaling: prefix-operator stability tiers (2-D Poisson family)\n");
   sweep(1, args.smoke(),
-        "scalar blocks: a single growing mode, so rescaled transfer RD survives", report);
+        "scalar blocks: a single growing mode, so rescaled transfer RD survives", report,
+        live.handle());
   sweep(4, args.smoke(),
-        "block size 4: spectral spread kills the transfer pair, two-port unaffected", report);
+        "block size 4: spectral spread kills the transfer pair, two-port unaffected", report,
+        live.handle());
   report.write();
+  live.close();
   return 0;
 }

@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/core/perfmodel.hpp"
 #include "src/mpsim/engine.hpp"
+#include "src/obs/live/telemetry.hpp"
 #include "src/obs/run_report.hpp"
 
 /// \file bench_common.hpp
@@ -34,6 +37,10 @@ namespace ardbt::bench {
 ///                  format: the trajectory accumulates one entry per run)
 ///   --threads T    worker threads per rank for pool-aware sections
 ///   --smoke        tiny problem shapes, for CI smoke runs
+///   --live-out F   stream live telemetry (ardbt.log + metric snapshots,
+///                  JSONL) to F while the experiment's sessions run
+///   --live-period S  virtual seconds between metric snapshots (0 = one
+///                  snapshot after every engine run)
 ///   --help/--list  usage
 /// Unknown flags exit(2) with a nearest-flag suggestion (edit distance),
 /// matching the ardbt CLI's behavior; malformed numeric values take the
@@ -57,6 +64,10 @@ class Args {
         history_path_ = next();
       } else if (flag == "--threads") {
         threads_ = parse_positive_int(flag, next());
+      } else if (flag == "--live-out") {
+        live_out_ = next();
+      } else if (flag == "--live-period") {
+        live_period_ = parse_nonnegative_double(flag, next());
       } else if (flag == "--smoke") {
         smoke_ = true;
       } else {
@@ -71,10 +82,15 @@ class Args {
   int threads() const { return threads_; }
   /// Shrink the sweep to a seconds-scale shape (ctest smoke runs).
   bool smoke() const { return smoke_; }
+  /// Live-telemetry JSONL path ("" = off); see LiveStream below.
+  const std::string& live_out() const { return live_out_; }
+  /// Virtual seconds between metric snapshots (0 = one per engine run).
+  double live_period() const { return live_period_; }
 
  private:
-  static constexpr const char* kFlags[] = {"--json",  "--history", "--threads",
-                                           "--smoke", "--help",    "--list"};
+  static constexpr const char* kFlags[] = {"--json",     "--history",     "--threads",
+                                           "--live-out", "--live-period", "--smoke",
+                                           "--help",     "--list"};
 
   /// Strict parse of a positive integer flag value: the whole token must
   /// be a decimal number >= 1. Garbage, zero, and negative values take
@@ -90,6 +106,20 @@ class Args {
       std::exit(1);
     }
     return static_cast<int>(v);
+  }
+
+  /// Strict parse of a nonnegative double flag value.
+  double parse_nonnegative_double(const std::string& flag, const std::string& text) const {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE || v < 0.0 || !std::isfinite(v)) {
+      std::fprintf(stderr,
+                   "%s: error: [invalid-argument] %s expects a nonnegative number, got '%s'\n",
+                   program_.c_str(), flag.c_str(), text.c_str());
+      std::exit(1);
+    }
+    return v;
   }
 
   [[noreturn]] void die(const std::string& message) const {
@@ -134,8 +164,58 @@ class Args {
   std::string program_;
   std::string json_path_;
   std::string history_path_;
+  std::string live_out_;
+  double live_period_ = 0.0;
   int threads_ = 1;
   bool smoke_ = false;
+};
+
+/// Owner for the `--live-out` stream of an experiment binary: one private
+/// metrics registry plus the standard live-telemetry chain (structured
+/// log, flight recorder, snapshotter, watchdogs) streaming to the flag's
+/// JSONL path. Without the flag every method is an inert no-op, so
+/// binaries construct one unconditionally and pass handle() to each
+/// Session (or the core::solve / core::ard_session conveniences) they
+/// drive. close() flushes the log, forces a final metric snapshot, and
+/// prints a one-line note; the destructor is the backstop.
+class LiveStream {
+ public:
+  explicit LiveStream(const Args& args) {
+    if (args.live_out().empty()) return;
+    obs::live::LiveTelemetry::Options options;
+    options.live_path = args.live_out();
+    options.snapshot.period_s = args.live_period();
+    path_ = args.live_out();
+    live_ = std::make_unique<obs::live::LiveTelemetry>(std::move(options), &registry_);
+  }
+
+  LiveStream(const LiveStream&) = delete;
+  LiveStream& operator=(const LiveStream&) = delete;
+
+  ~LiveStream() { close(); }
+
+  bool enabled() const { return live_ != nullptr; }
+
+  /// Handle for Session::set_telemetry (inert default when disabled).
+  obs::live::Telemetry handle() {
+    return enabled() ? live_->handle() : obs::live::Telemetry{};
+  }
+
+  /// Flush and report (idempotent; no-op when disabled).
+  void close() {
+    if (!enabled() || closed_) return;
+    live_->close();
+    std::printf("\n[live telemetry: %s (%llu log records, %llu snapshots)]\n", path_.c_str(),
+                static_cast<unsigned long long>(live_->log().records_written()),
+                static_cast<unsigned long long>(live_->snapshotter().snapshots_written()));
+    closed_ = true;
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::live::LiveTelemetry> live_;
+  std::string path_;
+  bool closed_ = false;
 };
 
 /// Engine options for the virtual-time experiments: deterministic

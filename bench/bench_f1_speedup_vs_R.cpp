@@ -29,7 +29,8 @@ namespace {
 
 using namespace ardbt;
 
-void run_for_block_size(la::index_t m, bool smoke, bench::JsonReport& report) {
+void run_for_block_size(la::index_t m, bool smoke, bench::JsonReport& report,
+                        const obs::live::Telemetry& live) {
   const la::index_t n = smoke ? 64 : 512;
   const int p = 4;
   // Smoke keeps rs[2] == 4 so the RD-per-RHS identity check below still runs.
@@ -44,13 +45,13 @@ void run_for_block_size(la::index_t m, bool smoke, bench::JsonReport& report) {
   std::vector<const la::Matrix*> batch_ptrs;
   for (const auto& b : batches) batch_ptrs.push_back(&b);
 
-  const auto session = core::ard_session(sys, batch_ptrs, p, {}, bench::virtual_engine());
+  const auto session = core::ard_session(sys, batch_ptrs, p, {}, bench::virtual_engine(), live);
   const double t_factor = session.factor_vtime;
   const double t_solve1 = session.solve_vtimes[0];
 
   // Validate the RD-per-RHS linearity identity at R = 4.
   const auto direct = core::solve(core::Method::kRdPerRhs, sys, batches[2], p, {},
-                                  bench::virtual_engine());
+                                  bench::virtual_engine(), live);
   const double t_direct = direct.solve_vtime;
   const double t_identity = 4.0 * (t_factor + t_solve1);
 
@@ -77,7 +78,8 @@ void run_for_block_size(la::index_t m, bool smoke, bench::JsonReport& report) {
 // P = 1 keeps the host's cores for the pool (with P simulated rank
 // threads plus pools the run would oversubscribe), and makes the whole
 // solve the panel-parallel hot path.
-void run_threads_scaling(bool smoke, bench::JsonReport& report) {
+void run_threads_scaling(bool smoke, bench::JsonReport& report,
+                         const obs::live::Telemetry& live) {
   const la::index_t n = smoke ? 32 : 128, m = 32, r = smoke ? 32 : 1024;
   const int p = 1;
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
@@ -98,6 +100,7 @@ void run_threads_scaling(bool smoke, bench::JsonReport& report) {
     mpsim::EngineOptions engine = bench::virtual_engine();
     engine.threads_per_rank = workers;
     core::Session session(core::Method::kArd, sys, p, {}, engine);
+    if (live.any()) session.set_telemetry(live);
     session.factor();
     session.solve(b);  // warm up pool + caches
     const bench::WallTimer timer;
@@ -119,6 +122,7 @@ void run_threads_scaling(bool smoke, bench::JsonReport& report) {
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   bench::JsonReport report(args, "bench_f1_speedup_vs_R");
+  bench::LiveStream live(args);
   report.config("n", args.smoke() ? 64 : 512)
       .config("p", 4)
       .config("cost_model", bench::virtual_engine().cost.name);
@@ -127,9 +131,10 @@ int main(int argc, char** argv) {
               bench::virtual_engine().cost.name.c_str());
   for (la::index_t m : args.smoke() ? std::vector<la::index_t>{4, 8}
                                     : std::vector<la::index_t>{4, 8, 16, 32}) {
-    run_for_block_size(m, args.smoke(), report);
+    run_for_block_size(m, args.smoke(), report, live.handle());
   }
-  run_threads_scaling(args.smoke(), report);
+  run_threads_scaling(args.smoke(), report, live.handle());
   report.write();
+  live.close();
   return 0;
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const la::index_t r = args.smoke() ? 8 : 128;
   const int p_max = args.smoke() ? 4 : 1024;
   bench::JsonReport report(args, "bench_f2_strong_scaling");
+  bench::LiveStream live(args);
   report.config("n", n).config("m", m).config("r", r).config("cost_model", engine.cost.name);
   const core::PerfModel model(engine.cost);
   const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
 
   double t1 = 0.0;
   for (int p = 1; p <= p_max; p *= 2) {
-    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);
+    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
     const double t_ard = res.factor_vtime + res.solve_vtime;
     if (p == 1) t1 = t_ard;
     const double model_ard =

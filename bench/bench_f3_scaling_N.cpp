@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const la::index_t r = args.smoke() ? 8 : 64;
   const int p = args.smoke() ? 4 : 16;
   bench::JsonReport report(args, "bench_f3_scaling_N");
+  bench::LiveStream live(args);
   report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F3: runtime vs N (M=%lld, R=%lld, P=%d)\n", static_cast<long long>(m),
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
                                                       16384}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
-    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);
+    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
     const double t_ard = res.factor_vtime + res.solve_vtime;
     const double t_rd_per_rhs =
         static_cast<double>(r) * (res.factor_vtime + res.solve_vtime / static_cast<double>(r));

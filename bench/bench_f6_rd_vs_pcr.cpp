@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const la::index_t r = args.smoke() ? 8 : 64;
   const int p = args.smoke() ? 4 : 16;
   bench::JsonReport report(args, "bench_f6_rd_vs_pcr");
+  bench::LiveStream live(args);
   report.config("m", m).config("r", r).config("p", p).config("cost_model", engine.cost.name);
 
   std::printf("# F6: ARD vs accelerated PCR (M=%lld, R=%lld, P=%d)\n",
@@ -31,8 +32,8 @@ int main(int argc, char** argv) {
                                     : std::vector<la::index_t>{256, 1024, 4096, 16384}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
-    const auto ard = core::solve(core::Method::kArd, sys, b, p, {}, engine);
-    const auto pcr = core::solve(core::Method::kPcr, sys, b, p, {}, engine);
+    const auto ard = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
+    const auto pcr = core::solve(core::Method::kPcr, sys, b, p, {}, engine, live.handle());
     double log2n = 0;
     for (la::index_t s = 1; s < n; s *= 2) log2n += 1;
     table.add_row({bench::fmt_int(static_cast<double>(n)), bench::fmt_sci(ard.factor_vtime),

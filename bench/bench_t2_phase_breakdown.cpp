@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const la::index_t r = args.smoke() ? 8 : 128;  // per batch
   const int num_batches = 4;
   bench::JsonReport report(args, "bench_t2_phase_breakdown");
+  bench::LiveStream live(args);
   report.config("n", n).config("m", m).config("r", r).config("num_batches", num_batches)
       .config("cost_model", engine.cost.name);
 
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
     eng.tracer = &tracer;
     eng.threads_per_rank = args.threads();
     core::Session session(core::Method::kArd, sys, p, {}, eng);
+    if (live.enabled()) session.set_telemetry(live.handle());
     session.factor();
     for (const auto& b : batches) (void)session.solve(b);
 

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   const la::index_t r = 4;
   const bench::Args args(argc, argv);
   bench::JsonReport report(args, "bench_t3_accuracy");
+  bench::LiveStream live(args);
   report.config("m", m).config("r", r).config("p", p);
 
   std::printf("# T3: relative residuals ||B - T X||_F / ||B||_F (M=%lld, R=%lld, P=%d)\n",
@@ -58,11 +59,20 @@ int main(int argc, char** argv) {
            guarded_residual(sys, b, [&] { return btds::thomas_solve(sys, b); }),
            guarded_residual(sys, b, [&] { return btds::cyclic_reduction_solve(sys, b); }),
            guarded_residual(sys, b,
-                            [&] { return core::solve(core::Method::kArd, sys, b, p).x; }),
+                            [&] {
+                              return core::solve(core::Method::kArd, sys, b, p, {}, {},
+                                                 live.handle()).x;
+                            }),
            guarded_residual(sys, b,
-                            [&] { return core::solve(core::Method::kRdBatched, sys, b, p).x; }),
+                            [&] {
+                              return core::solve(core::Method::kRdBatched, sys, b, p, {}, {},
+                                                 live.handle()).x;
+                            }),
            guarded_residual(
-               sys, b, [&] { return core::solve(core::Method::kTransferRd, sys, b, p).x; }),
+               sys, b,
+               [&] {
+                 return core::solve(core::Method::kTransferRd, sys, b, p, {}, {}, live.handle()).x;
+               }),
            guarded_residual(sys, b, [&] { return core::shooting_solve(sys, b); })});
     }
     table.print();

@@ -8,6 +8,8 @@
 #include "src/core/rd.hpp"
 #include "src/core/refine.hpp"
 #include "src/mpsim/collectives.hpp"
+#include "src/mpsim/obs_bridge.hpp"
+#include "src/obs/live/postmortem.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace ardbt::core {
@@ -70,26 +72,170 @@ void Session::fold_report(const mpsim::RunReport& run) {
   report_.wall_seconds += run.wall_seconds;
 }
 
-mpsim::RunReport Session::run_engine(const mpsim::RankFn& fn) {
+void Session::set_telemetry(const obs::live::Telemetry& telemetry) {
+  telemetry_ = telemetry;
+  // The engine wires per-rank recorder channels exactly like tracer
+  // buffers; a null/disabled recorder keeps every tap one pointer test.
+  engine_.recorder = telemetry_.recorder;
+}
+
+void Session::after_run(const char* phase, const mpsim::RunReport& run, double t0) {
+  if (telemetry_.recorder != nullptr && telemetry_.recorder->enabled()) {
+    obs::live::RecorderChannel& driver = telemetry_.recorder->driver();
+    driver.record_span(phase, vtime_cursor_, vtime_cursor_ - t0);
+    const mpsim::RankStats totals = run.totals();
+    driver.record_metric("mpsim.msgs_sent", vtime_cursor_, static_cast<double>(totals.msgs_sent));
+    driver.record_metric("mpsim.bytes_sent", vtime_cursor_,
+                         static_cast<double>(totals.bytes_sent));
+    driver.record_metric("mpsim.flops_charged", vtime_cursor_, totals.flops_charged);
+    if (totals.deadline_misses > 0) {
+      driver.record_metric("mpsim.deadline_misses", vtime_cursor_,
+                           static_cast<double>(totals.deadline_misses));
+    }
+  }
+  if (telemetry_.metrics != nullptr) {
+    // Per-run deltas accumulate counters correctly; gauges land on the
+    // latest value — exactly what the snapshot stream should show.
+    mpsim::export_metrics(run, *telemetry_.metrics);
+    export_arena_metrics(*telemetry_.metrics);
+    if (telemetry_.recorder != nullptr) {
+      mpsim::export_metrics(*telemetry_.recorder, *telemetry_.metrics);
+    }
+  }
+  if (telemetry_.watchdogs != nullptr) {
+    std::vector<obs::live::RankSample> samples;
+    samples.reserve(run.ranks.size());
+    for (std::size_t r = 0; r < run.ranks.size(); ++r) {
+      const mpsim::RankStats& s = run.ranks[r];
+      obs::live::RankSample sample;
+      sample.rank = static_cast<int>(r);
+      sample.virtual_time = s.virtual_time - t0;  // this run's share, not the session total
+      sample.virtual_wait = s.virtual_wait;
+      sample.deadline_misses = s.deadline_misses;
+      samples.push_back(sample);
+    }
+    telemetry_.watchdogs->check_ranks(samples, vtime_cursor_);
+    // Steady-state arena contract: after the first solve of a shape,
+    // further solves must recycle every scratch matrix. Fresh slab
+    // allocations past warmup are a leak-shaped signal.
+    std::uint64_t arena_allocs = 0;
+    for (const la::Workspace& w : ws_) {
+      arena_allocs += static_cast<std::uint64_t>(w.stats().slab_allocs);
+    }
+    if (std::string_view(phase) == "driver.solve") {
+      if (arena_warm_ && arena_allocs > arena_allocs_prev_) {
+        telemetry_.watchdogs->check_arena_growth("session", arena_allocs - arena_allocs_prev_,
+                                                 vtime_cursor_);
+      }
+      arena_warm_ = true;
+    }
+    arena_allocs_prev_ = arena_allocs;
+  }
+  if (telemetry_.snapshotter != nullptr) telemetry_.snapshotter->tick(vtime_cursor_);
+}
+
+void Session::log_outcome(const SolveOutcome& outcome) {
+  if (telemetry_.log == nullptr) return;
+  obs::Json fields = obs::Json::object();
+  fields.set("action", outcome.action);
+  fields.set("status", std::string(fault::to_string(outcome.status.code())));
+  if (outcome.retries > 0) fields.set("retries", outcome.retries);
+  if (outcome.refine_steps > 0) fields.set("refine_steps", outcome.refine_steps);
+  if (outcome.residual >= 0.0) fields.set("residual", outcome.residual);
+  if (outcome.pivot_growth > 0.0) fields.set("pivot_growth", outcome.pivot_growth);
+  const std::string site = "session." + outcome.phase;
+  const std::string msg = outcome.action == "ok"
+                              ? outcome.phase + " completed"
+                              : outcome.phase + " took ladder rung '" + outcome.action + "'" +
+                                    (outcome.detail.empty() ? "" : ": " + outcome.detail);
+  if (outcome.action == "ok") {
+    telemetry_.log->info(site, msg, vtime_cursor_, std::move(fields));
+  } else {
+    telemetry_.log->warn(site, msg, vtime_cursor_, std::move(fields));
+  }
+}
+
+void Session::dump_postmortem(const char* phase, std::string_view reason,
+                              const std::string& message) {
+  if (telemetry_.recorder != nullptr) {
+    telemetry_.recorder->note_anomaly(reason == "breakdown" ? "breakdown" : "error",
+                                      vtime_cursor_, message);
+  }
+  if (telemetry_.log != nullptr) {
+    obs::Json fields = obs::Json::object();
+    fields.set("reason", std::string(reason));
+    fields.set("phase", phase);
+    if (!telemetry_.postmortem_path.empty()) fields.set("path", telemetry_.postmortem_path);
+    telemetry_.log->error("session.postmortem", message, vtime_cursor_, std::move(fields));
+  }
+  if (telemetry_.postmortem_path.empty()) return;
+  obs::live::PostmortemInfo info;
+  info.reason = std::string(reason);
+  info.phase = phase;
+  info.message = message;
+  info.vtime_s = vtime_cursor_;
+  obs::Json extra = obs::Json::object();
+  extra.set("method", std::string(to_string(method_)));
+  extra.set("nranks", nranks_);
+  extra.set("degraded", degraded_);
+  extra.set("breakdown", breakdown_);
+  extra.set("pivot_growth", pivot_growth_);
+  if (have_report_) {
+    const mpsim::RankStats totals = report_.totals();
+    obs::Json faults = obs::Json::object();
+    faults.set("faults_injected", totals.faults_injected);
+    faults.set("faults_detected", totals.faults_detected);
+    faults.set("deadline_misses", totals.deadline_misses);
+    extra.set("fault_counters", std::move(faults));
+  }
+  obs::Json ladder = obs::Json::array();
+  for (const SolveOutcome& o : outcomes_) {
+    obs::Json oj = obs::Json::object();
+    oj.set("phase", o.phase);
+    oj.set("action", o.action);
+    oj.set("status", std::string(fault::to_string(o.status.code())));
+    if (o.retries > 0) oj.set("retries", o.retries);
+    if (o.residual >= 0.0) oj.set("residual", o.residual);
+    ladder.push(std::move(oj));
+  }
+  extra.set("ladder", std::move(ladder));
+  obs::live::write_postmortem(telemetry_.postmortem_path, info, telemetry_.recorder,
+                              telemetry_.metrics, std::move(extra));
+}
+
+mpsim::RunReport Session::run_engine(const char* phase, const mpsim::RankFn& fn) {
   // Transient faults (corrupted message, injected crash, missed deadline)
   // are retried as whole engine runs: the FaultPlan's one-shot specs stay
   // fired, so the retry sees a clean wire. Failed attempts never advance
   // the session timeline or its counters — only the successful run is
   // charged (vtime_cursor_/fold_report move on success alone).
   last_retries_ = 0;
+  const double t0 = vtime_cursor_;
   for (;;) {
     engine_.vtime_origin = vtime_cursor_;
     try {
       mpsim::RunReport run = mpsim::run(nranks_, fn, engine_);
       vtime_cursor_ = run.max_virtual_time();
       fold_report(run);
+      after_run(phase, run, t0);
       return run;
     } catch (const fault::SolveError& e) {
       const bool retryable = engine_.on_breakdown != fault::BreakdownPolicy::kFailFast &&
                              fault::is_transient(e.code()) &&
                              last_retries_ < engine_.max_fault_retries;
-      if (!retryable) throw;
+      if (!retryable) {
+        dump_postmortem(phase, fault::to_string(e.code()), e.what());
+        throw;
+      }
       ++last_retries_;
+      if (telemetry_.log != nullptr) {
+        obs::Json fields = obs::Json::object();
+        fields.set("status", std::string(fault::to_string(e.code())));
+        fields.set("attempt", last_retries_);
+        telemetry_.log->warn("session.retry",
+                             std::string("transient fault, re-running engine: ") + e.what(),
+                             vtime_cursor_, std::move(fields));
+      }
     }
   }
 }
@@ -99,7 +245,7 @@ void Session::ensure_fallback() {
   const la::index_t n = sys_->num_blocks();
   const la::index_t m = sys_->block_size();
   double vtime = 0.0;
-  run_engine([&](mpsim::Comm& comm) {
+  run_engine("driver.fallback_factor", [&](mpsim::Comm& comm) {
     mpsim::barrier(comm);
     const double t0 = comm.vtime();
     auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.fallback_factor");
@@ -120,7 +266,7 @@ la::Matrix Session::fallback_solve(const la::Matrix& b) {
   assert(fallback_ != nullptr);
   la::Matrix x(b.rows(), b.cols());
   double vtime = 0.0;
-  run_engine([&](mpsim::Comm& comm) {
+  run_engine("driver.fallback_solve", [&](mpsim::Comm& comm) {
     mpsim::barrier(comm);
     const double t0 = comm.vtime();
     auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.fallback_solve");
@@ -162,7 +308,7 @@ void Session::factor() {
   std::size_t bytes = 0;
   std::vector<double> growths(static_cast<std::size_t>(nranks_), 0.0);
   try {
-    run_engine([&](mpsim::Comm& comm) {
+    run_engine("driver.factor", [&](mpsim::Comm& comm) {
       mpsim::barrier(comm);
       const double t0 = comm.vtime();
       auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
@@ -199,6 +345,7 @@ void Session::factor() {
     SolveOutcome outcome{.phase = "factor", .status = e.status(), .retries = last_retries_};
     if (policy == fault::BreakdownPolicy::kFailFast) {
       outcome.action = "failfast";
+      log_outcome(outcome);
       outcomes_.push_back(std::move(outcome));
       throw;
     }
@@ -206,6 +353,7 @@ void Session::factor() {
     degraded_ = true;
     outcome.action = "fallback";
     outcome.detail = "banded-LU fallback factored; session degraded to the exact path";
+    log_outcome(outcome);
     outcomes_.push_back(std::move(outcome));
     factored_ = true;
     return;
@@ -223,7 +371,9 @@ void Session::factor() {
     if (policy == fault::BreakdownPolicy::kFailFast) {
       outcome.status = fault::Status::error(fault::ErrorCode::kBreakdown, message);
       outcome.action = "failfast";
+      log_outcome(outcome);
       outcomes_.push_back(std::move(outcome));
+      dump_postmortem("driver.factor", "breakdown", message);
       throw fault::BreakdownError("core::Session::factor", pivot_growth_,
                                   opts_.breakdown_growth_threshold);
     }
@@ -231,7 +381,9 @@ void Session::factor() {
     outcome.status = fault::Status::error(fault::ErrorCode::kBreakdown, message);
     outcome.action = policy == fault::BreakdownPolicy::kRefine ? "refine" : "fallback";
     outcome.detail = "breakdown flagged; solves take the recovery rung";
+    dump_postmortem("driver.factor", "breakdown", message);
   }
+  log_outcome(outcome);
   outcomes_.push_back(std::move(outcome));
   factor_vtime_ = vtime;
   storage_bytes_ = bytes;
@@ -299,11 +451,13 @@ la::Matrix Session::solve(const la::Matrix& b) {
   if (degraded_) {
     la::Matrix x = fallback_solve(b);
     solve_vtimes_.push_back(last_phase_vtime_);
-    outcomes_.push_back({.phase = "solve",
+    SolveOutcome outcome{.phase = "solve",
                          .action = "fallback",
                          .retries = last_retries_,
                          .residual = btds::relative_residual(*sys_, x, b),
-                         .pivot_growth = pivot_growth_});
+                         .pivot_growth = pivot_growth_};
+    log_outcome(outcome);
+    outcomes_.push_back(std::move(outcome));
     return x;
   }
 
@@ -315,7 +469,7 @@ la::Matrix Session::solve(const la::Matrix& b) {
   la::Matrix x(b.rows(), b.cols());
   int refine_steps = 0;
   double vtime = 0.0;
-  run_engine([&](mpsim::Comm& comm) {
+  run_engine("driver.solve", [&](mpsim::Comm& comm) {
     mpsim::barrier(comm);
     const double t0 = comm.vtime();
     auto span = comm.trace_scope(obs::SpanKind::kPhase, "driver.solve");
@@ -358,9 +512,10 @@ la::Matrix Session::solve(const la::Matrix& b) {
         outcome.residual > kFallbackResidualTol) {
       // Ladder rung 3: refinement did not converge — redo this batch (and
       // route every later one) through the exact banded path.
-      outcome.status = fault::Status::error(
-          fault::ErrorCode::kBreakdown, "refined residual " + std::to_string(outcome.residual) +
-                                            " above fallback tolerance");
+      const std::string message = "refined residual " + std::to_string(outcome.residual) +
+                                  " above fallback tolerance";
+      outcome.status = fault::Status::error(fault::ErrorCode::kBreakdown, message);
+      dump_postmortem("driver.solve", "breakdown", message);
       ensure_fallback();
       degraded_ = true;
       x = fallback_solve(b);
@@ -371,13 +526,16 @@ la::Matrix Session::solve(const la::Matrix& b) {
     }
   }
   solve_vtimes_.push_back(vtime);
+  log_outcome(outcome);
   outcomes_.push_back(std::move(outcome));
   return x;
 }
 
 DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
-                   const ArdOptions& opts, const mpsim::EngineOptions& engine) {
+                   const ArdOptions& opts, const mpsim::EngineOptions& engine,
+                   const obs::live::Telemetry& telemetry) {
   Session session(method, sys, nranks, opts, engine);
+  if (telemetry.any()) session.set_telemetry(telemetry);
   session.factor();
   DriverResult result;
   result.x = session.solve(b);
@@ -390,11 +548,13 @@ DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matri
 
 SessionResult ard_session(const btds::BlockTridiag& sys,
                           const std::vector<const la::Matrix*>& batches, int nranks,
-                          const ArdOptions& opts, const mpsim::EngineOptions& engine) {
+                          const ArdOptions& opts, const mpsim::EngineOptions& engine,
+                          const obs::live::Telemetry& telemetry) {
   for (const la::Matrix* batch : batches) {
     if (batch == nullptr) throw std::invalid_argument("ard_session: null batch");
   }
   Session session(Method::kArd, sys, nranks, opts, engine);
+  if (telemetry.any()) session.set_telemetry(telemetry);
   session.factor();
   SessionResult result;
   result.x.reserve(batches.size());

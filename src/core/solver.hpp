@@ -13,6 +13,7 @@
 #include "src/fault/status.hpp"
 #include "src/la/workspace.hpp"
 #include "src/mpsim/engine.hpp"
+#include "src/obs/live/telemetry.hpp"
 
 namespace ardbt::obs {
 class MetricsRegistry;
@@ -126,6 +127,18 @@ class Session {
   /// fields reflect the session timeline, counters sum across runs).
   const mpsim::RunReport& report() const { return report_; }
 
+  /// Install live telemetry (see obs/live/telemetry.hpp). After every
+  /// engine run the session records the phase span and metric deltas on
+  /// the recorder's driver channel, refreshes the registry, runs the
+  /// straggler/deadline/arena watchdogs, and ticks the snapshotter on the
+  /// virtual clock; the degradation ladder emits structured log records;
+  /// on a SolveError or breakdown a postmortem bundle is written to
+  /// telemetry.postmortem_path (overwritten per incident). A default
+  /// Telemetry{} (or none) costs one test per run and leaves solutions
+  /// and vtimes bit-identical.
+  void set_telemetry(const obs::live::Telemetry& telemetry);
+  const obs::live::Telemetry& telemetry() const { return telemetry_; }
+
   /// Robustness log, one entry per factor/solve phase (see SolveOutcome).
   const std::vector<SolveOutcome>& outcomes() const { return outcomes_; }
   /// True once the session runs on the exact banded-LU fallback.
@@ -138,8 +151,16 @@ class Session {
   double pivot_growth() const { return pivot_growth_; }
 
  private:
-  mpsim::RunReport run_engine(const mpsim::RankFn& fn);
+  mpsim::RunReport run_engine(const char* phase, const mpsim::RankFn& fn);
   void fold_report(const mpsim::RunReport& run);
+  /// Telemetry fan-out after a successful engine run: driver-channel
+  /// span + metric deltas, registry refresh, watchdogs, snapshot tick.
+  void after_run(const char* phase, const mpsim::RunReport& run, double t0);
+  /// Structured log record for a ladder outcome (info when untroubled,
+  /// warn when a recovery rung was taken).
+  void log_outcome(const SolveOutcome& outcome);
+  /// Write the postmortem bundle (no-op without a postmortem_path).
+  void dump_postmortem(const char* phase, std::string_view reason, const std::string& message);
   /// Factor the banded-LU fallback (rank 0, inside an engine run) if not
   /// already cached.
   void ensure_fallback();
@@ -152,6 +173,7 @@ class Session {
   ArdOptions opts_;
   mpsim::EngineOptions engine_;
   btds::RowPartition part_;
+  obs::live::Telemetry telemetry_;
 
   bool factored_ = false;
   double vtime_cursor_ = 0.0;  ///< virtual-time origin of the next run
@@ -167,6 +189,8 @@ class Session {
   bool breakdown_ = false;  ///< monitor flagged the fast factorization
   double pivot_growth_ = 0.0;
   int last_retries_ = 0;  ///< transient-fault retries of the latest run
+  std::uint64_t arena_allocs_prev_ = 0;  ///< slab allocs at the last telemetry check
+  bool arena_warm_ = false;  ///< a solve has run; the arena should be steady
   double last_phase_vtime_ = 0.0;  ///< rank-0 phase seconds of the latest helper run
   std::unique_ptr<btds::BandedLuFactorization> fallback_;
 
@@ -192,9 +216,12 @@ struct DriverResult {
   std::vector<SolveOutcome> outcomes;  ///< robustness log of the session
 };
 
-/// One-shot convenience: Session(method, ...), factor, one solve.
+/// One-shot convenience: Session(method, ...), factor, one solve. A
+/// non-empty `telemetry` handle is installed on the session first (see
+/// Session::set_telemetry); the default inert handle costs nothing.
 DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
-                   const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});
+                   const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {},
+                   const obs::live::Telemetry& telemetry = {});
 
 /// Result of an ARD session (factor once, many solve batches).
 struct SessionResult {
@@ -206,9 +233,11 @@ struct SessionResult {
 };
 
 /// One-shot convenience over Session: factor once, then solve every batch
-/// in order. Throws std::invalid_argument on a null batch.
+/// in order. Throws std::invalid_argument on a null batch. A non-empty
+/// `telemetry` handle is installed on the session first.
 SessionResult ard_session(const btds::BlockTridiag& sys,
                           const std::vector<const la::Matrix*>& batches, int nranks,
-                          const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});
+                          const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {},
+                          const obs::live::Telemetry& telemetry = {});
 
 }  // namespace ardbt::core

@@ -53,6 +53,22 @@ std::string_view to_string(ErrorCode code) {
   return "unknown";
 }
 
+std::string_view to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kStraggler:
+      return "straggler";
+    case AlertKind::kDeadlineMiss:
+      return "deadline-miss";
+    case AlertKind::kArenaPressure:
+      return "arena-pressure";
+    case AlertKind::kCostModelDrift:
+      return "cost-model-drift";
+    case AlertKind::kTraceDrop:
+      return "trace-drop";
+  }
+  return "unknown";
+}
+
 bool is_transient(ErrorCode code) {
   switch (code) {
     case ErrorCode::kMessageCorrupt:

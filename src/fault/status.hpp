@@ -204,6 +204,21 @@ std::string_view to_string(BreakdownPolicy policy);
 /// Inverse of to_string; nullopt on an unknown name.
 std::optional<BreakdownPolicy> parse_breakdown_policy(std::string_view name);
 
+/// Classes of online-watchdog alerts (docs/OBSERVABILITY.md). Alerts are
+/// advisory — they become structured log records and `watchdog.*`
+/// counters, never exceptions — so the taxonomy lives here beside
+/// ErrorCode to keep one shared vocabulary across layers.
+enum class AlertKind : std::uint8_t {
+  kStraggler,       ///< one rank's wait fraction far above the fleet median
+  kDeadlineMiss,    ///< a receive exceeded its deadline during the run
+  kArenaPressure,   ///< arena high-watermark close to its reserved capacity
+  kCostModelDrift,  ///< measured/predicted phase time outside the threshold
+  kTraceDrop,       ///< a bounded trace/recorder ring overwrote events
+};
+
+/// Stable lowercase name ("straggler", "deadline-miss", ...).
+std::string_view to_string(AlertKind kind);
+
 /// Cheap condition monitoring accumulated while a factorization runs:
 /// the extreme pivot magnitudes seen, where the weakest pivot lives, and
 /// their ratio as a growth/conditioning proxy. Costs a couple of compares

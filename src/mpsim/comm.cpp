@@ -83,6 +83,7 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
           trace_->instant(obs::SpanKind::kMark, "fault.crash", {vtime_, trace_->wall_now()}, dst, 0);
         }
       }
+      if (recorder_ != nullptr) recorder_->record_mark("fault.crash", vtime_, dst);
       throw fault::InjectedCrashError(rank_);
     }
     if (actions.straggle_seconds > 0.0) {
@@ -94,6 +95,9 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
           const double wall = trace_->wall_now();
           trace_->complete(obs::SpanKind::kWait, "fault.straggle", {s0, wall}, {vtime_, wall}, dst, 0);
         }
+      }
+      if (recorder_ != nullptr) {
+        recorder_->record_span("fault.straggle", vtime_, actions.straggle_seconds);
       }
     }
     WireHeader header;
@@ -172,6 +176,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
                           {vtime_, trace_->wall_now()}, src, 0);
         }
       }
+      if (recorder_ != nullptr) recorder_->record_mark("fault.deadline_miss", vtime_, waited);
     }
     if (plan == nullptr) {
       stats_.msgs_received += 1;
@@ -205,6 +210,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
                           static_cast<std::uint64_t>(msg.payload.size()));
         }
       }
+      if (recorder_ != nullptr) recorder_->record_mark("fault.duplicate_dropped", vtime_, src);
       continue;
     }
     const auto data = std::span<const std::byte>(msg.payload).subspan(kHeaderBytes);
@@ -219,6 +225,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
                           static_cast<std::uint64_t>(data.size()));
         }
       }
+      if (recorder_ != nullptr) recorder_->record_mark("fault.corrupt", vtime_, src);
       throw fault::MessageCorruptError(src, tag, header.crc, got_crc);
     }
     stats_.msgs_received += 1;

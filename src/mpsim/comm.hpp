@@ -11,6 +11,7 @@
 #include "src/mpsim/costmodel.hpp"
 #include "src/mpsim/mailbox.hpp"
 #include "src/mpsim/stats.hpp"
+#include "src/obs/live/recorder.hpp"
 #include "src/obs/trace.hpp"
 
 /// \file comm.hpp
@@ -148,6 +149,13 @@ class Comm {
   void set_trace(obs::RankTrace* trace) { trace_ = trace; }
   obs::RankTrace* trace() const { return trace_; }
 
+  /// Install this rank's flight-recorder channel (engine-called; null =
+  /// no recording). Taps live only on anomaly paths — fault marks and
+  /// deadline misses — so the fault-free hot path cost is unchanged and
+  /// the clock is never touched.
+  void set_recorder(obs::live::RecorderChannel* recorder) { recorder_ = recorder; }
+  obs::live::RecorderChannel* recorder() const { return recorder_; }
+
   /// Install this rank's intra-rank thread pool (engine-called when
   /// EngineOptions::threads_per_rank > 1; null = serial kernels). Rank
   /// functions hand this to pool-aware kernels (la::gemm, Thomas solves);
@@ -192,6 +200,7 @@ class Comm {
   double cpu_baseline_ = 0.0;
   RankStats stats_;
   obs::RankTrace* trace_ = nullptr;
+  obs::live::RecorderChannel* recorder_ = nullptr;
   par::Pool* pool_ = nullptr;
   /// Per-source sets of wire sequence numbers already delivered; used to
   /// drop injected duplicates. Receives with different tags may interleave

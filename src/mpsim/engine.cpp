@@ -54,6 +54,12 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
     }
   }
 
+  // Size the flight-recorder rank channels before threads start; a
+  // disabled recorder hands out null channels (channel() returns null).
+  obs::live::FlightRecorder* recorder =
+      (options.recorder != nullptr && options.recorder->enabled()) ? options.recorder : nullptr;
+  if (recorder != nullptr) recorder->prepare(nranks);
+
   std::mutex error_mutex;
   // Root-cause error (anything but AbortedError) takes precedence over the
   // AbortedError cascades it triggers in peer ranks.
@@ -67,6 +73,7 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
     threads.emplace_back([&, r] {
       Comm comm(world, r);
       if (tracer != nullptr) comm.set_trace(&tracer->rank(r));
+      if (recorder != nullptr) comm.set_recorder(recorder->channel(r));
       // Each rank owns its pool for the duration of the run; worker-lane
       // spans are anchored on the rank's virtual clock via the Comm thunk.
       std::unique_ptr<par::Pool> pool;

@@ -26,6 +26,10 @@ struct EngineOptions {
   /// Null — or a tracer with enabled() == false — records nothing and
   /// keeps the hot path at a single pointer test per event.
   obs::Tracer* tracer = nullptr;
+  /// Optional always-on flight recorder (not owned; must outlive the
+  /// run). Null — or a disabled recorder — installs null channels, so
+  /// every tap stays one pointer test and virtual times are untouched.
+  obs::live::FlightRecorder* recorder = nullptr;
   /// Intra-rank worker threads: each rank gets a par::Pool of this many
   /// lanes (1 = serial, no pool). Pool workers split RHS-panel kernels;
   /// charged flops and the virtual clock are unaffected, so ChargedFlops

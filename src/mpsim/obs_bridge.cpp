@@ -87,6 +87,18 @@ void export_metrics(const obs::Tracer& tracer, obs::MetricsRegistry& registry) {
   }
   registry.counter("trace.events_recorded").add(recorded);
   registry.counter("trace.events_dropped").add(dropped);
+  // Point-in-time drop total: a nonzero value means the bounded rings
+  // overwrote events and any attribution over this trace is partial
+  // (`complete=false`). The CLI surfaces it as a structured warning.
+  registry.gauge("trace.dropped_events").set(static_cast<double>(dropped));
+}
+
+void export_metrics(const obs::live::FlightRecorder& recorder, obs::MetricsRegistry& registry) {
+  registry.gauge("recorder.events_recorded").set(static_cast<double>(recorder.total_recorded()));
+  registry.gauge("recorder.events_dropped").set(static_cast<double>(recorder.total_dropped()));
+  registry.gauge("recorder.anomalies_noted").set(static_cast<double>(recorder.anomalies_noted()));
+  registry.gauge("recorder.max_resident_events")
+      .set(static_cast<double>(recorder.max_resident_events()));
 }
 
 }  // namespace ardbt::mpsim

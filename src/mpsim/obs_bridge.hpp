@@ -36,6 +36,12 @@ void export_metrics(const RunReport& report, obs::MetricsRegistry& registry);
 ///             latency.panel.wall_s — pool worker-lane job durations on
 ///             the host wall clock (real time; nondeterministic, present
 ///             only when a pool ran under tracing)
+///   gauge     trace.dropped_events — point-in-time drop total; nonzero
+///             means bounded rings overwrote events (attribution partial)
 void export_metrics(const obs::Tracer& tracer, obs::MetricsRegistry& registry);
+
+/// Flight-recorder tallies as gauges: recorder.events_recorded /
+/// events_dropped / anomalies_noted / max_resident_events.
+void export_metrics(const obs::live::FlightRecorder& recorder, obs::MetricsRegistry& registry);
 
 }  // namespace ardbt::mpsim

@@ -1,0 +1,89 @@
+#include "src/obs/live/log.hpp"
+
+namespace ardbt::obs::live {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Log::Log(LineSink* sink, LogOptions options) : sink_(sink), options_(options) {}
+
+void Log::ensure_header() {
+  if (header_written_ || !options_.header) {
+    header_written_ = true;
+    return;
+  }
+  Json header = Json::object();
+  header.set("schema", kLogSchema);
+  header.set("version", kLogVersion);
+  sink_->write_line(header.dump(0));
+  header_written_ = true;
+}
+
+bool Log::write(LogLevel level, std::string_view site, std::string_view message, double t_s,
+                Json fields) {
+  if (sink_ == nullptr || level < options_.min_level) return false;
+  auto& [count_written, count_suppressed] = sites_[{std::string(site), level}];
+  if (count_written >= options_.max_per_site) {
+    ++count_suppressed;
+    ++suppressed_total_;
+    return false;
+  }
+  ++count_written;
+  ensure_header();
+  Json record = Json::object();
+  record.set("type", "log");
+  record.set("n", next_seq_++);
+  if (t_s >= 0.0) record.set("t_s", t_s);
+  record.set("level", to_string(level));
+  record.set("site", site);
+  record.set("msg", message);
+  if (fields.is_object() && fields.size() > 0) record.set("fields", std::move(fields));
+  sink_->write_line(record.dump(0));
+  ++written_;
+  return true;
+}
+
+void Log::flush_suppressed() {
+  // sites_ is an ordered map, so the summary order is deterministic.
+  for (auto& [key, counts] : sites_) {
+    auto& [site, level] = key;
+    auto& [count_written, count_suppressed] = counts;
+    if (count_suppressed == 0) continue;
+    ensure_header();
+    Json record = Json::object();
+    record.set("type", "log");
+    record.set("n", next_seq_++);
+    record.set("level", "warn");
+    record.set("site", "log.suppressed");
+    record.set("msg", "rate limit suppressed records");
+    Json fields = Json::object();
+    fields.set("site", site);
+    fields.set("level", to_string(level));
+    fields.set("count", count_suppressed);
+    record.set("fields", std::move(fields));
+    sink_->write_line(record.dump(0));
+    ++written_;
+    // Reset so repeated flushes stay idempotent; keep count_written so the
+    // rate limit itself stays in force.
+    count_suppressed = 0;
+  }
+}
+
+void Log::close() {
+  if (sink_ == nullptr) return;
+  flush_suppressed();
+  sink_->flush();
+}
+
+}  // namespace ardbt::obs::live

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/obs/json.hpp"
+#include "src/obs/live/sink.hpp"
+
+/// \file log.hpp
+/// Structured, leveled, rate-limited logging for long-running solver
+/// processes: typed key-value records rendered as one JSON document per
+/// line ("ardbt.log" version 1) to a pluggable LineSink.
+///
+/// Stream layout (JSONL):
+///
+///   {"schema":"ardbt.log","version":1}            <- header, first write
+///   {"type":"log","n":0,"t_s":0.0123,"level":"info",
+///    "site":"session.factor","msg":"...","fields":{...}}
+///   ...
+///   {"type":"log","n":7,"level":"warn","site":"log.suppressed",
+///    "msg":"...","fields":{"site":...,"level":...,"count":...}}
+///
+/// Determinism contract: records carry the *virtual* clock (`t_s`, passed
+/// by the caller) and a monotone sequence number — never wall time — so a
+/// charged-flops run writes a bit-identical stream on every execution and
+/// for any `--threads` value (tools/check_logs.py asserts this).
+///
+/// Rate limiting is per (site, level): after `max_per_site` records from
+/// one site at one level the rest are counted, not written, and
+/// `flush_suppressed()` (called by close()) emits one deterministic
+/// summary record per suppressed (site, level) so a flood can never grow
+/// the stream or hide its own existence.
+///
+/// Single-writer: all logging happens on the driver thread. Engine rank
+/// threads must not log (they feed the FlightRecorder instead).
+
+namespace ardbt::obs::live {
+
+inline constexpr const char* kLogSchema = "ardbt.log";
+inline constexpr int kLogVersion = 1;
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+/// Stable lowercase name ("debug", "info", "warn", "error").
+std::string_view to_string(LogLevel level);
+
+struct LogOptions {
+  LogLevel min_level = LogLevel::kInfo;  ///< records below this are dropped
+  /// Records per (site, level) before suppression kicks in.
+  std::uint64_t max_per_site = 128;
+  /// Emit the {"schema","version"} header line on first write.
+  bool header = true;
+};
+
+/// Leveled key-value logger writing JSONL to a LineSink. The sink is not
+/// owned and must outlive the Log.
+class Log {
+ public:
+  explicit Log(LineSink* sink, LogOptions options = {});
+
+  /// Emit one record. `site` identifies the instrumentation point
+  /// ("session.solve", "watchdog.straggler") and is the rate-limit key
+  /// together with `level`; `t_s` is the caller's virtual-clock seconds
+  /// (negative = omit); `fields` is an optional JSON object of typed
+  /// context. Returns true when the record was written (not filtered or
+  /// suppressed).
+  bool write(LogLevel level, std::string_view site, std::string_view message, double t_s = -1.0,
+             Json fields = Json());
+
+  bool debug(std::string_view site, std::string_view message, double t_s = -1.0,
+             Json fields = Json()) {
+    return write(LogLevel::kDebug, site, message, t_s, std::move(fields));
+  }
+  bool info(std::string_view site, std::string_view message, double t_s = -1.0,
+            Json fields = Json()) {
+    return write(LogLevel::kInfo, site, message, t_s, std::move(fields));
+  }
+  bool warn(std::string_view site, std::string_view message, double t_s = -1.0,
+            Json fields = Json()) {
+    return write(LogLevel::kWarn, site, message, t_s, std::move(fields));
+  }
+  bool error(std::string_view site, std::string_view message, double t_s = -1.0,
+             Json fields = Json()) {
+    return write(LogLevel::kError, site, message, t_s, std::move(fields));
+  }
+
+  /// Emit one summary record per suppressed (site, level), in sorted
+  /// order, and reset the suppression counters. Idempotent when nothing
+  /// was suppressed.
+  void flush_suppressed();
+
+  /// flush_suppressed() + sink flush. Safe to call more than once.
+  void close();
+
+  std::uint64_t records_written() const { return written_; }
+  std::uint64_t records_suppressed() const { return suppressed_total_; }
+
+ private:
+  void ensure_header();
+
+  LineSink* sink_;
+  LogOptions options_;
+  bool header_written_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t written_ = 0;
+  std::uint64_t suppressed_total_ = 0;
+  /// (site, level) -> {written, suppressed} counts.
+  std::map<std::pair<std::string, LogLevel>, std::pair<std::uint64_t, std::uint64_t>> sites_;
+};
+
+}  // namespace ardbt::obs::live

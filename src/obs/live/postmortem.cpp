@@ -1,0 +1,28 @@
+#include "src/obs/live/postmortem.hpp"
+
+namespace ardbt::obs::live {
+
+Json build_postmortem(const PostmortemInfo& info, const FlightRecorder* recorder,
+                      const MetricsRegistry* metrics, Json extra,
+                      std::size_t recorder_last_n) {
+  Json j = Json::object();
+  j.set("schema", kPostmortemSchema);
+  j.set("version", kPostmortemVersion);
+  j.set("reason", info.reason);
+  j.set("phase", info.phase);
+  j.set("message", info.message);
+  j.set("t_s", info.vtime_s);
+  if (recorder != nullptr) j.set("recorder", recorder->to_json(recorder_last_n));
+  if (metrics != nullptr) j.set("metrics", deterministic_metrics(metrics->to_json()));
+  if (extra.is_object() || extra.is_array()) j.set("extra", std::move(extra));
+  return j;
+}
+
+void write_postmortem(const std::string& path, const PostmortemInfo& info,
+                      const FlightRecorder* recorder, const MetricsRegistry* metrics,
+                      Json extra, std::size_t recorder_last_n) {
+  write_json_file(path,
+                  build_postmortem(info, recorder, metrics, std::move(extra), recorder_last_n));
+}
+
+}  // namespace ardbt::obs::live

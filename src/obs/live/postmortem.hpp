@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/live/recorder.hpp"
+#include "src/obs/metrics.hpp"
+
+/// \file postmortem.hpp
+/// Postmortem bundles: when a run dies (SolveError) or detects breakdown,
+/// everything an incident review needs is frozen into one JSON document —
+/// what failed, the flight recorder's recent events and anomaly
+/// snapshots, a final metric snapshot, and caller-supplied context (the
+/// degradation-ladder outcome, fault counters). One file per incident, so
+/// a crashed service run leaves evidence even though the process never
+/// reached its end-of-run report.
+///
+/// Schema "ardbt.postmortem" version 1:
+///
+///   {"schema":"ardbt.postmortem","version":1,
+///    "reason":"breakdown","phase":"factor","message":"...","t_s":0.12,
+///    "recorder":{...FlightRecorder::to_json()...},
+///    "metrics":{...deterministic snapshot...},
+///    "extra":{...caller context...}}
+///
+/// Recorder/metrics/extra sections are omitted when absent, never null.
+
+namespace ardbt::obs::live {
+
+inline constexpr const char* kPostmortemSchema = "ardbt.postmortem";
+inline constexpr int kPostmortemVersion = 1;
+
+/// What failed, from the catch site.
+struct PostmortemInfo {
+  std::string reason;   ///< stable failure name (fault::to_string(code), "breakdown")
+  std::string phase;    ///< pipeline phase ("factor", "solve")
+  std::string message;  ///< human-readable error text
+  double vtime_s = 0.0; ///< virtual clock at capture
+};
+
+/// Assemble the bundle. `recorder` contributes its last `recorder_last_n`
+/// events plus head samples and anomaly snapshots; `metrics` a
+/// deterministic registry snapshot; `extra` arbitrary caller context.
+/// All pointers optional.
+Json build_postmortem(const PostmortemInfo& info, const FlightRecorder* recorder,
+                      const MetricsRegistry* metrics, Json extra = Json(),
+                      std::size_t recorder_last_n = 256);
+
+/// build_postmortem() + write_json_file(path). Throws on I/O failure.
+void write_postmortem(const std::string& path, const PostmortemInfo& info,
+                      const FlightRecorder* recorder, const MetricsRegistry* metrics,
+                      Json extra = Json(), std::size_t recorder_last_n = 256);
+
+}  // namespace ardbt::obs::live

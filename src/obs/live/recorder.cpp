@@ -1,0 +1,164 @@
+#include "src/obs/live/recorder.hpp"
+
+#include <algorithm>
+
+namespace ardbt::obs::live {
+
+RecorderChannel::RecorderChannel(FlightRecorder* owner, int channel, std::size_t capacity)
+    : owner_(owner), channel_(channel), capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RecorderChannel::record(const char* kind, const char* name, double vtime, double value) {
+  if (!owner_->enabled_) return;
+  RecorderEvent e;
+  e.vtime = vtime;
+  e.value = value;
+  e.kind = kind;
+  e.name = name;
+  e.channel = channel_;
+  e.index = recorded_++;
+  // Head sampling is driver-only: rank channels are written concurrently
+  // by engine threads and must never touch the shared head store.
+  if (channel_ < 0 && kind[0] == 's') owner_->offer_head(e);
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<RecorderEvent> RecorderChannel::events() const {
+  std::vector<RecorderEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder(RecorderOptions options)
+    : options_(options),
+      driver_(new RecorderChannel(this, -1, options.capacity)) {}
+
+void FlightRecorder::prepare(int nranks) {
+  for (int r = static_cast<int>(ranks_.size()); r < nranks; ++r) {
+    ranks_.emplace_back(new RecorderChannel(this, r, options_.capacity));
+  }
+}
+
+RecorderChannel* FlightRecorder::channel(int rank) {
+  if (!enabled_) return nullptr;
+  const auto idx = static_cast<std::size_t>(rank);
+  return idx < ranks_.size() ? ranks_[idx].get() : nullptr;
+}
+
+void FlightRecorder::offer_head(const RecorderEvent& e) {
+  auto it = head_.find(e.name);
+  if (it == head_.end()) {
+    if (head_.size() >= options_.max_head_phases || options_.head_per_phase == 0) return;
+    it = head_.emplace(e.name, std::vector<RecorderEvent>()).first;
+    it->second.reserve(options_.head_per_phase);
+  }
+  if (it->second.size() < options_.head_per_phase) it->second.push_back(e);
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t n = driver_->total_recorded();
+  for (const auto& c : ranks_) n += c->total_recorded();
+  return n;
+}
+
+std::uint64_t FlightRecorder::total_dropped() const {
+  std::uint64_t n = driver_->dropped();
+  for (const auto& c : ranks_) n += c->dropped();
+  return n;
+}
+
+std::vector<RecorderEvent> FlightRecorder::recent(std::size_t n) const {
+  std::vector<RecorderEvent> all = driver_->events();
+  for (const auto& c : ranks_) {
+    const std::vector<RecorderEvent> ce = c->events();
+    all.insert(all.end(), ce.begin(), ce.end());
+  }
+  std::sort(all.begin(), all.end(), [](const RecorderEvent& a, const RecorderEvent& b) {
+    if (a.vtime != b.vtime) return a.vtime < b.vtime;
+    if (a.channel != b.channel) return a.channel < b.channel;
+    return a.index < b.index;
+  });
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(n));
+  return all;
+}
+
+void FlightRecorder::note_anomaly(const char* kind, double vtime, std::string detail) {
+  if (!enabled_) return;
+  ++anomalies_noted_;
+  AnomalySnapshot snap;
+  snap.kind = kind;
+  snap.vtime = vtime;
+  snap.detail = std::move(detail);
+  snap.ordinal = anomalies_noted_;
+  snap.tail = recent(options_.tail_keep);
+  if (options_.max_anomalies == 0) return;
+  if (anomalies_.size() >= options_.max_anomalies) {
+    anomalies_.erase(anomalies_.begin());  // oldest evicted; burst stays bounded
+  }
+  anomalies_.push_back(std::move(snap));
+}
+
+std::size_t FlightRecorder::max_resident_events() const {
+  return (ranks_.size() + 1) * options_.capacity +
+         options_.max_head_phases * options_.head_per_phase +
+         options_.max_anomalies * options_.tail_keep;
+}
+
+Json to_json(const RecorderEvent& e) {
+  Json j = Json::object();
+  j.set("t_s", e.vtime);
+  j.set("kind", e.kind);
+  j.set("name", e.name);
+  j.set("value", e.value);
+  j.set("ch", e.channel);
+  j.set("i", e.index);
+  return j;
+}
+
+Json FlightRecorder::to_json(std::size_t last_n) const {
+  Json j = Json::object();
+  j.set("enabled", enabled_);
+  j.set("recorded", total_recorded());
+  j.set("dropped", total_dropped());
+  j.set("anomalies_noted", anomalies_noted_);
+  Json events = Json::array();
+  for (const RecorderEvent& e : recent(last_n)) events.push(live::to_json(e));
+  j.set("events", std::move(events));
+  Json head = Json::object();
+  for (const auto& [phase, samples] : head_) {
+    Json arr = Json::array();
+    for (const RecorderEvent& e : samples) arr.push(live::to_json(e));
+    head.set(phase, std::move(arr));
+  }
+  j.set("head", std::move(head));
+  Json anomalies = Json::array();
+  for (const AnomalySnapshot& a : anomalies_) {
+    Json aj = Json::object();
+    aj.set("kind", a.kind);
+    aj.set("t_s", a.vtime);
+    if (!a.detail.empty()) aj.set("detail", a.detail);
+    aj.set("ordinal", a.ordinal);
+    Json tail = Json::array();
+    for (const RecorderEvent& e : a.tail) tail.push(live::to_json(e));
+    aj.set("tail", std::move(tail));
+    anomalies.push(std::move(aj));
+  }
+  j.set("anomalies", std::move(anomalies));
+  return j;
+}
+
+}  // namespace ardbt::obs::live

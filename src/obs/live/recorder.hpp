@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+/// \file recorder.hpp
+/// Always-on, bounded flight recorder: a black box a long-running solver
+/// process can keep writing forever in O(configured capacity) memory and
+/// dump when something goes wrong.
+///
+/// The existing Tracer is a *full* recorder — every event of every run,
+/// accumulated across Session-chained runs — which is the right tool for
+/// post-mortem attribution of one run but grows without bound under a
+/// service workload of 1e2..1e4 chained solve(B) calls. The FlightRecorder
+/// inverts the trade-off: it keeps only
+///
+///   * a recent-events ring per channel (one channel per simulated rank,
+///     fed by mpsim::Comm's anomaly taps, plus a driver channel fed by
+///     core::Session's phase/metric hooks) — the tail;
+///   * the first `head_per_phase` span events of each distinct phase name
+///     (head sampling: the steady state of a phase is its first few
+///     occurrences; later repeats add no information) — the head;
+///   * up to `max_anomalies` anomaly snapshots, each freezing the last
+///     `tail_keep` ring events at the moment note_anomaly() was called
+///     (deadline miss, breakdown, cost-model drift) — tail retention.
+///
+/// Total memory is bounded by
+///   nchannels * capacity + max_head_phases * head_per_phase
+///     + max_anomalies * (tail_keep + 1)
+/// events, forever, regardless of how many runs are chained.
+///
+/// Zero-cost contract (mirrors the tracer / fault plan): with no recorder
+/// installed — or a disabled one — every tap in mpsim::Comm and
+/// core::Session is a single pointer test, and recording never touches
+/// the virtual clock, so solutions and vtimes are bit-identical with the
+/// recorder compiled in, installed, enabled, or absent.
+///
+/// Threading: channel(r) is written only by rank r's engine thread during
+/// a run; the driver channel, note_anomaly(), and all readers
+/// (recent()/to_json()) must run on the driver thread with no engine run
+/// in flight — the same single-writer contract as RankTrace.
+///
+/// Event names must be string literals (events store the pointer;
+/// recording never allocates after prepare()).
+
+namespace ardbt::obs::live {
+
+struct RecorderOptions {
+  std::size_t capacity = 1024;      ///< ring slots per channel (0 = tail off)
+  std::size_t head_per_phase = 4;   ///< span events kept per distinct phase name
+  std::size_t max_head_phases = 64; ///< distinct phase names tracked by the head store
+  std::size_t tail_keep = 64;       ///< ring events frozen per anomaly snapshot
+  std::size_t max_anomalies = 8;    ///< anomaly snapshots retained (oldest evicted)
+};
+
+/// One recorded event. `vtime` is the writer's virtual clock; `kind` is a
+/// small vocabulary ("span", "metric", "mark"); `value` is kind-specific
+/// (span duration seconds, metric delta, mark magnitude).
+struct RecorderEvent {
+  double vtime = 0.0;
+  double value = 0.0;
+  const char* kind = "";
+  const char* name = "";
+  int channel = -1;         ///< -1 driver, otherwise rank index
+  std::uint64_t index = 0;  ///< per-channel admission counter (monotone)
+};
+
+class FlightRecorder;
+
+/// Single-writer bounded event ring. Obtained from FlightRecorder;
+/// never constructed directly.
+class RecorderChannel {
+ public:
+  /// Record one event (see RecorderEvent). O(1), no allocation.
+  void record(const char* kind, const char* name, double vtime, double value = 0.0);
+
+  /// Record a completed span of `name` ending at `vtime_end` with the
+  /// given duration; participates in head sampling.
+  void record_span(const char* name, double vtime_end, double duration_s) {
+    record("span", name, vtime_end, duration_s);
+  }
+  /// Record a metric delta (counter increment, gauge movement).
+  void record_metric(const char* name, double vtime, double delta) {
+    record("metric", name, vtime, delta);
+  }
+  /// Record an instant marker (fault detected, deadline miss).
+  void record_mark(const char* name, double vtime, double value = 0.0) {
+    record("mark", name, vtime, value);
+  }
+
+  std::uint64_t total_recorded() const { return recorded_; }
+  /// Events overwritten (ring) or never stored (capacity 0).
+  std::uint64_t dropped() const { return dropped_; }
+  /// Ring contents, oldest first.
+  std::vector<RecorderEvent> events() const;
+
+ private:
+  friend class FlightRecorder;
+  RecorderChannel(FlightRecorder* owner, int channel, std::size_t capacity);
+
+  FlightRecorder* owner_;
+  int channel_;
+  std::size_t capacity_;
+  std::vector<RecorderEvent> ring_;
+  std::size_t head_ = 0;  ///< next slot to overwrite once full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One frozen anomaly snapshot.
+struct AnomalySnapshot {
+  const char* kind = "";  ///< "deadline", "breakdown", "cost-model", ...
+  double vtime = 0.0;
+  std::string detail;
+  std::uint64_t ordinal = 0;            ///< anomaly count at capture time
+  std::vector<RecorderEvent> tail;      ///< last tail_keep events, merged, oldest first
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(RecorderOptions options = {});
+
+  /// Runtime kill switch. A disabled recorder hands out null channels and
+  /// ignores every call — flip only between engine runs.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const RecorderOptions& options() const { return options_; }
+
+  /// Size the per-rank channels (engine-called before threads start).
+  /// Existing channels are kept so chained runs accumulate into the same
+  /// bounded rings.
+  void prepare(int nranks);
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+  /// Rank channel, or null when disabled (the caller's one pointer test).
+  RecorderChannel* channel(int rank);
+  /// Driver-side channel (Session phases, metric deltas). Always valid;
+  /// records are dropped while disabled.
+  RecorderChannel& driver() { return *driver_; }
+
+  /// Freeze the last `tail_keep` events (all channels merged by vtime)
+  /// into an anomaly snapshot. Driver thread only, between runs.
+  void note_anomaly(const char* kind, double vtime, std::string detail = "");
+
+  std::uint64_t total_recorded() const;
+  std::uint64_t total_dropped() const;
+  std::uint64_t anomalies_noted() const { return anomalies_noted_; }
+  const std::vector<AnomalySnapshot>& anomalies() const { return anomalies_; }
+  /// Head-sampled span events, grouped by phase name (sorted).
+  const std::map<std::string, std::vector<RecorderEvent>>& head_samples() const {
+    return head_;
+  }
+
+  /// Last `n` events across all channels, merged by (vtime, channel,
+  /// index), oldest first.
+  std::vector<RecorderEvent> recent(std::size_t n) const;
+
+  /// Hard bound on events this recorder can ever hold (for tests).
+  std::size_t max_resident_events() const;
+
+  /// {"enabled","recorded","dropped","anomalies_noted",
+  ///  "events":[last-n, oldest first],"head":{phase:[...]},
+  ///  "anomalies":[{kind,t_s,detail,ordinal,tail:[...]}]}.
+  Json to_json(std::size_t last_n = 256) const;
+
+ private:
+  friend class RecorderChannel;
+  /// Head-sampling admission: called by channels for span events.
+  void offer_head(const RecorderEvent& e);
+
+  RecorderOptions options_;
+  bool enabled_ = true;
+  std::unique_ptr<RecorderChannel> driver_;
+  std::vector<std::unique_ptr<RecorderChannel>> ranks_;
+  std::map<std::string, std::vector<RecorderEvent>> head_;
+  std::vector<AnomalySnapshot> anomalies_;
+  std::uint64_t anomalies_noted_ = 0;
+};
+
+/// Deterministic JSON for one event: {"t_s","kind","name","value","ch","i"}.
+Json to_json(const RecorderEvent& e);
+
+}  // namespace ardbt::obs::live

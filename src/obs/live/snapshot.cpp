@@ -1,0 +1,47 @@
+#include "src/obs/live/snapshot.hpp"
+
+#include <cmath>
+
+namespace ardbt::obs::live {
+
+Snapshotter::Snapshotter(LineSink* sink, const MetricsRegistry* registry, SnapshotOptions options)
+    : sink_(sink), registry_(registry), options_(options) {}
+
+bool Snapshotter::tick(double vtime_s) {
+  if (sink_ == nullptr || registry_ == nullptr) return false;
+  if (vtime_s < next_due_) return false;
+  emit(vtime_s);
+  // One snapshot per crossing: skip ahead past vtime_s so an idle gap of
+  // many periods yields one snapshot, not a backlog.
+  if (options_.period_s > 0.0) {
+    next_due_ = (std::floor(vtime_s / options_.period_s) + 1.0) * options_.period_s;
+  } else {
+    next_due_ = vtime_s;  // every tick; strictly-later ticks always emit
+  }
+  return true;
+}
+
+void Snapshotter::force(double vtime_s) {
+  if (sink_ == nullptr || registry_ == nullptr) return;
+  emit(vtime_s);
+}
+
+void Snapshotter::emit(double vtime_s) {
+  if (options_.header && !header_written_) {
+    Json header = Json::object();
+    header.set("schema", kSnapshotSchema);
+    header.set("version", kSnapshotVersion);
+    sink_->write_line(header.dump(0));
+  }
+  header_written_ = true;
+  Json record = Json::object();
+  record.set("type", "snapshot");
+  record.set("n", written_);
+  record.set("t_s", vtime_s);
+  const Json all = registry_->to_json();
+  record.set("metrics", options_.include_nondeterministic ? all : deterministic_metrics(all));
+  sink_->write_line(record.dump(0));
+  ++written_;
+}
+
+}  // namespace ardbt::obs::live

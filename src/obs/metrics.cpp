@@ -160,4 +160,20 @@ Json MetricsRegistry::to_json() const {
   return out;
 }
 
+Json deterministic_metrics(const Json& snapshot) {
+  const auto keep = [](const std::string& name) {
+    return name.find("wall") == std::string::npos && name.find("cpu") == std::string::npos &&
+           name.find("panel") == std::string::npos;
+  };
+  Json out = Json::object();
+  for (const auto& [section, body] : snapshot.items()) {
+    Json filtered = Json::object();
+    for (const auto& [name, value] : body.items()) {
+      if (keep(name)) filtered.set(name, value);
+    }
+    if (filtered.size() > 0) out.set(section, std::move(filtered));
+  }
+  return out;
+}
+
 }  // namespace ardbt::obs

@@ -131,4 +131,11 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
 };
 
+/// Deterministic projection of a MetricsRegistry::to_json() snapshot:
+/// drops every metric whose name mentions wall/cpu/panel time (host-clock
+/// values vary run to run; everything else is virtual-clock or count
+/// data, bit-identical under charged timing for any thread count). Used
+/// by the CLI `--metrics` sentinel block and the live snapshot stream.
+Json deterministic_metrics(const Json& snapshot);
+
 }  // namespace ardbt::obs

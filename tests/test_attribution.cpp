@@ -175,6 +175,44 @@ TEST(Attribution, PartitionsEngineMakespanExactly) {
   EXPECT_EQ(a.phases.count("driver.solve"), 1u);
 }
 
+// A deliberately overflowed ring (tiny capacity against a real engine
+// run) must degrade gracefully: attribution flags itself incomplete,
+// reports the drop count, and still satisfies the partition invariants
+// over the events that survived — never crashes or fabricates time.
+TEST(Attribution, OverflowedRingStaysConsistent) {
+  obs::TraceOptions options;
+  options.ring_capacity = 16;  // orders of magnitude under the real count
+  obs::Tracer tracer(options);
+  traced_session(&tracer, /*threads=*/1);
+
+  std::uint64_t dropped = 0;
+  for (int r = 0; r < tracer.nranks(); ++r) dropped += tracer.rank(r).dropped();
+  ASSERT_GT(dropped, 0u) << "fixture no longer overflows; shrink ring_capacity";
+
+  const obs::Attribution a = obs::analyze(tracer);
+  EXPECT_FALSE(a.complete);
+  EXPECT_EQ(a.dropped_events, dropped);
+  ASSERT_EQ(a.nranks, 4);
+  EXPECT_GT(a.makespan_s, 0.0);
+
+  const double tol = 1e-9 * a.makespan_s;
+  for (const obs::RankBreakdown& b : a.ranks) {
+    EXPECT_GE(b.compute_s, -tol);
+    EXPECT_GE(b.send_s, -tol);
+    EXPECT_GE(b.wait_s, -tol);
+    EXPECT_GE(b.idle_s, -tol);
+    EXPECT_NEAR(b.compute_s + b.send_s + b.wait_s + b.idle_s, a.makespan_s, tol);
+  }
+  const obs::CriticalPath& cp = a.critical_path;
+  EXPECT_GT(cp.length_s, 0.0);
+  EXPECT_LE(cp.length_s, a.makespan_s * (1.0 + 1e-9));
+  EXPECT_NEAR(cp.compute_s + cp.send_s + cp.comm_s + cp.wait_s + cp.unattributed_s,
+              cp.length_s, tol);
+  // The projection must stay serializable and carry the incompleteness.
+  const std::string json = obs::to_json(a).dump();
+  EXPECT_NE(json.find("\"complete\":false"), std::string::npos);
+}
+
 // The whole attribution JSON must be bit-identical across repeated runs
 // and across worker-pool sizes: it reads only virtual-time fields.
 TEST(Attribution, JsonDeterministicAcrossRunsAndThreads) {

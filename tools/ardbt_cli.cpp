@@ -28,6 +28,15 @@
 //                     with critical path, cost-model verdicts, metrics)
 //   --metrics         print a deterministic metrics/percentile snapshot to
 //                     stdout (virtual-clock values only; no trace file)
+//   --live-out PATH   stream live telemetry as JSONL while the run executes:
+//                     structured log records (ardbt.log v1) and periodic
+//                     metric snapshots (ardbt.metrics_snapshot v1) on the
+//                     virtual clock; bit-stable under charged timing
+//   --live-period S   virtual seconds between metric snapshots (default 0
+//                     = one per engine run)
+//   --postmortem PATH write an ardbt.postmortem v1 bundle (recent recorder
+//                     events, metric snapshot, fault counters, ladder log)
+//                     when the solve fails or breakdown is detected
 //   --on-breakdown M  failfast | refine | fallback — what the driver does
 //                     when a breakdown or recoverable fault is detected
 //                     (docs/ROBUSTNESS.md)
@@ -63,6 +72,7 @@
 #include "src/obs/attribution.hpp"
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/cost_model.hpp"
+#include "src/obs/live/telemetry.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/run_report.hpp"
 
@@ -75,6 +85,7 @@ constexpr const char* kKnownFlags[] = {
     "--seed",   "--timing",   "--threads",  "--refine", "--load-sys", "--save-sys",
     "--save-x", "--trace",    "--json",     "--metrics", "--list",  "--help",
     "--on-breakdown", "--fault", "--plant-pivot", "--plant-eps",
+    "--live-out", "--live-period", "--postmortem",
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -187,6 +198,11 @@ void print_usage() {
   std::printf("  --metrics        print a deterministic metrics snapshot to stdout\n");
   std::printf("                   (virtual-clock values only, bit-identical across\n");
   std::printf("                   runs and --threads in charged timing)\n");
+  std::printf("  --live-out PATH  stream live telemetry JSONL (structured log +\n");
+  std::printf("                   metric snapshots on the virtual clock)\n");
+  std::printf("  --live-period S  virtual seconds between snapshots (0 = per run)\n");
+  std::printf("  --postmortem P   write an ardbt.postmortem bundle on failure or\n");
+  std::printf("                   breakdown (recorder tail, metrics, fault log)\n");
   std::printf("  --on-breakdown M failfast | refine | fallback (default failfast)\n");
   std::printf("  --fault KIND     inject delay | dup | flip | straggle | crash\n");
   std::printf("                   (repeatable, deterministic; docs/ROBUSTNESS.md)\n");
@@ -222,26 +238,6 @@ obs::Json fault_event_json(const fault::FaultEvent& e) {
   return j;
 }
 
-/// Deterministic projection of a MetricsRegistry snapshot: drops every
-/// metric whose name mentions wall/cpu/panel time (host-clock values vary
-/// run to run; everything else is virtual-clock or count data,
-/// bit-identical under charged timing for any --threads).
-obs::Json deterministic_metrics(const obs::Json& snapshot) {
-  const auto keep = [](const std::string& name) {
-    return name.find("wall") == std::string::npos && name.find("cpu") == std::string::npos &&
-           name.find("panel") == std::string::npos;
-  };
-  obs::Json out = obs::Json::object();
-  for (const auto& [section, body] : snapshot.items()) {
-    obs::Json filtered = obs::Json::object();
-    for (const auto& [name, value] : body.items()) {
-      if (keep(name)) filtered.set(name, value);
-    }
-    if (filtered.size() > 0) out.set(section, std::move(filtered));
-  }
-  return out;
-}
-
 obs::Json outcome_json(const core::SolveOutcome& o) {
   obs::Json j = obs::Json::object();
   j.set("phase", o.phase);
@@ -266,6 +262,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   int refine_steps = 0;
   std::string load_sys, save_sys, save_x, trace_path, json_path;
+  std::string live_out, postmortem_path;
+  double live_period = 0.0;
   bool print_metrics = false;
   std::vector<std::string> fault_kinds;
   la::index_t plant_pivot = -1;
@@ -312,6 +310,12 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (flag == "--metrics") {
       print_metrics = true;
+    } else if (flag == "--live-out") {
+      live_out = next();
+    } else if (flag == "--live-period") {
+      live_period = parse_double(flag, next(), 0.0);
+    } else if (flag == "--postmortem") {
+      postmortem_path = next();
     } else if (flag == "--threads") {
       engine.threads_per_rank =
           static_cast<int>(parse_int(flag, next(), 1, std::numeric_limits<int>::max()));
@@ -390,6 +394,39 @@ int main(int argc, char** argv) {
   obs::Tracer tracer;
   if (!trace_path.empty() || !json_path.empty() || print_metrics) engine.tracer = &tracer;
 
+  // Structured warnings: one JSON record per line on stderr (ardbt.log v1
+  // records without the header line), replacing the old ad-hoc
+  // "ardbt: warning:" prints. Errors keep the `ardbt: error: [code]`
+  // grammar scripted callers parse.
+  obs::live::StderrSink warn_sink;
+  obs::live::Log warn_log(&warn_sink, {.min_level = obs::live::LogLevel::kWarn,
+                                       .max_per_site = 16,
+                                       .header = false});
+
+  // Live telemetry: one JSONL stream (--live-out) shared by the
+  // structured log and the snapshot cadence, plus the bounded flight
+  // recorder and the online watchdogs. --postmortem alone also arms the
+  // recorder (records go to an in-memory sink).
+  obs::MetricsRegistry live_metrics;
+  std::unique_ptr<obs::live::LiveTelemetry> live;
+  if (!live_out.empty() || !postmortem_path.empty()) {
+    obs::live::LiveTelemetry::Options lopts;
+    lopts.live_path = live_out;
+    lopts.snapshot.period_s = live_period;
+    lopts.postmortem_path = postmortem_path;
+    live = std::make_unique<obs::live::LiveTelemetry>(std::move(lopts), &live_metrics);
+  }
+  const auto close_live = [&] {
+    if (!live) return;
+    live->close();
+    if (!live_out.empty()) {
+      std::printf("  live        : streamed to %s (%llu log records, %llu snapshots)\n",
+                  live_out.c_str(),
+                  static_cast<unsigned long long>(live->log().records_written()),
+                  static_cast<unsigned long long>(live->snapshotter().snapshots_written()));
+    }
+  };
+
   std::unique_ptr<core::Session> session;
   core::DriverResult res;
   core::RefineResult refined;
@@ -398,6 +435,9 @@ int main(int argc, char** argv) {
   fault::Status solve_status = fault::Status::ok();
   try {
     if (refine_steps > 0 && method == core::Method::kArd) {
+      // The manual-refinement path runs the engine directly; attach the
+      // recorder so anomaly taps still land, Session hooks don't apply.
+      if (live) engine.recorder = &live->recorder();
       res.x.resize(b.rows(), b.cols());
       const btds::RowPartition part(n, p);
       res.report = mpsim::run(
@@ -423,6 +463,7 @@ int main(int argc, char** argv) {
           engine);
     } else {
       session = std::make_unique<core::Session>(method, sys, p, core::ArdOptions{}, engine);
+      if (live) session->set_telemetry(live->handle());
       session->factor();
       res.x = session->solve(b);
       res.report = session->report();
@@ -531,12 +572,30 @@ int main(int argc, char** argv) {
       }
       for (const auto& v : verdicts) {
         if (v.flagged) {
-          std::fprintf(stderr,
-                       "ardbt: warning: [cost-model] phase '%s' measured/predicted = %.3g "
-                       "outside [%.3g, %.3g]\n",
-                       v.phase.c_str(), v.ratio, 1.0 / oracle.threshold(), oracle.threshold());
+          obs::Json fields = obs::Json::object();
+          fields.set("phase", v.phase);
+          fields.set("ratio", v.ratio);
+          fields.set("threshold", oracle.threshold());
+          warn_log.warn("cli.cost_model",
+                        "phase '" + v.phase + "' measured/predicted ratio outside threshold",
+                        res.report.max_virtual_time(), std::move(fields));
         }
       }
+      if (live) live->watchdogs().check_cost(verdicts, res.report.max_virtual_time());
+    }
+
+    // A nonzero drop count means the bounded per-rank rings overwrote
+    // events: any attribution over this trace is partial (complete=false).
+    std::uint64_t trace_dropped = 0;
+    for (int tr = 0; tr < tracer.nranks(); ++tr) trace_dropped += tracer.rank(tr).dropped();
+    if (trace_dropped > 0) {
+      obs::Json fields = obs::Json::object();
+      fields.set("dropped_events", trace_dropped);
+      warn_log.warn("cli.trace_drop",
+                    std::to_string(trace_dropped) +
+                        " trace event(s) dropped by bounded rings; attribution is partial",
+                    res.report.max_virtual_time(), std::move(fields));
+      if (live) live->watchdogs().check_trace_drops(trace_dropped, res.report.max_virtual_time());
     }
 
     if (print_metrics) {
@@ -544,13 +603,16 @@ int main(int argc, char** argv) {
       // bit-identical across repeated runs and --threads values under
       // charged timing (tools/check_trace.py asserts this).
       obs::Json snapshot = obs::Json::object();
-      snapshot.set("metrics", deterministic_metrics(metrics.to_json()));
+      snapshot.set("metrics", obs::deterministic_metrics(metrics.to_json()));
       snapshot.set("attribution", obs::to_json(attr));
       snapshot.set("cost_model", oracle.to_json(verdicts));
       std::printf("--- metrics (deterministic) ---\n%s\n--- end metrics ---\n",
                   snapshot.dump(1).c_str());
     }
-    if (json_path.empty()) return failed ? 1 : 0;
+    if (json_path.empty()) {
+      close_live();
+      return failed ? 1 : 0;
+    }
 
     obs::RunReportBuilder report("ardbt_cli");
     report.config("method", std::string(core::to_string(method)))
@@ -610,5 +672,6 @@ int main(int argc, char** argv) {
     std::printf("  report      : saved to %s (schema %s v%d)\n", json_path.c_str(),
                 obs::kRunReportSchema, obs::kRunReportVersion);
   }
+  close_live();
   return failed ? 1 : 0;
 }

@@ -12,7 +12,9 @@ contract of the degradation ladder:
 * every recovered run reaches a residual at or below 1e-10;
 * under --on-breakdown fallback every scenario recovers (exit 0), and
   the --json run report lists each injected fault in
-  sections.robustness.faults_injected.
+  sections.robustness.faults_injected;
+* a failfast breakdown with --postmortem leaves an ardbt.postmortem v1
+  bundle behind (incident forensics survive the aborted run).
 
 Usage: check_faults.py /path/to/ardbt
 """
@@ -108,6 +110,24 @@ def main():
                 check_case(cli, tmp, f"{name} pivot", plant, policy,
                            policy == "failfast", 0)
                 cases += 1
+
+        # A failfast breakdown must still dump the postmortem bundle on
+        # the way out, with the structured stderr error intact.
+        pm_path = Path(tmp) / "postmortem.json"
+        proc = run(cli, ["--plant-pivot", "0", "--plant-eps", "1e-30",
+                         "--on-breakdown", "failfast",
+                         "--postmortem", str(pm_path)],
+                   Path(tmp) / "report.json")
+        if proc.returncode != 1 or "ardbt: error: [" not in proc.stderr:
+            fail("postmortem scenario: breakdown lost its structured error:"
+                 f"\n{proc.stderr}")
+        if not pm_path.exists():
+            fail("postmortem scenario: no bundle written on breakdown")
+        pm = json.loads(pm_path.read_text())
+        if pm.get("schema") != "ardbt.postmortem" or pm.get("reason") != "breakdown":
+            fail(f"postmortem scenario: malformed bundle header: "
+                 f"{pm.get('schema')!r} / {pm.get('reason')!r}")
+        cases += 1
 
         # The acceptance combo: singular pivot + corrupted message under
         # fallback must still recover to an accurate solution.

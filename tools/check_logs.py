@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Smoke check for the live-telemetry stream (ardbt.log v1 + metric
+snapshots).
+
+Runs the ardbt CLI on a tiny problem with --live-out, then validates the
+stream:
+
+* JSONL: every line parses as a standalone JSON object;
+* exactly one schema header per stream kind (ardbt.log v1 and
+  ardbt.metrics_snapshot v1), each before the first record of its kind;
+* log records carry monotone sequence numbers, a known level, a site, a
+  message, and an object fields payload; virtual timestamps only;
+* snapshot records carry monotone sequence numbers and a metrics object
+  filtered to the deterministic set (no wall/cpu/panel names);
+* the whole stream is bit-identical across two identical runs and across
+  --threads 1 / --threads 3 (the virtual clock is the only clock in it);
+* a breakdown run with --postmortem writes an ardbt.postmortem v1 bundle
+  with the recorder/metrics/extra sections.
+
+Usage: check_logs.py /path/to/ardbt [P]
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LEVELS = {"debug", "info", "warn", "error"}
+NONDETERMINISTIC = ("wall", "cpu", "panel")
+
+
+def fail(msg):
+    print(f"check_logs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(cli, args, expect_code=0):
+    cmd = [cli] + args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != expect_code:
+        fail(f"{' '.join(cmd)} exited {proc.returncode} (wanted {expect_code}):\n{proc.stderr}")
+    return proc
+
+
+def live_stream(cli, tmp, name, threads):
+    path = str(Path(tmp) / name)
+    run_cli(cli, ["--method", "ard", "--n", "64", "--m", "4", "--p", "4",
+                  "--r", "8", "--threads", str(threads), "--live-out", path])
+    return Path(path).read_bytes()
+
+
+def check_stream(data):
+    lines = data.decode().splitlines()
+    if not lines:
+        fail("live stream is empty")
+    headers = {}           # schema -> version
+    seen_records = set()   # record types seen so far
+    seqs = {}              # record type -> last sequence number
+    n_log = n_snap = 0
+    for i, line in enumerate(lines, 1):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"line {i} is not valid JSON ({e}): {line[:120]}")
+        if not isinstance(doc, dict):
+            fail(f"line {i} is not an object")
+        if "schema" in doc:
+            schema = doc["schema"]
+            if schema in headers:
+                fail(f"line {i}: duplicate header for schema '{schema}'")
+            if doc.get("version") != 1:
+                fail(f"line {i}: schema '{schema}' version {doc.get('version')} != 1")
+            kind = "log" if schema == "ardbt.log" else (
+                "snapshot" if schema == "ardbt.metrics_snapshot" else None)
+            if kind is None:
+                fail(f"line {i}: unknown schema '{schema}'")
+            if kind in seen_records:
+                fail(f"line {i}: header for '{schema}' after its first record")
+            headers[schema] = doc["version"]
+            continue
+        kind = doc.get("type")
+        if kind not in ("log", "snapshot"):
+            fail(f"line {i}: record type {kind!r} not 'log'/'snapshot'")
+        seen_records.add(kind)
+        expected_header = "ardbt.log" if kind == "log" else "ardbt.metrics_snapshot"
+        if expected_header not in headers:
+            fail(f"line {i}: '{kind}' record before its schema header")
+        n = doc.get("n")
+        if not isinstance(n, int) or (kind in seqs and n <= seqs[kind]):
+            fail(f"line {i}: sequence number {n!r} not monotone for '{kind}'")
+        seqs[kind] = n
+        if not isinstance(doc.get("t_s"), (int, float)):
+            fail(f"line {i}: t_s {doc.get('t_s')!r} is not a number")
+        if kind == "log":
+            n_log += 1
+            if doc.get("level") not in LEVELS:
+                fail(f"line {i}: unknown level {doc.get('level')!r}")
+            if not isinstance(doc.get("site"), str) or not doc["site"]:
+                fail(f"line {i}: missing site")
+            if not isinstance(doc.get("msg"), str):
+                fail(f"line {i}: missing msg")
+            if "fields" in doc and not isinstance(doc["fields"], dict):
+                fail(f"line {i}: fields is not an object")
+        else:
+            n_snap += 1
+            metrics = doc.get("metrics")
+            if not isinstance(metrics, dict):
+                fail(f"line {i}: snapshot missing metrics object")
+            for section in metrics.values():
+                for name in section:
+                    if any(tag in name for tag in NONDETERMINISTIC):
+                        fail(f"line {i}: nondeterministic metric '{name}' in snapshot")
+    if n_log == 0:
+        fail("stream has no log records")
+    if n_snap == 0:
+        fail("stream has no snapshot records")
+    print(f"check_logs: stream ok ({n_log} log records, {n_snap} snapshots, "
+          f"{len(headers)} headers)")
+
+
+def check_bit_stability(cli, tmp):
+    first = live_stream(cli, tmp, "live1.jsonl", threads=1)
+    again = live_stream(cli, tmp, "live2.jsonl", threads=1)
+    if first != again:
+        fail("live stream differs between two identical runs")
+    threaded = live_stream(cli, tmp, "live3.jsonl", threads=3)
+    if first != threaded:
+        fail("live stream differs between --threads 1 and --threads 3")
+    print(f"check_logs: stream bit-stable across runs and thread counts "
+          f"({len(first)} bytes)")
+    return first
+
+
+def check_postmortem(cli, tmp):
+    pm_path = str(Path(tmp) / "postmortem.json")
+    proc = run_cli(cli, ["--method", "ard", "--n", "64", "--m", "4", "--p", "4",
+                         "--r", "4", "--plant-pivot", "0", "--plant-eps", "1e-30",
+                         "--on-breakdown", "failfast", "--postmortem", pm_path],
+                   expect_code=1)
+    if "ardbt: error: [breakdown]" not in proc.stderr:
+        fail(f"breakdown run lost the structured stderr line:\n{proc.stderr}")
+    if not Path(pm_path).exists():
+        fail("breakdown run wrote no postmortem bundle")
+    doc = json.loads(Path(pm_path).read_text())
+    if doc.get("schema") != "ardbt.postmortem" or doc.get("version") != 1:
+        fail(f"postmortem header wrong: {doc.get('schema')!r} v{doc.get('version')!r}")
+    for key in ("reason", "phase", "message", "t_s", "recorder", "metrics", "extra"):
+        if key not in doc:
+            fail(f"postmortem missing '{key}'")
+    if doc["reason"] != "breakdown":
+        fail(f"postmortem reason {doc['reason']!r} != 'breakdown'")
+    if doc["recorder"].get("enabled") is not True:
+        fail("postmortem recorder section not from an enabled recorder")
+    if not doc["recorder"].get("events"):
+        fail("postmortem recorder section has no events")
+    print(f"check_logs: postmortem ok (phase={doc['phase']}, "
+          f"{len(doc['recorder']['events'])} recorder events)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_logs.py /path/to/ardbt [P]")
+    cli = sys.argv[1]
+    with tempfile.TemporaryDirectory() as tmp:
+        data = check_bit_stability(cli, tmp)
+        check_stream(data)
+        check_postmortem(cli, tmp)
+    print("check_logs: PASS")
+
+
+if __name__ == "__main__":
+    main()
