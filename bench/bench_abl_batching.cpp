@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     std::vector<const la::Matrix*> ptrs;
     for (const auto& b : batches) ptrs.push_back(&b);
 
-    const auto session = core::ard_session(sys, ptrs, p, {}, engine, live.handle());
+    const auto session = core::ard_session(sys, ptrs, p, {.engine = engine, .telemetry = live.handle()});
     double solve_sum = 0.0;
     for (double t : session.solve_vtimes) solve_sum += t;
     const double t_ard = session.factor_vtime + solve_sum;

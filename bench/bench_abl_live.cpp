@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
     obs::live::LiveTelemetry full(std::move(live_opts), &registry);
 
     for (int rep = 0; rep < reps; ++rep) {
-      core::Session session(core::Method::kArd, sys, p, {}, engine);
+      core::Session session(core::Method::kArd, sys, p, {.engine = engine});
       if (cfg == 1) {
         obs::live::Telemetry t;
         t.recorder = &disabled_recorder;

@@ -47,13 +47,15 @@ void sweep(la::index_t m, bool smoke, const char* label, bench::JsonReport& repo
          guarded(sys, b,
                  [&] {
                    return core::solve(core::Method::kTransferRd, sys, b, 2,
-                                      core::ArdOptions{.rescale = false}, {}, live)
+                                      {.ard = {.rescale = false}, .telemetry = live})
                        .x;
                  }),
          guarded(sys, b,
-                 [&] { return core::solve(core::Method::kTransferRd, sys, b, 2, {}, {}, live).x; }),
+                 [&] {
+                   return core::solve(core::Method::kTransferRd, sys, b, 2, {.telemetry = live}).x;
+                 }),
          guarded(sys, b,
-                 [&] { return core::solve(core::Method::kArd, sys, b, 2, {}, {}, live).x; })});
+                 [&] { return core::solve(core::Method::kArd, sys, b, 2, {.telemetry = live}).x; })});
   }
   table.print();
   report.add_table("M=" + std::to_string(m), table);

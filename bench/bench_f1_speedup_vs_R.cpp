@@ -45,13 +45,14 @@ void run_for_block_size(la::index_t m, bool smoke, bench::JsonReport& report,
   std::vector<const la::Matrix*> batch_ptrs;
   for (const auto& b : batches) batch_ptrs.push_back(&b);
 
-  const auto session = core::ard_session(sys, batch_ptrs, p, {}, bench::virtual_engine(), live);
+  const auto session = core::ard_session(sys, batch_ptrs, p,
+                                         {.engine = bench::virtual_engine(), .telemetry = live});
   const double t_factor = session.factor_vtime;
   const double t_solve1 = session.solve_vtimes[0];
 
   // Validate the RD-per-RHS linearity identity at R = 4.
-  const auto direct = core::solve(core::Method::kRdPerRhs, sys, batches[2], p, {},
-                                  bench::virtual_engine(), live);
+  const auto direct = core::solve(core::Method::kRdPerRhs, sys, batches[2], p,
+                                  {.engine = bench::virtual_engine(), .telemetry = live});
   const double t_direct = direct.solve_vtime;
   const double t_identity = 4.0 * (t_factor + t_solve1);
 
@@ -99,7 +100,7 @@ void run_threads_scaling(bool smoke, bench::JsonReport& report,
   for (int workers : smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8}) {
     mpsim::EngineOptions engine = bench::virtual_engine();
     engine.threads_per_rank = workers;
-    core::Session session(core::Method::kArd, sys, p, {}, engine);
+    core::Session session(core::Method::kArd, sys, p, {.engine = engine});
     if (live.any()) session.set_telemetry(live);
     session.factor();
     session.solve(b);  // warm up pool + caches

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   double t1 = 0.0;
   for (int p = 1; p <= p_max; p *= 2) {
-    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
+    const auto res = core::solve(core::Method::kArd, sys, b, p, {.engine = engine, .telemetry = live.handle()});
     const double t_ard = res.factor_vtime + res.solve_vtime;
     if (p == 1) t1 = t_ard;
     const double model_ard =

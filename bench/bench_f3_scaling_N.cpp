@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
                                                       16384}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
-    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
+    const auto res = core::solve(core::Method::kArd, sys, b, p, {.engine = engine, .telemetry = live.handle()});
     const double t_ard = res.factor_vtime + res.solve_vtime;
     const double t_rd_per_rhs =
         static_cast<double>(r) * (res.factor_vtime + res.solve_vtime / static_cast<double>(r));

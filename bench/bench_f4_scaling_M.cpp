@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                                     : std::vector<la::index_t>{2, 4, 8, 16, 32, 64}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
-    const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
+    const auto res = core::solve(core::Method::kArd, sys, b, p, {.engine = engine, .telemetry = live.handle()});
     const double dm = static_cast<double>(m);
     const double solve_per_rhs = res.solve_vtime / static_cast<double>(r);
     table.add_row({bench::fmt_int(dm), bench::fmt_sci(res.factor_vtime),

@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
   int ard_crossover = -1;
   int rd_crossover = -1;
   for (int p = 1; p <= p_max; p *= 2) {
-    const auto ard = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
-    const auto rd = core::solve(core::Method::kRdBatched, sys, b, p, {}, engine, live.handle());
+    const auto ard = core::solve(core::Method::kArd, sys, b, p, {.engine = engine, .telemetry = live.handle()});
+    const auto rd = core::solve(core::Method::kRdBatched, sys, b, p, {.engine = engine, .telemetry = live.handle()});
     const double t_ard = ard.factor_vtime + ard.solve_vtime;
     const double t_rd = rd.solve_vtime;
     if (ard_crossover < 0 && t_ard < t_thomas) ard_crossover = p;

@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
                                     : std::vector<la::index_t>{256, 1024, 4096, 16384}) {
     const auto sys = btds::make_problem(btds::ProblemKind::kDiagDominant, n, m);
     const auto b = btds::make_rhs(n, m, r);
-    const auto ard = core::solve(core::Method::kArd, sys, b, p, {}, engine, live.handle());
-    const auto pcr = core::solve(core::Method::kPcr, sys, b, p, {}, engine, live.handle());
+    const auto ard = core::solve(core::Method::kArd, sys, b, p, {.engine = engine, .telemetry = live.handle()});
+    const auto pcr = core::solve(core::Method::kPcr, sys, b, p, {.engine = engine, .telemetry = live.handle()});
     double log2n = 0;
     for (la::index_t s = 1; s < n; s *= 2) log2n += 1;
     table.add_row({bench::fmt_int(static_cast<double>(n)), bench::fmt_sci(ard.factor_vtime),

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     auto eng = engine;
     eng.tracer = &tracer;
     eng.threads_per_rank = args.threads();
-    core::Session session(core::Method::kArd, sys, p, {}, eng);
+    core::Session session(core::Method::kArd, sys, p, {.engine = eng});
     if (live.enabled()) session.set_telemetry(live.handle());
     session.factor();
     for (const auto& b : batches) (void)session.solve(b);

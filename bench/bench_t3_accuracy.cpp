@@ -60,18 +60,19 @@ int main(int argc, char** argv) {
            guarded_residual(sys, b, [&] { return btds::cyclic_reduction_solve(sys, b); }),
            guarded_residual(sys, b,
                             [&] {
-                              return core::solve(core::Method::kArd, sys, b, p, {}, {},
-                                                 live.handle()).x;
+                              return core::solve(core::Method::kArd, sys, b, p,
+                                                 {.telemetry = live.handle()}).x;
                             }),
            guarded_residual(sys, b,
                             [&] {
-                              return core::solve(core::Method::kRdBatched, sys, b, p, {}, {},
-                                                 live.handle()).x;
+                              return core::solve(core::Method::kRdBatched, sys, b, p,
+                                                 {.telemetry = live.handle()}).x;
                             }),
            guarded_residual(
                sys, b,
                [&] {
-                 return core::solve(core::Method::kTransferRd, sys, b, p, {}, {}, live.handle()).x;
+                 return core::solve(core::Method::kTransferRd, sys, b, p,
+                                    {.telemetry = live.handle()}).x;
                }),
            guarded_residual(sys, b, [&] { return core::shooting_solve(sys, b); })});
     }

@@ -82,7 +82,7 @@ int main() {
 
   // Factor once; the session keeps the factored state so the superposition
   // check below reuses it instead of refactoring.
-  core::Session session(core::Method::kArd, sys, p_ranks, {}, engine);
+  core::Session session(core::Method::kArd, sys, p_ranks, {.engine = engine});
   session.factor();
   const Matrix x = session.solve(q);
   std::printf("multigroup diffusion: %lld cells x %lld groups, %lld channels, P=%d\n",

@@ -33,7 +33,7 @@ int main() {
   engine.cost = mpsim::CostModel::cluster2014();
   engine.threads_per_rank = 2;
 
-  core::Session session(core::Method::kArd, sys, /*nranks=*/4, {}, engine);
+  core::Session session(core::Method::kArd, sys, /*nranks=*/4, {.engine = engine});
   session.factor();
   const la::Matrix x1 = session.solve(b1);
   const la::Matrix x2 = session.solve(b2);
@@ -48,7 +48,8 @@ int main() {
               session.solve_vtimes()[1], btds::relative_residual(sys, x2, b2));
 
   // The one-call driver is available when a single solve is all you need:
-  const core::DriverResult once = core::solve(core::Method::kArd, sys, b1, /*nranks=*/4, {}, engine);
+  const core::DriverResult once =
+      core::solve(core::Method::kArd, sys, b1, /*nranks=*/4, {.engine = engine});
   std::printf("  one-call API : residual %.2e\n", btds::relative_residual(sys, once.x, b1));
   return 0;
 }

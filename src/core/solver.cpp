@@ -36,16 +36,45 @@ std::string_view to_string(Method method) {
   return "unknown";
 }
 
-Session::Session(Method method, const btds::BlockTridiag& sys, int nranks,
-                 const ArdOptions& opts, const mpsim::EngineOptions& engine)
-    : method_(method),
-      sys_(&sys),
-      nranks_(nranks),
-      opts_(opts),
-      engine_(engine),
-      part_(sys.num_blocks(), nranks) {
-  if (nranks <= 0) throw std::invalid_argument("Session: nranks must be positive");
+namespace {
+/// Preconditions checked before any member construction (RowPartition
+/// asserts on malformed input, so validation cannot wait for the body).
+std::shared_ptr<const btds::BlockTridiag> checked_system(
+    std::shared_ptr<const btds::BlockTridiag> sys, int nranks) {
+  if (sys == nullptr) {
+    throw fault::InvalidArgumentError("core::Session", "system must not be null");
+  }
+  if (nranks <= 0) {
+    throw fault::InvalidArgumentError("core::Session", "nranks must be positive");
+  }
+  return sys;
 }
+
+/// Non-owning alias: shares no control block, so the Session borrows
+/// exactly as the reference constructors document.
+std::shared_ptr<const btds::BlockTridiag> borrow(const btds::BlockTridiag& sys) {
+  return std::shared_ptr<const btds::BlockTridiag>(std::shared_ptr<const btds::BlockTridiag>(),
+                                                   &sys);
+}
+}  // namespace
+
+Session::Session(Method method, std::shared_ptr<const btds::BlockTridiag> sys, int nranks,
+                 SessionConfig config)
+    : method_(method),
+      sys_(checked_system(std::move(sys), nranks)),
+      nranks_(nranks),
+      opts_(config.ard),
+      engine_(config.engine),
+      part_(sys_->num_blocks(), nranks) {
+  if (config.telemetry.any()) set_telemetry(config.telemetry);
+}
+
+Session::Session(Method method, const btds::BlockTridiag& sys, int nranks, SessionConfig config)
+    : Session(method, borrow(sys), nranks, std::move(config)) {}
+
+Session::Session(Method method, const btds::BlockTridiag& sys, int nranks, const ArdOptions& opts,
+                 const mpsim::EngineOptions& engine)
+    : Session(method, borrow(sys), nranks, SessionConfig{.ard = opts, .engine = engine}) {}
 
 void Session::fold_report(const mpsim::RunReport& run) {
   if (!have_report_) {
@@ -436,7 +465,8 @@ void Session::export_latency_metrics(obs::MetricsRegistry& reg) const {
 
 la::Matrix Session::solve(const la::Matrix& b) {
   if (b.rows() != sys_->num_blocks() * sys_->block_size()) {
-    throw std::invalid_argument("Session::solve: b has wrong row count");
+    throw fault::ShapeMismatchError("core::Session::solve", "b.rows() == num_blocks*block_size",
+                                    b.rows(), sys_->num_blocks() * sys_->block_size());
   }
   factor();
   const fault::BreakdownPolicy policy = engine_.on_breakdown;
@@ -532,10 +562,8 @@ la::Matrix Session::solve(const la::Matrix& b) {
 }
 
 DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
-                   const ArdOptions& opts, const mpsim::EngineOptions& engine,
-                   const obs::live::Telemetry& telemetry) {
-  Session session(method, sys, nranks, opts, engine);
-  if (telemetry.any()) session.set_telemetry(telemetry);
+                   const SessionConfig& config) {
+  Session session(method, sys, nranks, config);
   session.factor();
   DriverResult result;
   result.x = session.solve(b);
@@ -546,15 +574,22 @@ DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matri
   return result;
 }
 
+DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
+                   const ArdOptions& opts, const mpsim::EngineOptions& engine,
+                   const obs::live::Telemetry& telemetry) {
+  return solve(method, sys, b, nranks,
+               SessionConfig{.ard = opts, .engine = engine, .telemetry = telemetry});
+}
+
 SessionResult ard_session(const btds::BlockTridiag& sys,
                           const std::vector<const la::Matrix*>& batches, int nranks,
-                          const ArdOptions& opts, const mpsim::EngineOptions& engine,
-                          const obs::live::Telemetry& telemetry) {
+                          const SessionConfig& config) {
   for (const la::Matrix* batch : batches) {
-    if (batch == nullptr) throw std::invalid_argument("ard_session: null batch");
+    if (batch == nullptr) {
+      throw fault::InvalidArgumentError("core::ard_session", "null batch pointer");
+    }
   }
-  Session session(Method::kArd, sys, nranks, opts, engine);
-  if (telemetry.any()) session.set_telemetry(telemetry);
+  Session session(Method::kArd, sys, nranks, config);
   session.factor();
   SessionResult result;
   result.x.reserve(batches.size());
@@ -564,6 +599,14 @@ SessionResult ard_session(const btds::BlockTridiag& sys,
   result.solve_vtimes = session.solve_vtimes();
   result.storage_bytes = session.storage_bytes();
   return result;
+}
+
+SessionResult ard_session(const btds::BlockTridiag& sys,
+                          const std::vector<const la::Matrix*>& batches, int nranks,
+                          const ArdOptions& opts, const mpsim::EngineOptions& engine,
+                          const obs::live::Telemetry& telemetry) {
+  return ard_session(sys, batches, nranks,
+                     SessionConfig{.ard = opts, .engine = engine, .telemetry = telemetry});
 }
 
 }  // namespace ardbt::core

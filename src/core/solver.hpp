@@ -55,6 +55,25 @@ enum class Method {
 /// Short stable name ("rd", "rd-per-rhs", "ard").
 std::string_view to_string(Method method);
 
+/// Everything a Session needs besides the system itself, collapsed into
+/// one designated-initializer-friendly aggregate:
+///
+///     core::Session s(method, sys, p,
+///                     {.ard = {...}, .engine = {.timing = ...}});
+///
+/// Replaces the (ArdOptions, EngineOptions, Telemetry) parameter triple
+/// previously threaded through Session, core::solve and ard_session; the
+/// old signatures survive as thin wrappers (see below) but new code —
+/// and everything in-tree — uses this form. A default SessionConfig{} is
+/// byte-for-byte the old default behaviour.
+struct SessionConfig {
+  ArdOptions ard{};               ///< algorithm options (tolerances, ladder)
+  mpsim::EngineOptions engine{};  ///< cost model, timing mode, threads, faults
+  /// Live telemetry bundle; a default (inert) handle costs one pointer
+  /// test per run. Installed via Session::set_telemetry at construction.
+  obs::live::Telemetry telemetry{};
+};
+
 /// One entry of the session's robustness log: what happened during a
 /// factor or solve phase and what the driver did about it. An untroubled
 /// phase records {status ok, action "ok"}; a degraded one records the
@@ -73,13 +92,35 @@ struct SolveOutcome {
 
 /// Factor/solve driver for one system. Not thread-safe; one engine run is
 /// in flight at a time.
+///
+/// Lifetime contract (the one place it is documented): a Session never
+/// copies the system. The reference-taking constructors *borrow* `sys` —
+/// the caller guarantees it outlives the session and stays unmodified
+/// between factor() and the last solve(); this is the right form for
+/// stack-scoped callers (benches, tests, the CLI). The shared_ptr
+/// constructor *shares ownership* — the session keeps the system alive by
+/// itself, so it can sit in a cache and be evicted/destroyed in any order
+/// relative to the code that built it; this is the form service::
+/// FactorCache uses. Internally both paths store one
+/// shared_ptr<const BlockTridiag> (the borrow is a non-owning alias), so
+/// every downstream code path is identical.
 class Session {
  public:
-  /// Binds the session to `sys` (held by reference — it must outlive the
-  /// session and stay unmodified between factor() and the last solve()).
-  /// Throws std::invalid_argument on a non-positive rank count.
-  Session(Method method, const btds::BlockTridiag& sys, int nranks,
-          const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {});
+  /// Borrows `sys` (see the lifetime contract above). Throws
+  /// fault::InvalidArgumentError on a non-positive rank count.
+  Session(Method method, const btds::BlockTridiag& sys, int nranks, SessionConfig config = {});
+
+  /// Shares ownership of `sys` (see the lifetime contract above). Throws
+  /// fault::InvalidArgumentError on a null system or non-positive rank
+  /// count.
+  Session(Method method, std::shared_ptr<const btds::BlockTridiag> sys, int nranks,
+          SessionConfig config = {});
+
+  /// Deprecated: prefer the SessionConfig form. Thin wrapper kept for
+  /// out-of-tree callers of the pre-service API; borrows `sys` like the
+  /// primary reference constructor.
+  Session(Method method, const btds::BlockTridiag& sys, int nranks, const ArdOptions& opts,
+          const mpsim::EngineOptions& engine = {});
 
   /// Run the right-hand-side-independent phase. Idempotent: repeated
   /// calls after a successful factor are no-ops. The classic RD methods
@@ -168,7 +209,9 @@ class Session {
   la::Matrix fallback_solve(const la::Matrix& b);
 
   Method method_;
-  const btds::BlockTridiag* sys_;
+  /// Always set. Owning when constructed from a shared_ptr; a non-owning
+  /// alias (empty control block) when constructed from a reference.
+  std::shared_ptr<const btds::BlockTridiag> sys_;
   int nranks_;
   ArdOptions opts_;
   mpsim::EngineOptions engine_;
@@ -217,10 +260,14 @@ struct DriverResult {
 };
 
 /// One-shot convenience: Session(method, ...), factor, one solve. A
-/// non-empty `telemetry` handle is installed on the session first (see
-/// Session::set_telemetry); the default inert handle costs nothing.
+/// non-empty config.telemetry handle is installed on the session first
+/// (see Session::set_telemetry); the default inert handle costs nothing.
 DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
-                   const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {},
+                   const SessionConfig& config = {});
+
+/// Deprecated: prefer the SessionConfig form above.
+DriverResult solve(Method method, const btds::BlockTridiag& sys, const la::Matrix& b, int nranks,
+                   const ArdOptions& opts, const mpsim::EngineOptions& engine = {},
                    const obs::live::Telemetry& telemetry = {});
 
 /// Result of an ARD session (factor once, many solve batches).
@@ -233,11 +280,16 @@ struct SessionResult {
 };
 
 /// One-shot convenience over Session: factor once, then solve every batch
-/// in order. Throws std::invalid_argument on a null batch. A non-empty
-/// `telemetry` handle is installed on the session first.
+/// in order. Throws fault::InvalidArgumentError on a null batch. A
+/// non-empty config.telemetry handle is installed on the session first.
 SessionResult ard_session(const btds::BlockTridiag& sys,
                           const std::vector<const la::Matrix*>& batches, int nranks,
-                          const ArdOptions& opts = {}, const mpsim::EngineOptions& engine = {},
+                          const SessionConfig& config = {});
+
+/// Deprecated: prefer the SessionConfig form above.
+SessionResult ard_session(const btds::BlockTridiag& sys,
+                          const std::vector<const la::Matrix*>& batches, int nranks,
+                          const ArdOptions& opts, const mpsim::EngineOptions& engine = {},
                           const obs::live::Telemetry& telemetry = {});
 
 }  // namespace ardbt::core

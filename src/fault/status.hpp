@@ -135,6 +135,18 @@ class ShapeMismatchError : public SolveError {
   std::int64_t expected_;
 };
 
+/// Malformed caller input at an API boundary (a null batch pointer, a
+/// non-positive rank count). These are caller bugs rather than runtime
+/// faults, but they surface through the same taxonomy so dispatch on
+/// `code()` covers every throw site in the stack.
+class InvalidArgumentError : public SolveError {
+ public:
+  /// `where` names the API ("core::Session"), `detail` the violated
+  /// precondition ("nranks must be positive").
+  InvalidArgumentError(const char* where, const std::string& detail)
+      : SolveError(ErrorCode::kInvalidArgument, std::string(where) + ": " + detail) {}
+};
+
 /// A typed receive got a payload whose size does not match the buffer.
 class MessageSizeError : public SolveError {
  public:

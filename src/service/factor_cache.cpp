@@ -1,0 +1,59 @@
+#include "src/service/factor_cache.hpp"
+
+#include "src/obs/metrics.hpp"
+
+namespace ardbt::service {
+
+void FactorCache::touch(Entry& e) { lru_.splice(lru_.begin(), lru_, e.lru_it); }
+
+FactorCache::Lease FactorCache::acquire(Fingerprint fp, const SystemMaker& make) {
+  ++stats_.lookups;
+  auto it = entries_.find(fp);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    touch(it->second);
+    return Lease{it->second.session, /*hit=*/true, 0.0};
+  }
+  ++stats_.misses;
+  std::shared_ptr<const btds::BlockTridiag> sys = make();
+  auto session =
+      std::make_shared<core::Session>(opts_.method, std::move(sys), opts_.nranks, opts_.session);
+  session->factor();
+  const double factor_vtime_s = session->factor_vtime();
+
+  Entry entry;
+  entry.session = session;
+  entry.bytes = session->storage_bytes();
+  lru_.push_front(fp);
+  entry.lru_it = lru_.begin();
+  resident_bytes_ += entry.bytes;
+  entries_.emplace(fp, std::move(entry));
+  evict_while_over_budget();
+  return Lease{std::move(session), /*hit=*/false, factor_vtime_s};
+}
+
+void FactorCache::evict_while_over_budget() {
+  if (opts_.byte_budget == 0) return;
+  // Never evict the MRU entry (the one just inserted or touched): a single
+  // over-budget factorization stays resident instead of thrashing.
+  while (resident_bytes_ > opts_.byte_budget && entries_.size() > 1) {
+    const Fingerprint victim = lru_.back();
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    lru_.pop_back();
+    entries_.erase(it);  // in-flight Leases still hold the Session
+    ++stats_.evictions;
+  }
+}
+
+void FactorCache::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.gauge("service.cache.entries").set(static_cast<double>(entries_.size()));
+  reg.gauge("service.cache.resident_bytes").set(static_cast<double>(resident_bytes_));
+  reg.gauge("service.cache.hit_rate").set(stats_.hit_rate());
+  reg.counter("service.cache.lookups").add(stats_.lookups);
+  reg.counter("service.cache.hits").add(stats_.hits);
+  reg.counter("service.cache.misses").add(stats_.misses);
+  reg.counter("service.cache.evictions").add(stats_.evictions);
+}
+
+}  // namespace ardbt::service

@@ -1,0 +1,232 @@
+#include "src/service/loadgen.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "src/fault/status.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/service/fingerprint.hpp"
+
+namespace ardbt::service {
+
+namespace {
+
+/// splitmix64 — the only randomness source in the generator; a pure
+/// function of the seed, so replays are byte-identical.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Jittered interval with mean `mean_s`, drawn from [0.5, 1.5) * mean.
+/// Bounded on purpose (no exponential tail): keeps every interval a
+/// plain arithmetic function of the RNG stream, with no libm calls whose
+/// rounding could differ across toolchains.
+double jittered(std::uint64_t& state, double mean_s) {
+  return mean_s * (0.5 + uniform01(state));
+}
+
+struct PoolEntry {
+  Fingerprint fp = 0;
+  std::shared_ptr<const btds::BlockTridiag> sys;
+};
+
+la::Matrix make_column(la::index_t rows, std::uint64_t seed) {
+  la::Matrix col(rows, 1);
+  std::uint64_t state = seed;
+  for (la::index_t i = 0; i < rows; ++i) col(i, 0) = 2.0 * uniform01(state) - 1.0;
+  return col;
+}
+
+}  // namespace
+
+LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistry* metrics) {
+  if (opts.pool <= 0 || opts.requests <= 0 || opts.tenants <= 0) {
+    throw fault::InvalidArgumentError("service::run_load",
+                                      "pool, requests and tenants must be positive");
+  }
+  if (opts.arrival == Arrival::kClosed && opts.clients <= 0) {
+    throw fault::InvalidArgumentError("service::run_load", "clients must be positive");
+  }
+  const int hot = std::clamp(opts.hot, 0, opts.pool);
+
+  // Materialize the system pool once and register it; cache misses hand
+  // back the pre-built shared_ptr (regeneration would be deterministic
+  // too, just pointless).
+  std::vector<PoolEntry> pool;
+  pool.reserve(static_cast<std::size_t>(opts.pool));
+  for (int i = 0; i < opts.pool; ++i) {
+    auto sys = std::make_shared<const btds::BlockTridiag>(btds::make_problem(
+        opts.kind, opts.num_blocks, opts.block_size, opts.seed + 7919ull * (i + 1)));
+    const Fingerprint fp = fingerprint(*sys);
+    server.register_system(fp, [sys] { return sys; });
+    pool.push_back(PoolEntry{fp, std::move(sys)});
+  }
+
+  const FactorCache::Stats cache0 = server.cache().stats();
+  const ServerStats server0 = server.stats();
+  const la::index_t rows = opts.num_blocks * opts.block_size;
+
+  auto pick_system = [&](std::uint64_t& state) -> const PoolEntry& {
+    const double u = uniform01(state);
+    if (hot > 0 && u < opts.hot_fraction) {
+      return pool[splitmix64(state) % static_cast<std::uint64_t>(hot)];
+    }
+    const int cold = opts.pool - hot;
+    if (cold <= 0) return pool[splitmix64(state) % static_cast<std::uint64_t>(opts.pool)];
+    return pool[static_cast<std::uint64_t>(hot) +
+                splitmix64(state) % static_cast<std::uint64_t>(cold)];
+  };
+
+  obs::LatencyHistogram all;
+  std::map<int, obs::LatencyHistogram> per_tenant;
+  LoadResult result;
+  std::uint64_t next_id = 0;
+  std::size_t scanned = 0;
+
+  auto scan_completions = [&]() {
+    const std::vector<Completion>& done = server.completions();
+    for (; scanned < done.size(); ++scanned) {
+      const Completion& c = done[scanned];
+      ++result.completed;
+      ++result.tenant_completed[c.tenant];
+      const double lat = c.latency_s();
+      all.observe(lat);
+      per_tenant[c.tenant].observe(lat);
+      if (metrics != nullptr) {
+        metrics->latency("service.latency.all_s").observe(lat);
+        metrics->latency("service.latency.tenant." + std::to_string(c.tenant) + "_s")
+            .observe(lat);
+      }
+      result.makespan_s = std::max(result.makespan_s, c.finish_s);
+    }
+  };
+
+  if (opts.arrival == Arrival::kClosed) {
+    // Machine-repairman loop: each client keeps one request in flight.
+    // Events are (time, sequence, client); the sequence number breaks
+    // time ties deterministically.
+    using Event = std::tuple<double, std::uint64_t, int>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> arrivals;
+    std::uint64_t seq = 0;
+    std::vector<std::uint64_t> rng(static_cast<std::size_t>(opts.clients));
+    std::vector<int> remaining(static_cast<std::size_t>(opts.clients));
+    const int base = opts.requests / opts.clients;
+    for (int c = 0; c < opts.clients; ++c) {
+      rng[static_cast<std::size_t>(c)] = opts.seed ^ (0xC0FFEEull + 0x9e3779b97f4a7c15ull *
+                                                                        static_cast<std::uint64_t>(c + 1));
+      remaining[static_cast<std::size_t>(c)] = base + (c < opts.requests % opts.clients ? 1 : 0);
+    }
+    auto schedule = [&](int c, double t) {
+      if (remaining[static_cast<std::size_t>(c)] <= 0) return;
+      --remaining[static_cast<std::size_t>(c)];
+      arrivals.emplace(t, seq++, c);
+    };
+    for (int c = 0; c < opts.clients; ++c) {
+      schedule(c, jittered(rng[static_cast<std::size_t>(c)], opts.think_s));
+    }
+
+    while (true) {
+      const double t_arr = arrivals.empty() ? Server::kNever : std::get<0>(arrivals.top());
+      const double t_close = server.next_close_s();
+      if (t_arr >= Server::kNever && t_close >= Server::kNever) break;
+      if (t_arr <= t_close) {
+        const Event ev = arrivals.top();
+        arrivals.pop();
+        const double t = std::get<0>(ev);
+        const int c = std::get<2>(ev);
+        std::uint64_t& state = rng[static_cast<std::size_t>(c)];
+        const PoolEntry& entry = pick_system(state);
+        const std::uint64_t id = next_id++;
+        Request req;
+        req.id = id;
+        req.tenant = c % opts.tenants;
+        req.client = c;
+        req.system = entry.fp;
+        req.rhs = make_column(rows, opts.seed ^ (0x5eedc01ull + id * 0x9e3779b97f4a7c15ull));
+        req.arrival_s = t;
+        if (server.submit(std::move(req))) {
+          ++result.issued;
+        } else {
+          ++result.rejected;
+          // Retry the same logical request after a backoff; remaining was
+          // already decremented when it was scheduled.
+          arrivals.emplace(t + jittered(state, opts.retry_backoff_s), seq++, c);
+        }
+      } else {
+        server.flush_next();
+      }
+      // New completions free clients to think and go again.
+      const std::size_t before = scanned;
+      scan_completions();
+      const std::vector<Completion>& done = server.completions();
+      for (std::size_t i = before; i < scanned; ++i) {
+        const Completion& c = done[i];
+        if (c.client >= 0) {
+          schedule(c.client,
+                   c.finish_s + jittered(rng[static_cast<std::size_t>(c.client)], opts.think_s));
+        }
+      }
+    }
+    server.drain();
+    scan_completions();
+  } else {
+    // Open loop: jittered fixed-rate arrivals, no feedback, no retries.
+    std::uint64_t state = opts.seed ^ 0x09e41009ull;
+    double t = 0.0;
+    for (int i = 0; i < opts.requests; ++i) {
+      t += jittered(state, 1.0 / opts.rate_rps);
+      const PoolEntry& entry = pick_system(state);
+      const std::uint64_t id = next_id++;
+      Request req;
+      req.id = id;
+      req.tenant = static_cast<int>(splitmix64(state) % static_cast<std::uint64_t>(opts.tenants));
+      req.client = -1;
+      req.system = entry.fp;
+      req.rhs = make_column(rows, opts.seed ^ (0x5eedc01ull + id * 0x9e3779b97f4a7c15ull));
+      req.arrival_s = t;
+      if (server.submit(std::move(req))) {
+        ++result.issued;
+      } else {
+        ++result.rejected;
+      }
+      scan_completions();
+    }
+    server.drain();
+    scan_completions();
+  }
+
+  result.p50_s = all.percentile(0.50);
+  result.p99_s = all.percentile(0.99);
+  result.mean_s = all.total_count() > 0 ? all.sum() / static_cast<double>(all.total_count()) : 0.0;
+  result.throughput_rps =
+      result.makespan_s > 0.0 ? static_cast<double>(result.completed) / result.makespan_s : 0.0;
+  for (const auto& [tenant, hist] : per_tenant) {
+    result.tenant_p99_s[tenant] = hist.percentile(0.99);
+  }
+  const FactorCache::Stats cache1 = server.cache().stats();
+  const std::uint64_t lookups = cache1.lookups - cache0.lookups;
+  result.hit_rate =
+      lookups > 0 ? static_cast<double>(cache1.hits - cache0.hits) / static_cast<double>(lookups)
+                  : 0.0;
+  const ServerStats& s1 = server.stats();
+  result.batches = s1.batches - server0.batches;
+  result.mean_batch_cols =
+      result.batches > 0
+          ? static_cast<double>(s1.batch_cols - server0.batch_cols) /
+                static_cast<double>(result.batches)
+          : 0.0;
+  if (metrics != nullptr) server.cache().export_metrics(*metrics);
+  return result;
+}
+
+}  // namespace ardbt::service

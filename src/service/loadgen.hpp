@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/btds/generators.hpp"
+#include "src/service/server.hpp"
+
+namespace ardbt::obs {
+class MetricsRegistry;
+}
+
+/// \file loadgen.hpp
+/// Deterministic closed/open-loop load generator for the service layer.
+///
+/// Replays a population of clients hammering a pool of cached
+/// factorizations on the virtual clock. Closed loop: each client keeps
+/// one request in flight, thinks for a deterministic jittered interval
+/// after its completion, then issues the next — the classic
+/// machine-repairman shape whose offered load self-throttles under
+/// latency. Open loop: arrivals at a fixed jittered rate regardless of
+/// completions — the overload shape. Both are pure functions of
+/// (LoadOptions, ServerOptions, FactorCache::Options): no host clock, no
+/// std::random device — a splitmix64 stream drives every choice, so two
+/// runs (at any --threads) produce byte-identical results.
+///
+/// System popularity is a hot/cold mix: a fraction `hot_fraction` of
+/// requests target the `hot` first systems of the pool uniformly; the
+/// rest spread uniformly over the remainder. With the default mix the
+/// batch-level cache hit rate lands well above 90% — the amortization
+/// regime the service exists for.
+
+namespace ardbt::service {
+
+enum class Arrival {
+  kClosed,  ///< fixed population, think time between requests
+  kOpen,    ///< fixed arrival rate, ignores completions
+};
+
+struct LoadOptions {
+  Arrival arrival = Arrival::kClosed;
+  int requests = 4096;      ///< total requests to issue
+  int tenants = 4;
+  int clients = 64;         ///< closed-loop population
+  double think_s = 2e-3;    ///< closed-loop mean think time
+  double rate_rps = 50e3;   ///< open-loop arrival rate
+  int pool = 8;             ///< distinct systems
+  int hot = 2;              ///< hot-set size (<= pool)
+  double hot_fraction = 0.9;
+  la::index_t num_blocks = 96;
+  la::index_t block_size = 8;
+  btds::ProblemKind kind = btds::ProblemKind::kDiagDominant;
+  std::uint64_t seed = 1;
+  double retry_backoff_s = 1e-3;  ///< closed-loop resubmit delay after a rejection
+};
+
+struct LoadResult {
+  std::uint64_t issued = 0;     ///< submit() calls (accepted)
+  std::uint64_t rejected = 0;   ///< admission rejections
+  std::uint64_t completed = 0;
+  double makespan_s = 0.0;      ///< last completion on the virtual clock
+  double p50_s = 0.0;           ///< request latency percentiles
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+  double throughput_rps = 0.0;  ///< completed / makespan
+  double hit_rate = 0.0;        ///< batch-level FactorCache hit rate
+  std::uint64_t batches = 0;
+  double mean_batch_cols = 0.0;
+  std::map<int, std::uint64_t> tenant_completed;
+  std::map<int, double> tenant_p99_s;
+};
+
+/// Generate the system pool, register it with `server`, replay the load,
+/// drain, and summarize. When `metrics` is non-null the per-request
+/// latencies are also recorded into "service.latency.all_s" and
+/// "service.latency.tenant.<id>_s" LatencyHistograms, and the cache
+/// exports its gauges — the percentiles in LoadResult come from those
+/// same histograms (count-based: bit-identical for any observation
+/// order).
+LoadResult run_load(Server& server, const LoadOptions& opts,
+                    obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace ardbt::service

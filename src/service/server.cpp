@@ -1,0 +1,181 @@
+#include "src/service/server.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/fault/status.hpp"
+
+namespace ardbt::service {
+
+void Server::register_system(Fingerprint fp, SystemMaker make) {
+  systems_[fp] = std::move(make);
+}
+
+int Server::queued_for_tenant(int tenant) const {
+  int count = 0;
+  for (const auto& [fp, batch] : open_) {
+    for (const Request& r : batch.items) {
+      if (r.tenant == tenant) ++count;
+    }
+  }
+  return count;
+}
+
+bool Server::submit(Request req) {
+  flush_until(req.arrival_s);
+  if (systems_.find(req.system) == systems_.end()) {
+    throw fault::InvalidArgumentError("service::Server::submit", "unregistered system fingerprint");
+  }
+  if (req.rhs.cols() != 1) {
+    throw fault::InvalidArgumentError("service::Server::submit", "rhs must be a single column");
+  }
+  if (opts_.tenant_queue_quota > 0 && queued_for_tenant(req.tenant) >= opts_.tenant_queue_quota) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++stats_.submitted;
+  const Fingerprint fp = req.system;
+  const double arrival_s = req.arrival_s;
+  auto it = open_.find(fp);
+  if (it == open_.end()) {
+    it = open_.emplace(fp, OpenBatch{arrival_s + opts_.window_s, {}}).first;
+  }
+  it->second.items.push_back(std::move(req));
+  if (opts_.max_batch_cols > 0 &&
+      static_cast<la::index_t>(it->second.items.size()) >= opts_.max_batch_cols) {
+    run_batch(fp, arrival_s);  // cap reached: close immediately
+  }
+  return true;
+}
+
+double Server::next_close_s() const {
+  double best = kNever;
+  for (const auto& [fp, batch] : open_) {
+    // Strict < keeps the smallest fingerprint on ties (map order).
+    if (batch.close_s < best) best = batch.close_s;
+  }
+  return best;
+}
+
+void Server::flush_next() {
+  double best = kNever;
+  Fingerprint best_fp = 0;
+  for (const auto& [fp, batch] : open_) {
+    if (batch.close_s < best) {
+      best = batch.close_s;
+      best_fp = fp;
+    }
+  }
+  if (best < kNever) run_batch(best_fp, best);
+}
+
+void Server::flush_until(double t_s) {
+  while (next_close_s() < t_s) flush_next();
+}
+
+void Server::drain() {
+  while (!open_.empty()) flush_next();
+}
+
+std::vector<Completion> Server::take_completions() {
+  std::vector<Completion> out;
+  out.swap(completions_);
+  return out;
+}
+
+void Server::run_batch(Fingerprint fp, double close_s) {
+  auto open_it = open_.find(fp);
+  if (open_it == open_.end()) return;
+  std::vector<Request> items = std::move(open_it->second.items);
+  open_.erase(open_it);
+
+  // Fairness: round-robin one column per tenant per pass, ascending
+  // tenant id, within-tenant arrival order, capped by tenant_batch_share
+  // and max_batch_cols. `selected` is the panel column order.
+  std::map<int, std::deque<std::size_t>> per_tenant;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    per_tenant[items[i].tenant].push_back(i);
+  }
+  std::vector<std::size_t> selected;
+  std::map<int, la::index_t> taken;
+  bool progressed = true;
+  while (progressed &&
+         (opts_.max_batch_cols == 0 ||
+          static_cast<la::index_t>(selected.size()) < opts_.max_batch_cols)) {
+    progressed = false;
+    for (auto& [tenant, queue] : per_tenant) {
+      if (queue.empty()) continue;
+      if (opts_.tenant_batch_share > 0 && taken[tenant] >= opts_.tenant_batch_share) continue;
+      if (opts_.max_batch_cols > 0 &&
+          static_cast<la::index_t>(selected.size()) >= opts_.max_batch_cols) {
+        break;
+      }
+      selected.push_back(queue.front());
+      queue.pop_front();
+      ++taken[tenant];
+      progressed = true;
+    }
+  }
+
+  // Spill: columns that did not make the batch re-arm a fresh window.
+  std::vector<Request> spill;
+  for (auto& [tenant, queue] : per_tenant) {
+    for (std::size_t i : queue) spill.push_back(std::move(items[i]));
+  }
+  if (!spill.empty()) {
+    std::sort(spill.begin(), spill.end(),
+              [](const Request& a, const Request& b) { return a.id < b.id; });
+    OpenBatch rearmed{close_s + opts_.window_s, std::move(spill)};
+    open_.emplace(fp, std::move(rearmed));
+  }
+
+  // Assemble the panel and run it through the cached Session. The Lease
+  // keeps the Session alive even if acquiring a *different* system later
+  // evicts this entry.
+  FactorCache::Lease lease = cache_.acquire(fp, systems_.at(fp));
+  const la::index_t rows = items[selected.front()].rhs.rows();
+  const la::index_t cols = static_cast<la::index_t>(selected.size());
+  la::Matrix panel(rows, cols);
+  for (la::index_t j = 0; j < cols; ++j) {
+    const la::Matrix& col = items[selected[static_cast<std::size_t>(j)]].rhs;
+    if (col.rows() != rows) {
+      throw fault::InvalidArgumentError("service::Server", "mixed rhs sizes in one batch");
+    }
+    for (la::index_t i = 0; i < rows; ++i) panel(i, j) = col(i, 0);
+  }
+  la::Matrix x = lease.session->solve(panel);
+  const double solve_s = lease.session->solve_vtimes().back();
+
+  const double start_s = std::max(close_s, free_s_);
+  const double service_s = (lease.hit ? 0.0 : lease.factor_vtime_s) + solve_s;
+  const double finish_s = start_s + service_s;
+  free_s_ = finish_s;
+
+  const std::uint64_t batch_id = stats_.batches;
+  ++stats_.batches;
+  stats_.served += static_cast<std::uint64_t>(cols);
+  stats_.batch_cols += static_cast<std::uint64_t>(cols);
+  stats_.busy_s += service_s;
+
+  for (la::index_t j = 0; j < cols; ++j) {
+    const Request& r = items[selected[static_cast<std::size_t>(j)]];
+    Completion c;
+    c.id = r.id;
+    c.tenant = r.tenant;
+    c.client = r.client;
+    c.batch = batch_id;
+    c.arrival_s = r.arrival_s;
+    c.close_s = close_s;
+    c.start_s = start_s;
+    c.finish_s = finish_s;
+    c.cache_hit = lease.hit;
+    if (opts_.keep_solutions) {
+      la::Matrix col(rows, 1);
+      for (la::index_t i = 0; i < rows; ++i) col(i, 0) = x(i, j);
+      c.x = std::move(col);
+    }
+    completions_.push_back(std::move(c));
+  }
+}
+
+}  // namespace ardbt::service

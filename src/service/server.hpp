@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "src/la/matrix.hpp"
+#include "src/service/factor_cache.hpp"
+#include "src/service/fingerprint.hpp"
+
+/// \file server.hpp
+/// Virtual-clock admission + batching front-end over the FactorCache.
+///
+/// Requests are single right-hand-side columns tagged with a tenant and a
+/// system fingerprint. The server coalesces columns that target the same
+/// system and arrive within a batching window into one panel solve(B) —
+/// turning R arrivals into one O(M^2 R) pass, which is the paper's
+/// amortization argument applied to traffic instead of time steps.
+///
+/// Batching-window semantics: the first column queued for a system opens
+/// a batch and arms its deadline at arrival + window_s. Later columns for
+/// the same system join until the deadline passes or the batch reaches
+/// max_batch_cols (which closes it immediately). window_s = 0 still
+/// coalesces columns arriving at the same virtual instant. Closed batches
+/// run on one serial executor in (deadline, fingerprint) order; a batch
+/// whose turn comes while the executor is busy waits — queueing delay is
+/// part of the reported latency.
+///
+/// Tenant model: admission quotas (tenant_queue_quota) bound how many
+/// columns one tenant may have queued, and the per-batch fairness policy
+/// picks columns round-robin across tenants (ascending id, one column per
+/// tenant per pass, capped at tenant_batch_share) so a chatty tenant
+/// cannot starve others out of a batch. Spilled columns re-arm a new
+/// batch at close + window.
+///
+/// Everything runs on the caller's thread against the virtual clock —
+/// submit/flush order is the only schedule, so identical request
+/// sequences give bit-identical completions for any --threads value.
+
+namespace ardbt::service {
+
+/// One right-hand-side column from one tenant.
+struct Request {
+  std::uint64_t id = 0;   ///< caller-assigned, echoed in the Completion
+  int tenant = 0;
+  int client = -1;        ///< closed-loop client index; -1 for open-loop
+  Fingerprint system = 0; ///< must be registered via Server::register_system
+  la::Matrix rhs;         ///< (N*M) x 1 column
+  double arrival_s = 0.0; ///< virtual arrival time; non-decreasing per caller
+};
+
+/// Lifecycle timestamps of one served request.
+struct Completion {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  int client = -1;
+  std::uint64_t batch = 0;  ///< index of the executed batch (0-based)
+  double arrival_s = 0.0;
+  double close_s = 0.0;     ///< when the batch stopped accepting columns
+  double start_s = 0.0;     ///< executor start (>= close_s under contention)
+  double finish_s = 0.0;    ///< completion on the virtual clock
+  bool cache_hit = false;   ///< batch found its factorization resident
+  la::Matrix x;             ///< solution column (only when keep_solutions)
+
+  double latency_s() const { return finish_s - arrival_s; }
+};
+
+struct ServerOptions {
+  double window_s = 1e-3;
+  la::index_t max_batch_cols = 64;
+  /// Max columns one tenant may have queued (across open batches);
+  /// 0 = unlimited. Exceeding it rejects the submit.
+  int tenant_queue_quota = 0;
+  /// Max columns one tenant gets in a single batch; 0 = unlimited.
+  la::index_t tenant_batch_share = 0;
+  /// Keep solution columns in completions (tests); off for load runs.
+  bool keep_solutions = false;
+};
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   ///< admission-quota rejections
+  std::uint64_t served = 0;     ///< columns solved
+  std::uint64_t batches = 0;
+  std::uint64_t batch_cols = 0; ///< summed served batch sizes
+  double busy_s = 0.0;          ///< executor busy virtual seconds
+
+  double mean_batch_cols() const {
+    return batches > 0 ? static_cast<double>(batch_cols) / static_cast<double>(batches) : 0.0;
+  }
+};
+
+class Server {
+ public:
+  Server(FactorCache& cache, ServerOptions opts) : cache_(cache), opts_(opts) {}
+
+  /// Register the system a fingerprint denotes (the cache calls `make` on
+  /// a miss). Submitting an unregistered fingerprint throws
+  /// fault::InvalidArgumentError.
+  void register_system(Fingerprint fp, SystemMaker make);
+
+  /// Submit one request at rhs.arrival_s (must be >= every earlier event
+  /// this server saw). Batches whose deadline already passed are flushed
+  /// first. Returns false (and drops the request) when the tenant is over
+  /// its admission quota.
+  bool submit(Request req);
+
+  /// Virtual time the earliest open batch closes; +infinity when none.
+  double next_close_s() const;
+
+  /// Execute the earliest closing batch (no-op when none are open).
+  void flush_next();
+
+  /// Execute every batch closing strictly before `t_s`.
+  void flush_until(double t_s);
+
+  /// Execute everything still queued, in deadline order.
+  void drain();
+
+  /// Completions in execution order. Grows on every flush.
+  const std::vector<Completion>& completions() const { return completions_; }
+  /// Transfer completions out (keeps memory bounded in long load runs).
+  std::vector<Completion> take_completions();
+
+  const ServerStats& stats() const { return stats_; }
+  const ServerOptions& options() const { return opts_; }
+  FactorCache& cache() { return cache_; }
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+ private:
+  struct OpenBatch {
+    double close_s = 0.0;          ///< armed deadline
+    std::vector<Request> items;    ///< arrival order
+  };
+
+  /// Execute the open batch for `fp`, closing it at `close_s`.
+  void run_batch(Fingerprint fp, double close_s);
+  int queued_for_tenant(int tenant) const;
+
+  FactorCache& cache_;
+  ServerOptions opts_;
+  std::map<Fingerprint, SystemMaker> systems_;
+  std::map<Fingerprint, OpenBatch> open_;  ///< ordered: deterministic ties
+  std::vector<Completion> completions_;
+  ServerStats stats_;
+  double free_s_ = 0.0;  ///< executor becomes idle at this virtual time
+};
+
+}  // namespace ardbt::service

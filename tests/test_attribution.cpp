@@ -151,7 +151,7 @@ void traced_session(obs::Tracer* tracer, int threads) {
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.tracer = tracer;
   engine.threads_per_rank = threads;
-  (void)core::solve(core::Method::kArd, sys, b, /*nranks=*/4, {}, engine);
+  (void)core::solve(core::Method::kArd, sys, b, /*nranks=*/4, {.engine = engine});
 }
 
 TEST(Attribution, PartitionsEngineMakespanExactly) {
@@ -277,7 +277,7 @@ TEST(CostModel, PaperTermsPredictEngineFactorTime) {
   const auto b = btds::make_rhs(n, m, 4);
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
-  const auto res = core::solve(core::Method::kArd, sys, b, p, {}, engine);
+  const auto res = core::solve(core::Method::kArd, sys, b, p, {.engine = engine});
 
   obs::CostModel::Constants c;
   c.seconds_per_flop = 1.0 / engine.cost.flop_rate;

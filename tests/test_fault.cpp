@@ -179,7 +179,7 @@ core::Session make_session(const btds::BlockTridiag& sys, fault::BreakdownPolicy
     engine.fault_plan = plan;
     engine.recv_timeout_wall = 10.0;
   }
-  return core::Session(core::Method::kArd, sys, 4, {}, engine);
+  return core::Session(core::Method::kArd, sys, 4, {.engine = engine});
 }
 
 TEST(Ladder, SingularPivotFailsFastByDefault) {

@@ -203,7 +203,7 @@ core::DriverResult traced_solve(obs::Tracer* tracer) {
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.tracer = tracer;
-  return core::solve(core::Method::kArd, sys, b, /*nranks=*/4, {}, engine);
+  return core::solve(core::Method::kArd, sys, b, /*nranks=*/4, {.engine = engine});
 }
 
 TEST(TraceEngine, ChargedFlopsStreamsAreDeterministic) {

@@ -32,11 +32,11 @@ TEST(PerfRegression, ArdSpeedupOverPerRhsAtR256) {
   const auto b = make_rhs(n, m, r);
   const auto engine = deterministic_engine();
 
-  const auto ard = solve(Method::kArd, sys, b, p, {}, engine);
+  const auto ard = solve(Method::kArd, sys, b, p, {.engine = engine});
   const double t_ard = ard.factor_vtime + ard.solve_vtime;
   // RD-per-RHS via the exact identity R * (factor + solve(R=1)).
   const auto b1 = make_rhs(n, m, 1);
-  const auto one = solve(Method::kArd, sys, b1, p, {}, engine);
+  const auto one = solve(Method::kArd, sys, b1, p, {.engine = engine});
   const double t_rd = static_cast<double>(r) * (one.factor_vtime + one.solve_vtime);
 
   const double speedup = t_rd / t_ard;
@@ -50,7 +50,7 @@ TEST(PerfRegression, SolvePhaseIsMuchCheaperThanFactor) {
   const index_t n = 1024, m = 32;
   const auto sys = make_problem(ProblemKind::kDiagDominant, n, m);
   const auto b = make_rhs(n, m, 1);
-  const auto res = solve(Method::kArd, sys, b, 4, {}, deterministic_engine());
+  const auto res = solve(Method::kArd, sys, b, 4, {.engine = deterministic_engine()});
   // factor/solve(R=1) ~ 1.8 M ~ 57 at M=32; catch order-of-magnitude breaks.
   EXPECT_GT(res.factor_vtime / res.solve_vtime, 20.0);
   EXPECT_LT(res.factor_vtime / res.solve_vtime, 200.0);
@@ -61,8 +61,8 @@ TEST(PerfRegression, StrongScalingReachesConfiguredFloor) {
   const auto sys = make_problem(ProblemKind::kDiagDominant, n, m);
   const auto b = make_rhs(n, m, r);
   const auto engine = deterministic_engine();
-  const auto t_p2 = solve(Method::kArd, sys, b, 2, {}, engine);
-  const auto t_p32 = solve(Method::kArd, sys, b, 32, {}, engine);
+  const auto t_p2 = solve(Method::kArd, sys, b, 2, {.engine = engine});
+  const auto t_p32 = solve(Method::kArd, sys, b, 32, {.engine = engine});
   const double speedup =
       (t_p2.factor_vtime + t_p2.solve_vtime) / (t_p32.factor_vtime + t_p32.solve_vtime);
   // 16x more ranks must buy at least 6x once past the serial specialization.
@@ -75,8 +75,8 @@ TEST(PerfRegression, PcrPaysTheLogNFactor) {
   const auto sys = make_problem(ProblemKind::kDiagDominant, n, m);
   const auto b = make_rhs(n, m, r);
   const auto engine = deterministic_engine();
-  const auto ard = solve(Method::kArd, sys, b, p, {}, engine);
-  const auto pcr = solve(Method::kPcr, sys, b, p, {}, engine);
+  const auto ard = solve(Method::kArd, sys, b, p, {.engine = engine});
+  const auto pcr = solve(Method::kPcr, sys, b, p, {.engine = engine});
   const double ratio = (pcr.factor_vtime + pcr.solve_vtime) /
                        (ard.factor_vtime + ard.solve_vtime);
   EXPECT_GT(ratio, 2.0);  // log2(4096) = 12 levels vs a constant
@@ -86,8 +86,8 @@ TEST(PerfRegression, VirtualTimesAreExactlyReproducible) {
   const auto sys = make_problem(ProblemKind::kToeplitz, 128, 8);
   const auto b = make_rhs(128, 8, 8);
   const auto engine = deterministic_engine();
-  const auto r1 = solve(Method::kArd, sys, b, 4, {}, engine);
-  const auto r2 = solve(Method::kArd, sys, b, 4, {}, engine);
+  const auto r1 = solve(Method::kArd, sys, b, 4, {.engine = engine});
+  const auto r2 = solve(Method::kArd, sys, b, 4, {.engine = engine});
   EXPECT_DOUBLE_EQ(r1.factor_vtime, r2.factor_vtime);
   EXPECT_DOUBLE_EQ(r1.solve_vtime, r2.solve_vtime);
 }

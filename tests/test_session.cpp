@@ -29,8 +29,8 @@ TEST(Session, MatchesLegacyOneShotExactlyPerMethod) {
   const auto sys = make_problem(ProblemKind::kDiagDominant, 16, 3);
   const auto b = make_rhs(16, 3, 5);
   for (Method method : kAllMethods) {
-    const DriverResult legacy = solve(method, sys, b, 4, {}, charged());
-    Session session(method, sys, 4, {}, charged());
+    const DriverResult legacy = solve(method, sys, b, 4, {.engine = charged()});
+    Session session(method, sys, 4, {.engine = charged()});
     session.factor();
     const la::Matrix x = session.solve(b);
     EXPECT_TRUE(x == legacy.x) << to_string(method);
@@ -41,7 +41,7 @@ TEST(Session, FactorOnceThenRepeatedSolves) {
   const auto sys = make_problem(ProblemKind::kPoisson2D, 24, 4);
   const auto b1 = make_rhs(24, 4, 3, 1);
   const auto b2 = make_rhs(24, 4, 7, 2);
-  Session session(Method::kArd, sys, 4, {}, charged());
+  Session session(Method::kArd, sys, 4, {.engine = charged()});
   EXPECT_FALSE(session.factored());
   session.factor();
   EXPECT_TRUE(session.factored());
@@ -67,7 +67,7 @@ TEST(Session, FactorOnceThenRepeatedSolves) {
 TEST(Session, AutoFactorsOnFirstSolve) {
   const auto sys = make_problem(ProblemKind::kDiagDominant, 12, 2);
   const auto b = make_rhs(12, 2, 4);
-  Session session(Method::kPcr, sys, 3, {}, charged());
+  Session session(Method::kPcr, sys, 3, {.engine = charged()});
   const la::Matrix x = session.solve(b);
   EXPECT_TRUE(session.factored());
   EXPECT_GT(session.factor_vtime(), 0.0);
@@ -78,7 +78,7 @@ TEST(Session, ClassicRdHasNoFactorPhase) {
   const auto sys = make_problem(ProblemKind::kDiagDominant, 12, 2);
   const auto b = make_rhs(12, 2, 2);
   for (Method method : {Method::kRdBatched, Method::kRdPerRhs}) {
-    Session session(method, sys, 3, {}, charged());
+    Session session(method, sys, 3, {.engine = charged()});
     const la::Matrix x = session.solve(b);
     EXPECT_EQ(session.factor_vtime(), 0.0) << to_string(method);
     EXPECT_GT(session.solve_vtimes().at(0), 0.0) << to_string(method);
@@ -138,7 +138,7 @@ TEST(Session, RunsChainOnOneVirtualTimeline) {
   // report's virtual time keeps growing: factor < factor+solve < ...
   const auto sys = make_problem(ProblemKind::kDiagDominant, 16, 3);
   const auto b = make_rhs(16, 3, 4);
-  Session session(Method::kArd, sys, 4, {}, charged());
+  Session session(Method::kArd, sys, 4, {.engine = charged()});
   session.factor();
   const double after_factor = session.report().max_virtual_time();
   session.solve(b);
@@ -158,7 +158,7 @@ TEST(Session, ArdSolveIsArenaSteadyStateAfterFirstSolve) {
   const auto sys = make_problem(ProblemKind::kPoisson2D, 24, 4);
   const auto b = make_rhs(24, 4, 5, 3);
   const int nranks = 4;
-  Session session(Method::kArd, sys, nranks, {}, charged());
+  Session session(Method::kArd, sys, nranks, {.engine = charged()});
   session.factor();
 
   for (int r = 0; r < nranks; ++r) {
@@ -201,10 +201,43 @@ TEST(Session, ArdSolveIsArenaSteadyStateAfterFirstSolve) {
 
 TEST(Session, RejectsBadShapesAndRankCounts) {
   const auto sys = make_problem(ProblemKind::kDiagDominant, 8, 2);
-  EXPECT_THROW(Session(Method::kArd, sys, 0), std::invalid_argument);
+  // Structured errors (fault:: taxonomy) rather than raw std exceptions,
+  // so service-layer callers can dispatch on code().
+  EXPECT_THROW(Session(Method::kArd, sys, 0), fault::InvalidArgumentError);
+  try {
+    Session(Method::kArd, sys, 0);
+    FAIL() << "non-positive nranks must throw";
+  } catch (const fault::SolveError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kInvalidArgument);
+  }
   Session session(Method::kArd, sys, 2);
   const la::Matrix wrong(7, 3);
-  EXPECT_THROW(session.solve(wrong), std::invalid_argument);
+  EXPECT_THROW(session.solve(wrong), fault::ShapeMismatchError);
+  try {
+    session.solve(wrong);
+    FAIL() << "wrong row count must throw";
+  } catch (const fault::ShapeMismatchError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kShapeMismatch);
+    EXPECT_EQ(e.got(), 7);
+    EXPECT_EQ(e.expected(), 16);
+  }
+}
+
+TEST(Session, SharedOwnershipKeepsSystemAlive) {
+  // The owning constructor: the Session must stay valid after the caller
+  // drops its last reference to the system (the FactorCache eviction
+  // contract).
+  auto sys = std::make_shared<const btds::BlockTridiag>(
+      make_problem(ProblemKind::kDiagDominant, 8, 2));
+  const la::Matrix b = make_rhs(8, 2, 3);
+  Session session(Method::kArd, sys, 2, {.engine = charged()});
+  session.factor();
+  const std::weak_ptr<const btds::BlockTridiag> weak = sys;
+  sys.reset();
+  EXPECT_FALSE(weak.expired()) << "session must co-own the system";
+  const la::Matrix x = session.solve(b);
+  EXPECT_LT(btds::relative_residual(*weak.lock(), x, b), 1e-10);
+  EXPECT_THROW(Session(Method::kArd, nullptr, 2), fault::InvalidArgumentError);
 }
 
 }  // namespace

@@ -68,7 +68,13 @@ TEST(Driver, SessionSolvesEveryBatch) {
 
 TEST(Driver, SessionRejectsNullBatch) {
   const auto sys = make_problem(ProblemKind::kDiagDominant, 8, 2);
-  EXPECT_THROW(ard_session(sys, {nullptr}, 2), std::invalid_argument);
+  EXPECT_THROW(ard_session(sys, {nullptr}, 2), fault::InvalidArgumentError);
+  try {
+    ard_session(sys, {nullptr}, 2);
+    FAIL() << "null batch must throw";
+  } catch (const fault::SolveError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kInvalidArgument);
+  }
 }
 
 TEST(Driver, PerRhsChargesMoreFlopsThanArd) {

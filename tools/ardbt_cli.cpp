@@ -47,6 +47,25 @@
 //                     pivot before solving (see --plant-eps)
 //   --plant-eps E     smallest pivot magnitude planted by --plant-pivot
 //                     (default 0 = exactly singular)
+//   --serve           run the solver-as-a-service scenario instead of one
+//                     solve: a FactorCache + batching Server replays a
+//                     deterministic client load on the virtual clock and
+//                     prints latency/throughput/cache statistics
+//                     (docs/SERVICE.md). Reuses --kind/--n/--m/--p/--seed/
+//                     --threads (serve defaults N to 96); ignores --r.
+//   --arrival MODE    serve load shape: closed (think-time population) |
+//                     open (fixed-rate arrivals)                  [closed]
+//   --requests K      serve: total requests to issue              [1024]
+//   --tenants T       serve: tenants sharing the server           [4]
+//   --clients C       serve: closed-loop client population        [32]
+//   --window S        serve: batching window, virtual seconds     [2e-3]
+//   --max-batch B     serve: columns per panel solve cap          [32]
+//   --pool K          serve: distinct systems in the workload     [4]
+//   --hot H           serve: hot-set size (90% of traffic)        [2]
+//   --think S         serve: closed-loop mean think time          [2e-3]
+//   --rate R          serve: open-loop arrival rate, req/s        [50e3]
+//   --quota Q         serve: per-tenant queued-column quota (0=off) [0]
+//   --budget-mb MB    serve: FactorCache byte budget (0=unlimited)  [0]
 //   --list    print available methods/kinds/flags and exit
 //   --help    same as --list
 
@@ -75,6 +94,9 @@
 #include "src/obs/live/telemetry.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/run_report.hpp"
+#include "src/service/factor_cache.hpp"
+#include "src/service/loadgen.hpp"
+#include "src/service/server.hpp"
 
 namespace {
 
@@ -86,6 +108,9 @@ constexpr const char* kKnownFlags[] = {
     "--save-x", "--trace",    "--json",     "--metrics", "--list",  "--help",
     "--on-breakdown", "--fault", "--plant-pivot", "--plant-eps",
     "--live-out", "--live-period", "--postmortem",
+    "--serve",  "--arrival",  "--requests", "--tenants", "--clients", "--window",
+    "--max-batch", "--pool",  "--hot",      "--think",  "--rate",  "--quota",
+    "--budget-mb",
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -208,6 +233,23 @@ void print_usage() {
   std::printf("                   (repeatable, deterministic; docs/ROBUSTNESS.md)\n");
   std::printf("  --plant-pivot I  plant a singular pivot in diagonal block I\n");
   std::printf("  --plant-eps E    planted pivot magnitude (default 0 = singular)\n");
+  std::printf("  --serve          run the multi-tenant service scenario: a\n");
+  std::printf("                   FactorCache + batching Server replays a\n");
+  std::printf("                   deterministic client load on the virtual clock\n");
+  std::printf("                   and prints latency/throughput/cache stats\n");
+  std::printf("                   (docs/SERVICE.md; serve defaults N to 96)\n");
+  std::printf("  --arrival MODE   serve load: closed | open (default closed)\n");
+  std::printf("  --requests K     serve: total requests (1024)\n");
+  std::printf("  --tenants T      serve: tenants sharing the server (4)\n");
+  std::printf("  --clients C      serve: closed-loop population (32)\n");
+  std::printf("  --window S       serve: batching window in virtual s (2e-3)\n");
+  std::printf("  --max-batch B    serve: columns per panel solve cap (32)\n");
+  std::printf("  --pool K         serve: distinct systems (4)\n");
+  std::printf("  --hot H          serve: hot-set size, 90%% of traffic (2)\n");
+  std::printf("  --think S        serve: closed-loop mean think time (2e-3)\n");
+  std::printf("  --rate R         serve: open-loop arrival rate req/s (50e3)\n");
+  std::printf("  --quota Q        serve: per-tenant queue quota, 0 = off (0)\n");
+  std::printf("  --budget-mb MB   serve: cache byte budget, 0 = unlimited (0)\n");
   std::printf("  --list / --help  this message\n");
 }
 
@@ -268,6 +310,16 @@ int main(int argc, char** argv) {
   std::vector<std::string> fault_kinds;
   la::index_t plant_pivot = -1;
   double plant_eps = 0.0;
+  bool serve = false;
+  bool n_explicit = false;
+  service::LoadOptions load;
+  load.requests = 1024;
+  load.clients = 32;
+  load.pool = 4;
+  double serve_window_s = 2e-3;
+  la::index_t serve_max_batch = 32;
+  int serve_quota = 0;
+  double serve_budget_mb = 0.0;
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.cost = mpsim::CostModel::cluster2014();
@@ -287,6 +339,7 @@ int main(int argc, char** argv) {
       kind = parse_kind(next());
     } else if (flag == "--n") {
       n = static_cast<la::index_t>(parse_int(flag, next(), 1));
+      n_explicit = true;
     } else if (flag == "--m") {
       m = static_cast<la::index_t>(parse_int(flag, next(), 1));
     } else if (flag == "--p") {
@@ -339,9 +392,104 @@ int main(int argc, char** argv) {
       } else {
         die("unknown timing mode '" + v + "'");
       }
+    } else if (flag == "--serve") {
+      serve = true;
+    } else if (flag == "--arrival") {
+      const std::string v = next();
+      if (v == "closed") {
+        load.arrival = service::Arrival::kClosed;
+      } else if (v == "open") {
+        load.arrival = service::Arrival::kOpen;
+      } else {
+        die("unknown arrival mode '" + v + "' (closed|open)");
+      }
+    } else if (flag == "--requests") {
+      load.requests = static_cast<int>(parse_int(flag, next(), 1, 1 << 24));
+    } else if (flag == "--tenants") {
+      load.tenants = static_cast<int>(parse_int(flag, next(), 1, 1 << 16));
+    } else if (flag == "--clients") {
+      load.clients = static_cast<int>(parse_int(flag, next(), 1, 1 << 20));
+    } else if (flag == "--window") {
+      serve_window_s = parse_double(flag, next(), 0.0);
+    } else if (flag == "--max-batch") {
+      serve_max_batch = static_cast<la::index_t>(parse_int(flag, next(), 1));
+    } else if (flag == "--pool") {
+      load.pool = static_cast<int>(parse_int(flag, next(), 1, 1 << 16));
+    } else if (flag == "--hot") {
+      load.hot = static_cast<int>(parse_int(flag, next(), 1, 1 << 16));
+    } else if (flag == "--think") {
+      load.think_s = parse_double(flag, next(), 0.0);
+    } else if (flag == "--rate") {
+      load.rate_rps = parse_double(flag, next(), 1.0);
+    } else if (flag == "--quota") {
+      serve_quota = static_cast<int>(parse_int(flag, next(), 0, 1 << 24));
+    } else if (flag == "--budget-mb") {
+      serve_budget_mb = parse_double(flag, next(), 0.0);
     } else {
       die_unknown_flag(flag);
     }
+  }
+
+  if (serve) {
+    // Solver-as-a-service scenario: no single system to generate — the
+    // load generator builds a pool of `--pool` systems from
+    // --kind/--n/--m/--seed and replays a deterministic client mix against
+    // the FactorCache + batching Server (docs/SERVICE.md). Everything
+    // below runs on the virtual clock, so the summary is bit-identical
+    // across reruns and --threads values under charged timing.
+    if (load.hot > load.pool) die("--hot must not exceed --pool");
+    load.kind = kind;
+    load.num_blocks = n_explicit ? n : 96;  // the one-shot default 1024 is
+                                            // oversized for a pooled load
+    load.block_size = m;
+    load.seed = seed;
+    if (load.num_blocks < p) die("need N >= P");
+
+    service::FactorCache::Options copts;
+    copts.method = method;
+    copts.nranks = p;
+    copts.byte_budget = static_cast<std::size_t>(serve_budget_mb * 1e6);
+    copts.session.engine = engine;
+    service::FactorCache cache(copts);
+
+    service::ServerOptions sopts;
+    sopts.window_s = serve_window_s;
+    sopts.max_batch_cols = serve_max_batch;
+    sopts.tenant_queue_quota = serve_quota;
+    service::Server server(cache, sopts);
+
+    const service::LoadResult lr = service::run_load(server, load);
+    const service::FactorCache::Stats& cs = cache.stats();
+    const service::ServerStats& ss = server.stats();
+    std::printf("ardbt: serve method=%s kind=%s N=%lld M=%lld P=%d arrival=%s\n",
+                std::string(core::to_string(method)).c_str(),
+                std::string(btds::to_string(kind)).c_str(),
+                static_cast<long long>(load.num_blocks),
+                static_cast<long long>(load.block_size), p,
+                load.arrival == service::Arrival::kClosed ? "closed" : "open");
+    std::printf("  load        : %d tenants, %d clients, pool %d (hot %d), window %.4g s\n",
+                load.tenants, load.clients, load.pool, load.hot, serve_window_s);
+    std::printf("  requests    : issued %llu, rejected %llu, completed %llu\n",
+                static_cast<unsigned long long>(lr.issued),
+                static_cast<unsigned long long>(lr.rejected),
+                static_cast<unsigned long long>(lr.completed));
+    std::printf("  latency     : p50 %.6g s, p99 %.6g s, mean %.6g s (virtual)\n", lr.p50_s,
+                lr.p99_s, lr.mean_s);
+    std::printf("  throughput  : %.6g req/s over %.6g s makespan (virtual)\n",
+                lr.throughput_rps, lr.makespan_s);
+    std::printf("  batching    : %llu batches, mean %.4g cols, executor busy %.6g s\n",
+                static_cast<unsigned long long>(lr.batches), lr.mean_batch_cols, ss.busy_s);
+    std::printf("  cache       : hit rate %.4f (%llu/%llu), entries %zu, resident %.3f MB, "
+                "evictions %llu\n",
+                cs.hit_rate(), static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.lookups), cache.size(),
+                static_cast<double>(cache.resident_bytes()) / 1e6,
+                static_cast<unsigned long long>(cs.evictions));
+    for (const auto& [tenant, completed] : lr.tenant_completed) {
+      std::printf("  tenant %-5d: completed %llu, p99 %.6g s\n", tenant,
+                  static_cast<unsigned long long>(completed), lr.tenant_p99_s.at(tenant));
+    }
+    return 0;
   }
   if (n < p) die("need N >= P");
 
@@ -462,7 +610,8 @@ int main(int argc, char** argv) {
           },
           engine);
     } else {
-      session = std::make_unique<core::Session>(method, sys, p, core::ArdOptions{}, engine);
+      session = std::make_unique<core::Session>(method, sys, p,
+                                                core::SessionConfig{.engine = engine});
       if (live) session->set_telemetry(live->handle());
       session->factor();
       res.x = session->solve(b);

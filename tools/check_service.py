@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Gate for the solver-as-a-service layer (docs/SERVICE.md).
+
+Runs the service load generator (bench_service --smoke --json) and the CLI
+--serve scenario, then validates:
+
+* report schema: an ardbt.run_report v2 document whose config carries the
+  service shape (and deliberately NO thread count — the virtual clock
+  makes threads irrelevant to the results, and the perf gate compares
+  configs literally);
+* replay: the bench's built-in re-run check (replay_identical) passed, and
+  the whole JSON document is byte-identical across two fresh runs and
+  across --threads 1 / --threads 3;
+* curves: the closed-loop table sweeps >= 3 batching windows, every row
+  completed all requests, and the cache hit rate clears 90% under the
+  default tenant mix;
+* fairness: the tenants table serves every tenant equally under the
+  round-robin batch policy;
+* eviction: the half-budget row holds fewer entries than the unlimited
+  row, actually evicts, and still answers (nonzero p99);
+* metrics: the embedded registry snapshot is filtered to the
+  deterministic set (no wall/cpu/panel names);
+* CLI: `ardbt --serve` prints a byte-identical summary across reruns and
+  thread counts;
+* history: when a committed BENCH_service.json is given, it is a valid
+  ardbt.bench_history v1 stream of run_report v2 entries with a matching
+  smoke/full config shape.
+
+Usage: check_service.py /path/to/bench_service /path/to/ardbt [BENCH_service.json]
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+NONDETERMINISTIC = ("wall", "cpu", "panel")
+MIN_WINDOWS = 3
+MIN_HIT_RATE = 0.9
+
+
+def fail(msg):
+    print(f"check_service: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, expect_code=0):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != expect_code:
+        fail(f"{' '.join(cmd)} exited {proc.returncode} (wanted {expect_code}):\n"
+             f"{proc.stdout}\n{proc.stderr}")
+    return proc
+
+
+def bench_report(bench, tmp, name, threads):
+    path = Path(tmp) / name
+    run([bench, "--smoke", "--threads", str(threads), "--json", str(path)])
+    return path.read_bytes()
+
+
+def check_report(data):
+    doc = json.loads(data.decode())
+    if doc.get("schema") != "ardbt.run_report" or doc.get("version") != 2:
+        fail(f"report header wrong: {doc.get('schema')!r} v{doc.get('version')!r}")
+    config = doc.get("config", {})
+    for key in ("n", "m", "p", "requests", "clients", "tenants", "pool", "hot",
+                "max_batch", "mode"):
+        if key not in config:
+            fail(f"config missing '{key}'")
+    if "threads" in config:
+        fail("config must not record a thread count (results are thread-invariant "
+             "and perf_gate compares configs literally)")
+    if doc.get("replay_identical") is not True:
+        fail("bench-internal replay check did not pass")
+
+    tables = doc.get("tables", {})
+    for name in ("closed_loop", "open_loop", "tenants", "eviction"):
+        if name not in tables:
+            fail(f"missing table '{name}'")
+
+    for loop in ("closed_loop", "open_loop"):
+        rows = tables[loop]
+        if len(rows) < MIN_WINDOWS:
+            fail(f"{loop}: only {len(rows)} window settings (need >= {MIN_WINDOWS})")
+        windows = [float(r["window"]) for r in rows]
+        if sorted(windows) != windows or len(set(windows)) != len(windows):
+            fail(f"{loop}: window column not strictly increasing: {windows}")
+        for r in rows:
+            for col in ("completed", "batches", "mean_cols", "hit_rate",
+                        "p50[s]", "p99[s]", "thr[rps]"):
+                if col not in r:
+                    fail(f"{loop}: row missing column '{col}'")
+            if int(r["completed"]) != int(config["requests"]):
+                fail(f"{loop}: window {r['window']} completed {r['completed']} of "
+                     f"{config['requests']} requests")
+            if float(r["hit_rate"]) <= MIN_HIT_RATE:
+                fail(f"{loop}: window {r['window']} hit rate {r['hit_rate']} <= "
+                     f"{MIN_HIT_RATE} under the default tenant mix")
+            if float(r["p99[s]"]) < float(r["p50[s]"]):
+                fail(f"{loop}: window {r['window']} has p99 < p50")
+
+    completed = {int(r["completed"]) for r in tables["tenants"]}
+    if len(tables["tenants"]) != int(config["tenants"]) or len(completed) != 1:
+        fail(f"tenants table not fair: {tables['tenants']}")
+
+    ev = {r["budget"]: r for r in tables["eviction"]}
+    if set(ev) != {"unlimited", "half"}:
+        fail(f"eviction table rows {sorted(ev)} != ['half', 'unlimited']")
+    if int(ev["half"]["entries"]) >= int(ev["unlimited"]["entries"]):
+        fail("half-budget cache does not hold fewer entries than unlimited")
+    if int(ev["half"]["evictions"]) == 0:
+        fail("half-budget run never evicted")
+    if float(ev["half"]["p99[s]"]) <= 0.0:
+        fail("half-budget run reports no latency — did it serve at all?")
+
+    metrics = doc.get("metrics", {})
+    if not metrics:
+        fail("report has no metrics section")
+    for section in metrics.values():
+        for name in section:
+            if any(tag in name for tag in NONDETERMINISTIC):
+                fail(f"nondeterministic metric '{name}' in report")
+    if not any("service.latency" in name for section in metrics.values()
+               for name in section):
+        fail("metrics section has no service.latency histograms")
+    print(f"check_service: report ok ({len(tables['closed_loop'])} closed-loop "
+          f"windows, {len(tables['tenants'])} tenants)")
+
+
+def check_bench_bit_stability(bench, tmp):
+    first = bench_report(bench, tmp, "svc1.json", threads=1)
+    again = bench_report(bench, tmp, "svc2.json", threads=1)
+    if first != again:
+        fail("bench report differs between two identical runs")
+    threaded = bench_report(bench, tmp, "svc3.json", threads=3)
+    if first != threaded:
+        fail("bench report differs between --threads 1 and --threads 3")
+    print(f"check_service: bench report bit-stable across runs and thread counts "
+          f"({len(first)} bytes)")
+    return first
+
+
+def serve_stdout(cli, threads):
+    proc = run([cli, "--serve", "--requests", "256", "--clients", "16",
+                "--n", "48", "--m", "4", "--pool", "2", "--hot", "1",
+                "--threads", str(threads)])
+    return proc.stdout
+
+
+def check_cli_serve(cli):
+    first = serve_stdout(cli, threads=1)
+    if "ardbt: serve" not in first or "hit rate" not in first:
+        fail(f"--serve summary missing expected lines:\n{first}")
+    if first != serve_stdout(cli, threads=1):
+        fail("--serve output differs between two identical runs")
+    if first != serve_stdout(cli, threads=3):
+        fail("--serve output differs between --threads 1 and --threads 3")
+    # Unknown serve values keep the structured error grammar.
+    proc = run([cli, "--serve", "--arrival", "sideways"], expect_code=2)
+    if "unknown arrival mode" not in proc.stderr:
+        fail(f"bad --arrival lost its diagnostic:\n{proc.stderr}")
+    proc = run([cli, "--serve", "--requests", "0"], expect_code=1)
+    if "ardbt: error: [invalid-argument]" not in proc.stderr:
+        fail(f"bad --requests lost the structured error grammar:\n{proc.stderr}")
+    print("check_service: cli --serve summary bit-stable across runs and "
+          "thread counts")
+
+
+def check_history(path):
+    lines = [l for l in Path(path).read_text().splitlines() if l.strip()]
+    if not lines:
+        fail(f"{path} is empty")
+    header = json.loads(lines[0])
+    if header.get("schema") != "ardbt.bench_history" or header.get("version") != 1:
+        fail(f"{path}: bad history header {header}")
+    entries = [json.loads(l) for l in lines[1:]]
+    if not entries:
+        fail(f"{path}: history has no run entries")
+    for i, entry in enumerate(entries, 2):
+        doc = entry.get("report", entry)
+        if doc.get("schema") != "ardbt.run_report" or doc.get("version") != 2:
+            fail(f"{path}:{i}: entry is not a run_report v2")
+        if "threads" in doc.get("config", {}):
+            fail(f"{path}:{i}: history entry records a thread count")
+        check_report(json.dumps(doc).encode())
+    print(f"check_service: history ok ({len(entries)} run(s) in {path})")
+
+
+def main():
+    if len(sys.argv) < 3:
+        fail("usage: check_service.py /path/to/bench_service /path/to/ardbt "
+             "[BENCH_service.json]")
+    bench, cli = sys.argv[1], sys.argv[2]
+    with tempfile.TemporaryDirectory() as tmp:
+        data = check_bench_bit_stability(bench, tmp)
+        check_report(data)
+        check_cli_serve(cli)
+    if len(sys.argv) > 3 and Path(sys.argv[3]).exists():
+        check_history(sys.argv[3])
+    print("check_service: PASS")
+
+
+if __name__ == "__main__":
+    main()
