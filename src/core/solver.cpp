@@ -184,10 +184,11 @@ void Session::log_outcome(const SolveOutcome& outcome) {
   }
 }
 
-void Session::dump_postmortem(const char* phase, std::string_view reason,
+void Session::dump_postmortem(const char* phase, fault::ErrorCode code,
                               const std::string& message) {
+  const std::string_view reason = fault::to_string(code);
   if (telemetry_.recorder != nullptr) {
-    telemetry_.recorder->note_anomaly(reason == "breakdown" ? "breakdown" : "error",
+    telemetry_.recorder->note_anomaly(code == fault::ErrorCode::kBreakdown ? "breakdown" : "error",
                                       vtime_cursor_, message);
   }
   if (telemetry_.log != nullptr) {
@@ -250,10 +251,10 @@ mpsim::RunReport Session::run_engine(const char* phase, const mpsim::RankFn& fn)
       return run;
     } catch (const fault::SolveError& e) {
       const bool retryable = engine_.on_breakdown != fault::BreakdownPolicy::kFailFast &&
-                             fault::is_transient(e.code()) &&
+                             fault::is_transient(e.status()) &&
                              last_retries_ < engine_.max_fault_retries;
       if (!retryable) {
-        dump_postmortem(phase, fault::to_string(e.code()), e.what());
+        dump_postmortem(phase, e.code(), e.what());
         throw;
       }
       ++last_retries_;
@@ -402,7 +403,7 @@ void Session::factor() {
       outcome.action = "failfast";
       log_outcome(outcome);
       outcomes_.push_back(std::move(outcome));
-      dump_postmortem("driver.factor", "breakdown", message);
+      dump_postmortem("driver.factor", fault::ErrorCode::kBreakdown, message);
       throw fault::BreakdownError("core::Session::factor", pivot_growth_,
                                   opts_.breakdown_growth_threshold);
     }
@@ -410,7 +411,7 @@ void Session::factor() {
     outcome.status = fault::Status::error(fault::ErrorCode::kBreakdown, message);
     outcome.action = policy == fault::BreakdownPolicy::kRefine ? "refine" : "fallback";
     outcome.detail = "breakdown flagged; solves take the recovery rung";
-    dump_postmortem("driver.factor", "breakdown", message);
+    dump_postmortem("driver.factor", fault::ErrorCode::kBreakdown, message);
   }
   log_outcome(outcome);
   outcomes_.push_back(std::move(outcome));
@@ -545,7 +546,7 @@ la::Matrix Session::solve(const la::Matrix& b) {
       const std::string message = "refined residual " + std::to_string(outcome.residual) +
                                   " above fallback tolerance";
       outcome.status = fault::Status::error(fault::ErrorCode::kBreakdown, message);
-      dump_postmortem("driver.solve", "breakdown", message);
+      dump_postmortem("driver.solve", fault::ErrorCode::kBreakdown, message);
       ensure_fallback();
       degraded_ = true;
       x = fallback_solve(b);

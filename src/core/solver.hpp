@@ -182,6 +182,12 @@ class Session {
 
   /// Robustness log, one entry per factor/solve phase (see SolveOutcome).
   const std::vector<SolveOutcome>& outcomes() const { return outcomes_; }
+  /// Latest ladder entry, or nullptr before any phase ran. Service-layer
+  /// callers read it to attach the triggering status and recovery rung of
+  /// a degraded solve to the Completion they hand back.
+  const SolveOutcome* last_outcome() const {
+    return outcomes_.empty() ? nullptr : &outcomes_.back();
+  }
   /// True once the session runs on the exact banded-LU fallback.
   bool degraded() const { return degraded_; }
   /// True when the breakdown monitor flagged the fast factorization
@@ -200,8 +206,9 @@ class Session {
   /// Structured log record for a ladder outcome (info when untroubled,
   /// warn when a recovery rung was taken).
   void log_outcome(const SolveOutcome& outcome);
-  /// Write the postmortem bundle (no-op without a postmortem_path).
-  void dump_postmortem(const char* phase, std::string_view reason, const std::string& message);
+  /// Write the postmortem bundle (no-op without a postmortem_path). The
+  /// code classifies the incident; its stable name becomes the reason.
+  void dump_postmortem(const char* phase, fault::ErrorCode code, const std::string& message);
   /// Factor the banded-LU fallback (rank 0, inside an engine run) if not
   /// already cached.
   void ensure_fallback();

@@ -49,6 +49,14 @@ std::string_view to_string(ErrorCode code) {
       return "shape-mismatch";
     case ErrorCode::kInvalidArgument:
       return "invalid-argument";
+    case ErrorCode::kDeadlineInfeasible:
+      return "deadline-infeasible";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kOverload:
+      return "overload";
+    case ErrorCode::kCircuitOpen:
+      return "circuit-open";
   }
   return "unknown";
 }
@@ -65,20 +73,42 @@ std::string_view to_string(AlertKind kind) {
       return "cost-model-drift";
     case AlertKind::kTraceDrop:
       return "trace-drop";
+    case AlertKind::kShedStorm:
+      return "shed-storm";
+    case AlertKind::kBreakerTrip:
+      return "breaker-trip";
   }
   return "unknown";
 }
 
 bool is_transient(ErrorCode code) {
   switch (code) {
+    // Communication-path faults: a re-run sees a clean wire.
     case ErrorCode::kMessageCorrupt:
     case ErrorCode::kInjectedCrash:
     case ErrorCode::kDeadline:
       return true;
-    default:
+    // Numerical failures are deterministic; argument/shape errors are
+    // caller bugs; service-boundary decisions (infeasible/expired
+    // deadline, shed, open breaker) are terminal for the request.
+    case ErrorCode::kOk:
+    case ErrorCode::kSingularPivot:
+    case ErrorCode::kNonSpdPivot:
+    case ErrorCode::kBreakdown:
+    case ErrorCode::kMessageSize:
+    case ErrorCode::kInternal:
+    case ErrorCode::kShapeMismatch:
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kDeadlineInfeasible:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kOverload:
+    case ErrorCode::kCircuitOpen:
       return false;
   }
+  return false;
 }
+
+bool is_transient(const Status& status) { return is_transient(status.code()); }
 
 SingularPivotError::SingularPivotError(ErrorCode code, const std::string& where,
                                        std::int64_t block_row, std::int64_t pivot_index,

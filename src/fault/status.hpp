@@ -38,6 +38,13 @@ enum class ErrorCode : std::uint8_t {
   kInternal,         ///< invariant violation that is not a caller error
   kShapeMismatch,    ///< kernel called with incompatible matrix dimensions
   kInvalidArgument,  ///< malformed user input (e.g. a garbage numeric flag)
+  // Service-boundary outcomes (docs/SERVICE.md). These classify why the
+  // admission controller or executor refused/abandoned a request; they are
+  // terminal decisions about *this* request, so none of them is transient.
+  kDeadlineInfeasible,  ///< admission: the deadline cannot be met even if started now
+  kDeadlineExceeded,    ///< executor: the deadline passed while the request was queued
+  kOverload,            ///< admission: shed by the overload controller
+  kCircuitOpen,         ///< admission: the tenant's circuit breaker is open
 };
 
 /// Stable lowercase name ("ok", "singular-pivot", ...).
@@ -45,8 +52,18 @@ std::string_view to_string(ErrorCode code);
 
 /// Transient failures are worth retrying at the run level: the fault was
 /// injected into (or detected on) the communication path and a re-run may
-/// not hit it again. Numerical failures are deterministic and are not.
+/// not hit it again. Numerical failures are deterministic and are not,
+/// and neither are service-boundary decisions (a shed or expired request
+/// must not be blindly re-queued — the retry-budget machinery decides).
 bool is_transient(ErrorCode code);
+
+class Status;
+
+/// Status-level overload: the classification every layer above the raw
+/// code should call, so a future split of one code into transient and
+/// permanent sub-cases (via the message or a detail field) needs exactly
+/// one edit here.
+bool is_transient(const Status& status);
 
 /// Lightweight status value for APIs that report rather than throw
 /// (per-solve outcomes in the run report).
@@ -226,6 +243,8 @@ enum class AlertKind : std::uint8_t {
   kArenaPressure,   ///< arena high-watermark close to its reserved capacity
   kCostModelDrift,  ///< measured/predicted phase time outside the threshold
   kTraceDrop,       ///< a bounded trace/recorder ring overwrote events
+  kShedStorm,       ///< the service shed a large share of offered load
+  kBreakerTrip,     ///< a tenant circuit breaker tripped during the run
 };
 
 /// Stable lowercase name ("straggler", "deadline-miss", ...).

@@ -76,8 +76,8 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
     const fault::SendActions actions = world_->plan->on_send(rank_, dst, tag, vtime_);
     stats_.faults_injected += static_cast<std::uint64_t>(actions.injected_count);
     if (actions.crash) {
-      // Fail-stop before anything reaches the wire: the receiver sees the
-      // missing message only as a hang (caught by recv_timeout_wall).
+      // Fail-stop before anything reaches the wire: receivers observe the
+      // rank's death flag and abort at their data-flow-determined recv.
       if constexpr (obs::kTraceCompiledIn) {
         if (trace_ != nullptr) {
           trace_->instant(obs::SpanKind::kMark, "fault.crash", {vtime_, trace_->wall_now()}, dst, 0);
@@ -149,7 +149,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   for (;;) {
     const double v0 = vtime_;
     Message msg = world_->mailboxes[static_cast<std::size_t>(rank_)].pop(
-        src, tag, world_->aborted, world_->recv_timeout_wall);
+        src, tag, world_->dead[static_cast<std::size_t>(src)], world_->recv_timeout_wall);
     double waited = 0.0;
     if (msg.available_vtime > vtime_) {
       waited = msg.available_vtime - vtime_;

@@ -50,7 +50,11 @@ struct World {
   TimingMode timing = TimingMode::MeasuredCpu;
   double vtime_origin = 0.0;  ///< starting virtual time of every rank clock
   std::vector<Mailbox> mailboxes;
-  std::atomic<bool> aborted{false};
+  /// Per-rank death flags (release-stored by the engine when a rank thread
+  /// throws). Receives consult the flag of the rank they await, so failure
+  /// propagates along data-flow edges deterministically instead of through
+  /// a global abort racing against healthy ranks' progress.
+  std::vector<std::atomic<bool>> dead;
   /// Installed fault-injection plan, or null for the common fault-free
   /// path: the only per-message overhead without a plan is this pointer
   /// test (mirrors the tracer's null-hook design).
@@ -64,7 +68,7 @@ struct World {
 
   explicit World(int n, CostModel c, TimingMode t, double origin = 0.0)
       : nranks(n), cost(c), timing(t), vtime_origin(origin),
-        mailboxes(static_cast<std::size_t>(n)) {}
+        mailboxes(static_cast<std::size_t>(n)), dead(static_cast<std::size_t>(n)) {}
 };
 
 /// Per-rank endpoint handed to the rank function by Engine::run.

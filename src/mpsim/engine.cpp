@@ -60,11 +60,12 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
       (options.recorder != nullptr && options.recorder->enabled()) ? options.recorder : nullptr;
   if (recorder != nullptr) recorder->prepare(nranks);
 
-  std::mutex error_mutex;
-  // Root-cause error (anything but AbortedError) takes precedence over the
-  // AbortedError cascades it triggers in peer ranks.
-  std::exception_ptr first_error;
-  std::exception_ptr first_abort;
+  // Per-rank error slots (no shared mutable state, no lock): the reported
+  // error is the lowest-numbered rank's root cause — deterministic however
+  // the threads were scheduled. Root causes (anything but AbortedError)
+  // take precedence over the AbortedError cascades they trigger in peers.
+  std::vector<std::exception_ptr> rank_error(static_cast<std::size_t>(nranks));
+  std::vector<char> rank_root_cause(static_cast<std::size_t>(nranks), 0);
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -91,14 +92,16 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
         fn(comm);
         comm.sync_compute();  // fold trailing compute into the clock
       } catch (const AbortedError&) {
-        std::lock_guard lock(error_mutex);
-        if (!first_abort) first_abort = std::current_exception();
+        rank_error[static_cast<std::size_t>(r)] = std::current_exception();
+        // This rank died of a dead peer; mark it dead too so failure
+        // cascades along data-flow chains (a rank waiting on *us* must
+        // not hang). Release-store after our last send (see Mailbox::pop).
+        world.dead[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
+        for (auto& mb : world.mailboxes) mb.interrupt();
       } catch (...) {
-        {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        world.aborted.store(true, std::memory_order_relaxed);
+        rank_error[static_cast<std::size_t>(r)] = std::current_exception();
+        rank_root_cause[static_cast<std::size_t>(r)] = 1;
+        world.dead[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
         for (auto& mb : world.mailboxes) mb.interrupt();
       }
       RankStats s = comm.stats();
@@ -110,8 +113,16 @@ RunReport run(int nranks, const RankFn& fn, const EngineOptions& options) {
   const auto t1 = std::chrono::steady_clock::now();
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
 
-  if (first_error) std::rethrow_exception(first_error);
-  if (first_abort) std::rethrow_exception(first_abort);
+  for (int r = 0; r < nranks; ++r) {
+    if (rank_root_cause[static_cast<std::size_t>(r)]) {
+      std::rethrow_exception(rank_error[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (int r = 0; r < nranks; ++r) {
+    if (rank_error[static_cast<std::size_t>(r)]) {
+      std::rethrow_exception(rank_error[static_cast<std::size_t>(r)]);
+    }
+  }
   return report;
 }
 

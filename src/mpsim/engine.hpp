@@ -12,9 +12,11 @@
 /// \file engine.hpp
 /// Launches P logical ranks as host threads and runs a rank function on
 /// each, MPI "SPMD" style. The engine owns all shared state; ranks only
-/// see their Comm endpoint. If any rank throws, the run is aborted: blocked
-/// receives wake with AbortedError, all threads are joined, and the first
-/// exception is rethrown to the caller.
+/// see their Comm endpoint. If any rank throws it is marked dead; peers
+/// keep running until they block on a receive from a dead rank (data-flow
+/// failure propagation — deterministic under any thread schedule), those
+/// wake with AbortedError and die in turn, all threads are joined, and the
+/// lowest-numbered rank's root-cause exception is rethrown to the caller.
 
 namespace ardbt::mpsim {
 

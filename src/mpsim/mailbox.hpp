@@ -21,7 +21,12 @@
 
 namespace ardbt::mpsim {
 
-/// Thrown inside ranks when the run is aborted because some rank failed.
+/// Thrown inside ranks when a receive can never complete because the
+/// awaited peer died. Failure propagates along data-flow edges only: a
+/// rank keeps computing (and sending) until it blocks on a message that
+/// will never arrive, so the set of sends each rank performs in a failed
+/// run — and with it every one-shot FaultPlan ordinal consumed — is a
+/// pure function of the program, not of thread scheduling.
 class AbortedError : public std::runtime_error {
  public:
   AbortedError() : std::runtime_error("mpsim run aborted by a failing rank") {}
@@ -53,13 +58,21 @@ class Mailbox {
   }
 
   /// Block until a message from `source` with `tag` is present, then remove
-  /// and return it. Throws AbortedError if `aborted` becomes true, and
+  /// and return it. Throws AbortedError only once `source_dead` is set AND
+  /// no matching message is queued — a dead peer's pre-death sends are
+  /// still delivered, so how far the receiver progresses is data-flow
+  /// deterministic (never a race against the abort). Also throws
   /// fault::DeadlineError once `timeout_wall` seconds (0 = never) elapse
-  /// without a match — the hang detector for crashed or wedged peers.
-  Message pop(int source, int tag, const std::atomic<bool>& aborted, double timeout_wall = 0.0) {
+  /// without a match — the hang backstop for wedged (not crashed) peers.
+  Message pop(int source, int tag, const std::atomic<bool>& source_dead,
+              double timeout_wall = 0.0) {
     const auto t0 = std::chrono::steady_clock::now();
     std::unique_lock lock(mutex_);
     for (;;) {
+      // Read the flag before scanning: the dying rank's sends
+      // happen-before its release-store, so dead==true guarantees the
+      // scan below observes every message it ever pushed.
+      const bool dead = source_dead.load(std::memory_order_acquire);
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (it->source == source && it->tag == tag) {
           Message msg = std::move(*it);
@@ -67,7 +80,7 @@ class Mailbox {
           return msg;
         }
       }
-      if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
+      if (dead) throw AbortedError();
       if (timeout_wall > 0.0) {
         const double waited = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0).count();
@@ -77,7 +90,7 @@ class Mailbox {
     }
   }
 
-  /// Wake any blocked pop so it can observe an abort.
+  /// Wake any blocked pop so it can observe a peer death.
   void interrupt() { cv_.notify_all(); }
 
   /// Number of queued (unreceived) messages; for tests.

@@ -129,6 +129,35 @@ std::size_t Watchdogs::check_cost(const std::vector<CostVerdict>& verdicts, doub
   return raised;
 }
 
+std::size_t Watchdogs::check_service(std::uint64_t offered, std::uint64_t shed,
+                                     std::uint64_t breaker_trips, double vtime_s) {
+  std::size_t raised = 0;
+  if (offered > 0 && shed > 0) {
+    const double frac = static_cast<double>(shed) / static_cast<double>(offered);
+    if (frac >= options_.shed_storm_fraction) {
+      Json fields = Json::object();
+      fields.set("offered", offered);
+      fields.set("shed", shed);
+      fields.set("fraction", frac);
+      raise(fault::AlertKind::kShedStorm, vtime_s,
+            "admission shed " + format_double(100.0 * frac) + "% of offered columns",
+            std::move(fields));
+      ++raised;
+    }
+  }
+  for (std::uint64_t i = 0; i < breaker_trips; ++i) {
+    Json fields = Json::object();
+    fields.set("trip", i + 1);
+    fields.set("trips_total", breaker_trips);
+    raise(fault::AlertKind::kBreakerTrip, vtime_s,
+          "tenant circuit breaker trip " + std::to_string(i + 1) + " of " +
+              std::to_string(breaker_trips),
+          std::move(fields));
+    ++raised;
+  }
+  return raised;
+}
+
 std::size_t Watchdogs::check_trace_drops(std::uint64_t dropped, double vtime_s) {
   if (dropped == 0) return 0;
   Json fields = Json::object();

@@ -51,6 +51,8 @@ struct WatchdogOptions {
   double straggler_min_wait_fraction = 0.25;
   /// Arena alert when high_watermark / capacity reaches this fraction.
   double arena_fraction = 0.9;
+  /// Shed-storm alert when shed / offered columns reaches this fraction.
+  double shed_storm_fraction = 0.1;
 };
 
 /// One raised alert (also what lands in the log record's fields).
@@ -89,6 +91,14 @@ class Watchdogs {
 
   /// Trace/recorder ring overflow detector (`dropped` events lost).
   std::size_t check_trace_drops(std::uint64_t dropped, double vtime_s);
+
+  /// Service-resilience detector over one load run's admission and
+  /// breaker counters: raises kShedStorm when the shed share of offered
+  /// columns reaches `shed_storm_fraction` (admission is actively
+  /// refusing a large slice of traffic — capacity, not a blip) and one
+  /// kBreakerTrip per tenant breaker trip observed.
+  std::size_t check_service(std::uint64_t offered, std::uint64_t shed,
+                            std::uint64_t breaker_trips, double vtime_s);
 
   std::uint64_t alerts_raised() const { return alerts_raised_; }
   /// Alerts raised so far, oldest first (bounded by kMaxKeptAlerts).

@@ -32,6 +32,16 @@ FactorCache::Lease FactorCache::acquire(Fingerprint fp, const SystemMaker& make)
   return Lease{std::move(session), /*hit=*/false, factor_vtime_s};
 }
 
+bool FactorCache::invalidate(Fingerprint fp) {
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) return false;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);  // in-flight Leases still hold the Session
+  ++stats_.invalidations;
+  return true;
+}
+
 void FactorCache::evict_while_over_budget() {
   if (opts_.byte_budget == 0) return;
   // Never evict the MRU entry (the one just inserted or touched): a single
@@ -54,6 +64,7 @@ void FactorCache::export_metrics(obs::MetricsRegistry& reg) const {
   reg.counter("service.cache.hits").add(stats_.hits);
   reg.counter("service.cache.misses").add(stats_.misses);
   reg.counter("service.cache.evictions").add(stats_.evictions);
+  reg.counter("service.cache.invalidations").add(stats_.invalidations);
 }
 
 }  // namespace ardbt::service

@@ -58,6 +58,7 @@ class FactorCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
     double hit_rate() const {
       return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
     }
@@ -80,6 +81,14 @@ class FactorCache {
   /// Session for it, insert, and evict LRU entries while over budget.
   /// Always returns a usable Lease.
   Lease acquire(Fingerprint fp, const SystemMaker& make);
+
+  /// Drop the entry for `fp` (no-op, returning false, when not resident).
+  /// The server calls this when a batch on the entry hit a factorization
+  /// breakdown: the cached Session is suspect, so the next acquire
+  /// refactors from scratch. Same lifetime contract as eviction —
+  /// in-flight Leases keep the dropped Session (and its system) alive and
+  /// solvable until the last one releases it.
+  bool invalidate(Fingerprint fp);
 
   bool contains(Fingerprint fp) const { return entries_.count(fp) > 0; }
   std::size_t size() const { return entries_.size(); }

@@ -6,34 +6,18 @@
 #include <vector>
 
 #include "src/fault/status.hpp"
+#include "src/obs/live/watchdog.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/service/fingerprint.hpp"
+#include "src/service/rng.hpp"
 
 namespace ardbt::service {
 
 namespace {
 
-/// splitmix64 — the only randomness source in the generator; a pure
-/// function of the seed, so replays are byte-identical.
-std::uint64_t splitmix64(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ull;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-double uniform01(std::uint64_t& state) {
-  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
-}
-
-/// Jittered interval with mean `mean_s`, drawn from [0.5, 1.5) * mean.
-/// Bounded on purpose (no exponential tail): keeps every interval a
-/// plain arithmetic function of the RNG stream, with no libm calls whose
-/// rounding could differ across toolchains.
-double jittered(std::uint64_t& state, double mean_s) {
-  return mean_s * (0.5 + uniform01(state));
-}
+// splitmix64 / uniform01 / jittered — the generator's only randomness —
+// live in rng.hpp, shared with the server's retry-backoff jitter and
+// pinned by goldens in tests/test_resilience.cpp.
 
 struct PoolEntry {
   Fingerprint fp = 0;
@@ -49,7 +33,8 @@ la::Matrix make_column(la::index_t rows, std::uint64_t seed) {
 
 }  // namespace
 
-LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistry* metrics) {
+LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistry* metrics,
+                    obs::live::Watchdogs* watchdogs) {
   if (opts.pool <= 0 || opts.requests <= 0 || opts.tenants <= 0) {
     throw fault::InvalidArgumentError("service::run_load",
                                       "pool, requests and tenants must be positive");
@@ -99,13 +84,28 @@ LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistr
       const Completion& c = done[scanned];
       ++result.completed;
       ++result.tenant_completed[c.tenant];
-      const double lat = c.latency_s();
-      all.observe(lat);
-      per_tenant[c.tenant].observe(lat);
-      if (metrics != nullptr) {
-        metrics->latency("service.latency.all_s").observe(lat);
-        metrics->latency("service.latency.tenant." + std::to_string(c.tenant) + "_s")
-            .observe(lat);
+      switch (c.outcome) {
+        case Outcome::kDone: {
+          ++result.done;
+          if (c.error != fault::ErrorCode::kOk) ++result.degraded;
+          // Only solved requests contribute latency samples: a cancelled
+          // or failed request has no service latency worth averaging in.
+          const double lat = c.latency_s();
+          all.observe(lat);
+          per_tenant[c.tenant].observe(lat);
+          if (metrics != nullptr) {
+            metrics->latency("service.latency.all_s").observe(lat);
+            metrics->latency("service.latency.tenant." + std::to_string(c.tenant) + "_s")
+                .observe(lat);
+          }
+          break;
+        }
+        case Outcome::kFailed:
+          ++result.failed;
+          break;
+        case Outcome::kDeadlineExceeded:
+          ++result.deadline_exceeded;
+          break;
       }
       result.makespan_s = std::max(result.makespan_s, c.finish_s);
     }
@@ -120,6 +120,7 @@ LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistr
     std::uint64_t seq = 0;
     std::vector<std::uint64_t> rng(static_cast<std::size_t>(opts.clients));
     std::vector<int> remaining(static_cast<std::size_t>(opts.clients));
+    std::vector<int> resubmits(static_cast<std::size_t>(opts.clients), 0);
     const int base = opts.requests / opts.clients;
     for (int c = 0; c < opts.clients; ++c) {
       rng[static_cast<std::size_t>(c)] = opts.seed ^ (0xC0FFEEull + 0x9e3779b97f4a7c15ull *
@@ -154,13 +155,24 @@ LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistr
         req.system = entry.fp;
         req.rhs = make_column(rows, opts.seed ^ (0x5eedc01ull + id * 0x9e3779b97f4a7c15ull));
         req.arrival_s = t;
-        if (server.submit(std::move(req))) {
+        if (opts.deadline_s > 0.0) req.deadline_s = t + jittered(state, opts.deadline_s);
+        if (server.try_submit(std::move(req)) == Admission::kAdmitted) {
           ++result.issued;
+          resubmits[static_cast<std::size_t>(c)] = 0;
         } else {
           ++result.rejected;
-          // Retry the same logical request after a backoff; remaining was
-          // already decremented when it was scheduled.
-          arrivals.emplace(t + jittered(state, opts.retry_backoff_s), seq++, c);
+          if (opts.max_resubmits > 0 &&
+              ++resubmits[static_cast<std::size_t>(c)] > opts.max_resubmits) {
+            // Abandon this logical request (its `remaining` slot was spent
+            // when it was scheduled) and think toward the next one.
+            ++result.gave_up;
+            resubmits[static_cast<std::size_t>(c)] = 0;
+            schedule(c, t + jittered(state, opts.think_s));
+          } else {
+            // Retry the same logical request after a backoff; remaining
+            // was already decremented when it was scheduled.
+            arrivals.emplace(t + jittered(state, opts.retry_backoff_s), seq++, c);
+          }
         }
       } else {
         server.flush_next();
@@ -194,10 +206,11 @@ LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistr
       req.system = entry.fp;
       req.rhs = make_column(rows, opts.seed ^ (0x5eedc01ull + id * 0x9e3779b97f4a7c15ull));
       req.arrival_s = t;
-      if (server.submit(std::move(req))) {
+      if (opts.deadline_s > 0.0) req.deadline_s = t + jittered(state, opts.deadline_s);
+      if (server.try_submit(std::move(req)) == Admission::kAdmitted) {
         ++result.issued;
       } else {
-        ++result.rejected;
+        ++result.rejected;  // open loop: rejections are terminal, no retry
       }
       scan_completions();
     }
@@ -225,7 +238,30 @@ LoadResult run_load(Server& server, const LoadOptions& opts, obs::MetricsRegistr
           ? static_cast<double>(s1.batch_cols - server0.batch_cols) /
                 static_cast<double>(result.batches)
           : 0.0;
-  if (metrics != nullptr) server.cache().export_metrics(*metrics);
+  result.goodput_rps =
+      result.makespan_s > 0.0 ? static_cast<double>(result.done) / result.makespan_s : 0.0;
+  // Admission/resilience activity attributable to this run (deltas, so a
+  // reused server reports only its own load).
+  result.quota_rejected = s1.rejected - server0.rejected;
+  const ResilienceStats& r0 = server0.resilience;
+  const ResilienceStats& r1 = s1.resilience;
+  result.shed = r1.shed - r0.shed;
+  result.breaker_rejected = r1.breaker_rejected - r0.breaker_rejected;
+  result.deadline_infeasible = r1.deadline_infeasible - r0.deadline_infeasible;
+  result.deadline_cancelled = r1.deadline_cancelled - r0.deadline_cancelled;
+  result.retries = r1.retries - r0.retries;
+  result.hedges = r1.hedges - r0.hedges;
+  result.retries_denied = r1.retries_denied - r0.retries_denied;
+  result.breaker_trips = r1.breaker_trips - r0.breaker_trips;
+  result.invalidations = r1.invalidations - r0.invalidations;
+  if (metrics != nullptr) {
+    server.cache().export_metrics(*metrics);
+    export_resilience_metrics(r1, *metrics);
+  }
+  if (watchdogs != nullptr) {
+    watchdogs->check_service(result.issued + result.rejected, result.shed, result.breaker_trips,
+                             result.makespan_s);
+  }
   return result;
 }
 

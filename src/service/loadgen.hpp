@@ -9,6 +9,9 @@
 namespace ardbt::obs {
 class MetricsRegistry;
 }
+namespace ardbt::obs::live {
+class Watchdogs;
+}
 
 /// \file loadgen.hpp
 /// Deterministic closed/open-loop load generator for the service layer.
@@ -52,14 +55,22 @@ struct LoadOptions {
   btds::ProblemKind kind = btds::ProblemKind::kDiagDominant;
   std::uint64_t seed = 1;
   double retry_backoff_s = 1e-3;  ///< closed-loop resubmit delay after a rejection
+  /// Mean request deadline (relative to arrival, jittered like every
+  /// other interval); 0 = requests carry no deadline.
+  double deadline_s = 0.0;
+  /// Closed-loop clients abandon a logical request after this many
+  /// consecutive admission rejections (counted as LoadResult::gave_up)
+  /// and move on to their next one; 0 = resubmit forever. Under shed or
+  /// breaker backpressure a cap keeps the run finite by construction.
+  int max_resubmits = 0;
 };
 
 struct LoadResult {
   std::uint64_t issued = 0;     ///< submit() calls (accepted)
-  std::uint64_t rejected = 0;   ///< admission rejections
-  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   ///< admission rejections (all classes)
+  std::uint64_t completed = 0;  ///< admitted requests that terminated
   double makespan_s = 0.0;      ///< last completion on the virtual clock
-  double p50_s = 0.0;           ///< request latency percentiles
+  double p50_s = 0.0;           ///< solved-request latency percentiles
   double p99_s = 0.0;
   double mean_s = 0.0;
   double throughput_rps = 0.0;  ///< completed / makespan
@@ -68,6 +79,31 @@ struct LoadResult {
   double mean_batch_cols = 0.0;
   std::map<int, std::uint64_t> tenant_completed;
   std::map<int, double> tenant_p99_s;
+
+  // Typed terminal states of admitted requests (sums to `completed`);
+  // latency percentiles above observe only `done` — a cancelled request
+  // has no service latency worth averaging in.
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t degraded = 0;  ///< of `done`: served via a recovery rung
+  /// Closed-loop logical requests abandoned after max_resubmits
+  /// consecutive rejections.
+  std::uint64_t gave_up = 0;
+  double goodput_rps = 0.0;  ///< done / makespan — the SLO throughput
+
+  // Admission rejections by class (sums to `rejected`), and the server's
+  // resilience activity during the run (deltas of ServerStats).
+  std::uint64_t quota_rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t breaker_rejected = 0;
+  std::uint64_t deadline_infeasible = 0;
+  std::uint64_t deadline_cancelled = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t retries_denied = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t invalidations = 0;
 };
 
 /// Generate the system pool, register it with `server`, replay the load,
@@ -76,8 +112,10 @@ struct LoadResult {
 /// "service.latency.tenant.<id>_s" LatencyHistograms, and the cache
 /// exports its gauges — the percentiles in LoadResult come from those
 /// same histograms (count-based: bit-identical for any observation
-/// order).
+/// order). When `watchdogs` is non-null the shed-storm / breaker-trip
+/// detectors run once over the load's admission counters at the end.
 LoadResult run_load(Server& server, const LoadOptions& opts,
-                    obs::MetricsRegistry* metrics = nullptr);
+                    obs::MetricsRegistry* metrics = nullptr,
+                    obs::live::Watchdogs* watchdogs = nullptr);
 
 }  // namespace ardbt::service

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// The service layer's only randomness: a splitmix64 stream plus the
+/// bounded-jitter helpers built on it. Extracted from loadgen.cpp so the
+/// load generator and the resilience machinery (retry backoff jitter,
+/// deadline spread) draw from one shared, test-pinned implementation —
+/// tests/test_resilience.cpp goldens the exact sequences, which is what
+/// makes "byte-identical across reruns and --threads" checkable.
+///
+/// No std::random device, no host entropy, no libm: every value is a pure
+/// arithmetic function of the caller-held state word, so replays are
+/// byte-identical on any toolchain and any thread count.
+
+namespace ardbt::service {
+
+/// splitmix64 — advances `state` and returns the next 64-bit draw.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform draw in [0, 1) with 53 random mantissa bits.
+inline double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Jittered interval with mean `mean_s`, drawn from [0.5, 1.5) * mean.
+/// Bounded on purpose (no exponential tail): keeps every interval a
+/// plain arithmetic function of the RNG stream, with no libm calls whose
+/// rounding could differ across toolchains.
+inline double jittered(std::uint64_t& state, double mean_s) {
+  return mean_s * (0.5 + uniform01(state));
+}
+
+}  // namespace ardbt::service

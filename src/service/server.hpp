@@ -5,9 +5,11 @@
 #include <map>
 #include <vector>
 
+#include "src/fault/status.hpp"
 #include "src/la/matrix.hpp"
 #include "src/service/factor_cache.hpp"
 #include "src/service/fingerprint.hpp"
+#include "src/service/resilience.hpp"
 
 /// \file server.hpp
 /// Virtual-clock admission + batching front-end over the FactorCache.
@@ -34,6 +36,19 @@
 /// cannot starve others out of a batch. Spilled columns re-arm a new
 /// batch at close + window.
 ///
+/// Resilience (docs/ROBUSTNESS.md "Service resilience"): admission runs
+/// a typed pipeline — tenant quota, overload shed (queue-length +
+/// executor-backlog signals), per-tenant circuit breaker, deadline
+/// feasibility — and try_submit() reports which check refused. Admitted
+/// columns whose deadline passes while queued are cancelled at batch
+/// start. A batch whose solve throws a transient fault status is retried
+/// under the per-tenant retry budget (exponential backoff + jitter, one
+/// optional hedged attempt); a permanent failure is *contained* — only
+/// the batch's columns complete as Outcome::kFailed, the FactorCache
+/// entry is invalidated when the factorization broke down, and the
+/// server keeps serving. Every admitted request therefore ends in
+/// exactly one typed Completion.
+///
 /// Everything runs on the caller's thread against the virtual clock —
 /// submit/flush order is the only schedule, so identical request
 /// sequences give bit-identical completions for any --threads value.
@@ -48,10 +63,17 @@ struct Request {
   Fingerprint system = 0; ///< must be registered via Server::register_system
   la::Matrix rhs;         ///< (N*M) x 1 column
   double arrival_s = 0.0; ///< virtual arrival time; non-decreasing per caller
+  /// Virtual-clock deadline for the *completion*; infinity = none.
+  /// Admission rejects it as infeasible when the estimated finish already
+  /// misses it; the executor cancels it when its batch starts too late.
+  double deadline_s = std::numeric_limits<double>::infinity();
 };
 
-/// Lifecycle timestamps of one served request.
+/// Lifecycle timestamps and terminal state of one admitted request.
 struct Completion {
+  /// batch value for columns that never executed (cancelled or failed).
+  static constexpr std::uint64_t kNoBatch = ~0ull;
+
   std::uint64_t id = 0;
   int tenant = 0;
   int client = -1;
@@ -61,6 +83,13 @@ struct Completion {
   double start_s = 0.0;     ///< executor start (>= close_s under contention)
   double finish_s = 0.0;    ///< completion on the virtual clock
   bool cache_hit = false;   ///< batch found its factorization resident
+  Outcome outcome = Outcome::kDone;  ///< typed terminal state
+  /// Failure (or degradation) class: the thrown status for kFailed,
+  /// kDeadlineExceeded for cancellations, the recovery-triggering status
+  /// when the batch was served via a ladder rung, kOk otherwise.
+  fault::ErrorCode error = fault::ErrorCode::kOk;
+  int attempts = 1;         ///< solve attempts the batch spent (1 = no retry)
+  bool hedged = false;      ///< a hedged attempt was launched for the batch
   la::Matrix x;             ///< solution column (only when keep_solutions)
 
   double latency_s() const { return finish_s - arrival_s; }
@@ -76,6 +105,10 @@ struct ServerOptions {
   la::index_t tenant_batch_share = 0;
   /// Keep solution columns in completions (tests); off for load runs.
   bool keep_solutions = false;
+  /// Deadline/retry/shed/breaker policies (docs/ROBUSTNESS.md). The
+  /// defaults disable all of them, reproducing the pre-resilience server
+  /// byte for byte.
+  ResilienceOptions resilience{};
 };
 
 struct ServerStats {
@@ -85,6 +118,7 @@ struct ServerStats {
   std::uint64_t batches = 0;
   std::uint64_t batch_cols = 0; ///< summed served batch sizes
   double busy_s = 0.0;          ///< executor busy virtual seconds
+  ResilienceStats resilience;   ///< shed/breaker/retry/containment counters
 
   double mean_batch_cols() const {
     return batches > 0 ? static_cast<double>(batch_cols) / static_cast<double>(batches) : 0.0;
@@ -102,9 +136,13 @@ class Server {
 
   /// Submit one request at rhs.arrival_s (must be >= every earlier event
   /// this server saw). Batches whose deadline already passed are flushed
-  /// first. Returns false (and drops the request) when the tenant is over
-  /// its admission quota.
-  bool submit(Request req);
+  /// first. Returns the typed admission decision; anything but kAdmitted
+  /// drops the request (callers decide whether to resubmit — the shed and
+  /// breaker classes are explicit backpressure).
+  Admission try_submit(Request req);
+
+  /// Boolean convenience over try_submit (pre-resilience API).
+  bool submit(Request req) { return try_submit(std::move(req)) == Admission::kAdmitted; }
 
   /// Virtual time the earliest open batch closes; +infinity when none.
   double next_close_s() const;
@@ -138,6 +176,17 @@ class Server {
   /// Execute the open batch for `fp`, closing it at `close_s`.
   void run_batch(Fingerprint fp, double close_s);
   int queued_for_tenant(int tenant) const;
+  int queued_total() const;
+  CircuitBreaker& breaker(int tenant);
+  RetryBudget& budget(int tenant);
+  /// Spend one retry token on behalf of the batch: taken from the
+  /// participating tenant with the most tokens (ties -> lowest id).
+  bool spend_retry_token(const std::vector<Request>& items,
+                         const std::vector<std::size_t>& live);
+  /// Record a terminal completion for one column.
+  void complete(const Request& r, std::uint64_t batch_id, double close_s, double start_s,
+                double finish_s, bool cache_hit, Outcome outcome, fault::ErrorCode error,
+                int attempts, bool hedged, const la::Matrix* x, la::index_t col);
 
   FactorCache& cache_;
   ServerOptions opts_;
@@ -146,6 +195,12 @@ class Server {
   std::vector<Completion> completions_;
   ServerStats stats_;
   double free_s_ = 0.0;  ///< executor becomes idle at this virtual time
+  /// EWMA of observed batch service times: the admission controller's
+  /// feasibility estimate and the modeled cost of a failed attempt.
+  double est_service_s_ = 0.0;
+  bool have_est_ = false;
+  std::map<int, CircuitBreaker> breakers_;  ///< per tenant
+  std::map<int, RetryBudget> budgets_;      ///< per tenant
 };
 
 }  // namespace ardbt::service

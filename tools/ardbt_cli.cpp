@@ -92,6 +92,7 @@
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/cost_model.hpp"
 #include "src/obs/live/telemetry.hpp"
+#include "src/obs/live/watchdog.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/run_report.hpp"
 #include "src/service/factor_cache.hpp"
@@ -111,6 +112,8 @@ constexpr const char* kKnownFlags[] = {
     "--serve",  "--arrival",  "--requests", "--tenants", "--clients", "--window",
     "--max-batch", "--pool",  "--hot",      "--think",  "--rate",  "--quota",
     "--budget-mb",
+    "--deadline", "--retries", "--hedge", "--retry-budget", "--shed-queue",
+    "--shed-backlog", "--breaker", "--breaker-cooldown", "--max-resubmits",
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -250,6 +253,23 @@ void print_usage() {
   std::printf("  --rate R         serve: open-loop arrival rate req/s (50e3)\n");
   std::printf("  --quota Q        serve: per-tenant queue quota, 0 = off (0)\n");
   std::printf("  --budget-mb MB   serve: cache byte budget, 0 = unlimited (0)\n");
+  std::printf("  --deadline S     serve: mean request deadline, 0 = none (0);\n");
+  std::printf("                   infeasible deadlines are rejected at admission,\n");
+  std::printf("                   expired ones cancelled at batch start\n");
+  std::printf("  --retries K      serve: service-level retries of a batch that\n");
+  std::printf("                   failed with a transient fault status (0)\n");
+  std::printf("  --hedge          serve: take the first retry as a hedged attempt\n");
+  std::printf("  --retry-budget R serve: retry tokens accrued per admitted column\n");
+  std::printf("                   per tenant, capped at a burst of 4 (0.1)\n");
+  std::printf("  --shed-queue N   serve: shed admissions at N queued cols, 0 = off\n");
+  std::printf("  --shed-backlog S serve: shed when executor backlog exceeds S (0)\n");
+  std::printf("  --breaker K      serve: trip a tenant breaker after K consecutive\n");
+  std::printf("                   failures, 0 = off (0)\n");
+  std::printf("  --breaker-cooldown S  serve: open breaker half-opens after S (0.1)\n");
+  std::printf("  --max-resubmits K serve: closed-loop clients give up a request\n");
+  std::printf("                   after K consecutive rejections, 0 = never (0)\n");
+  std::printf("                   (--fault also applies to --serve: the plan is\n");
+  std::printf("                   injected into every cached session's engine)\n");
   std::printf("  --list / --help  this message\n");
 }
 
@@ -320,6 +340,7 @@ int main(int argc, char** argv) {
   la::index_t serve_max_batch = 32;
   int serve_quota = 0;
   double serve_budget_mb = 0.0;
+  service::ResilienceOptions resilience;
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.cost = mpsim::CostModel::cluster2014();
@@ -425,6 +446,27 @@ int main(int argc, char** argv) {
       serve_quota = static_cast<int>(parse_int(flag, next(), 0, 1 << 24));
     } else if (flag == "--budget-mb") {
       serve_budget_mb = parse_double(flag, next(), 0.0);
+    } else if (flag == "--deadline") {
+      load.deadline_s = parse_double(flag, next(), 0.0);
+    } else if (flag == "--retries") {
+      resilience.max_retries = static_cast<int>(parse_int(flag, next(), 0, 1 << 16));
+    } else if (flag == "--hedge") {
+      resilience.hedge = true;
+    } else if (flag == "--retry-budget") {
+      resilience.retry_budget_ratio = parse_double(flag, next(), 0.0);
+      // Ratio 0 means "no retry budget at all": also drop the initial
+      // burst, so every retry is denied rather than the first four.
+      if (resilience.retry_budget_ratio == 0.0) resilience.retry_budget_burst = 0.0;
+    } else if (flag == "--shed-queue") {
+      resilience.shed_queue_cols = static_cast<int>(parse_int(flag, next(), 0, 1 << 24));
+    } else if (flag == "--shed-backlog") {
+      resilience.shed_backlog_s = parse_double(flag, next(), 0.0);
+    } else if (flag == "--breaker") {
+      resilience.breaker_failures = static_cast<int>(parse_int(flag, next(), 0, 1 << 16));
+    } else if (flag == "--breaker-cooldown") {
+      resilience.breaker_cooldown_s = parse_double(flag, next(), 0.0);
+    } else if (flag == "--max-resubmits") {
+      load.max_resubmits = static_cast<int>(parse_int(flag, next(), 0, 1 << 24));
     } else {
       die_unknown_flag(flag);
     }
@@ -445,6 +487,37 @@ int main(int argc, char** argv) {
     load.seed = seed;
     if (load.num_blocks < p) die("need N >= P");
 
+    // --fault pass-through: the same deterministic schedule grammar as the
+    // one-shot path, with the ordinals spread out (stride 7) so the k-th
+    // fault lands deeper into the serve run's send stream. Each spec is
+    // one-shot — its `fired` state persists across every engine run of
+    // every cached session sharing the plan — so `--fault flip --fault
+    // crash` injects exactly two fault events into the whole scenario,
+    // replayed identically on every rerun.
+    fault::FaultPlan serve_plan;
+    for (std::size_t k = 0; k < fault_kinds.size(); ++k) {
+      const std::string& fk = fault_kinds[k];
+      const int rank = static_cast<int>((1 + k) % static_cast<std::size_t>(p));
+      const std::uint64_t nth = 2 + 7 * k;
+      if (fk == "delay") {
+        serve_plan.delay_message(rank, nth, 5e-3);
+      } else if (fk == "dup") {
+        serve_plan.duplicate_message(rank, nth);
+      } else if (fk == "flip") {
+        serve_plan.flip_bit(rank, nth, 17 * (k + 1));
+      } else if (fk == "straggle") {
+        serve_plan.straggle(rank, nth, 5e-3);
+      } else if (fk == "crash") {
+        serve_plan.crash_before_send(rank, nth);
+      } else {
+        die("unknown fault kind '" + fk + "' (delay|dup|flip|straggle|crash)");
+      }
+    }
+    if (!serve_plan.empty()) {
+      engine.fault_plan = &serve_plan;
+      engine.recv_timeout_wall = 10.0;  // hang detector (wall seconds)
+    }
+
     service::FactorCache::Options copts;
     copts.method = method;
     copts.nranks = p;
@@ -456,9 +529,14 @@ int main(int argc, char** argv) {
     sopts.window_s = serve_window_s;
     sopts.max_batch_cols = serve_max_batch;
     sopts.tenant_queue_quota = serve_quota;
+    sopts.resilience = resilience;
     service::Server server(cache, sopts);
 
-    const service::LoadResult lr = service::run_load(server, load);
+    // Shed-storm / breaker-trip watchdogs run over the load's admission
+    // counters; sinks are null here, so only the alert count surfaces (in
+    // the resilience summary line below).
+    obs::live::Watchdogs dogs({}, nullptr, nullptr, nullptr);
+    const service::LoadResult lr = service::run_load(server, load, nullptr, &dogs);
     const service::FactorCache::Stats& cs = cache.stats();
     const service::ServerStats& ss = server.stats();
     std::printf("ardbt: serve method=%s kind=%s N=%lld M=%lld P=%d arrival=%s\n",
@@ -485,9 +563,42 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.lookups), cache.size(),
                 static_cast<double>(cache.resident_bytes()) / 1e6,
                 static_cast<unsigned long long>(cs.evictions));
+    std::printf("  outcomes    : done %llu (degraded %llu), failed %llu, "
+                "deadline-exceeded %llu, gave-up %llu\n",
+                static_cast<unsigned long long>(lr.done),
+                static_cast<unsigned long long>(lr.degraded),
+                static_cast<unsigned long long>(lr.failed),
+                static_cast<unsigned long long>(lr.deadline_exceeded),
+                static_cast<unsigned long long>(lr.gave_up));
+    std::printf("  rejections  : quota %llu, shed %llu, breaker %llu, infeasible %llu, "
+                "cancelled %llu\n",
+                static_cast<unsigned long long>(lr.quota_rejected),
+                static_cast<unsigned long long>(lr.shed),
+                static_cast<unsigned long long>(lr.breaker_rejected),
+                static_cast<unsigned long long>(lr.deadline_infeasible),
+                static_cast<unsigned long long>(lr.deadline_cancelled));
+    std::printf("  resilience  : retries %llu (hedged %llu, denied %llu), breaker trips %llu, "
+                "invalidations %llu, alerts %zu\n",
+                static_cast<unsigned long long>(lr.retries),
+                static_cast<unsigned long long>(lr.hedges),
+                static_cast<unsigned long long>(lr.retries_denied),
+                static_cast<unsigned long long>(lr.breaker_trips),
+                static_cast<unsigned long long>(lr.invalidations), dogs.alerts_raised());
+    std::printf("  goodput     : %.6g req/s (done / makespan)\n", lr.goodput_rps);
+    // Exactly-one-typed-terminal-state ledger: every admitted request ends
+    // in done | failed | deadline-exceeded; every rejection has a class.
+    // tools/check_chaos.py asserts this line verbatim.
+    const bool balanced =
+        lr.completed == lr.issued &&
+        lr.done + lr.failed + lr.deadline_exceeded == lr.completed &&
+        lr.quota_rejected + lr.shed + lr.breaker_rejected + lr.deadline_infeasible == lr.rejected;
+    std::printf("  accounting  : %s\n", balanced ? "BALANCED" : "UNBALANCED");
     for (const auto& [tenant, completed] : lr.tenant_completed) {
+      // A tenant whose every request failed has no latency samples.
+      const auto p99_it = lr.tenant_p99_s.find(tenant);
       std::printf("  tenant %-5d: completed %llu, p99 %.6g s\n", tenant,
-                  static_cast<unsigned long long>(completed), lr.tenant_p99_s.at(tenant));
+                  static_cast<unsigned long long>(completed),
+                  p99_it != lr.tenant_p99_s.end() ? p99_it->second : 0.0);
     }
     return 0;
   }

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Sanitizer gate for the service/resilience layer.
+
+Configures and builds dedicated build trees with -DARDBT_ASAN=ON
+(address + undefined) and -DARDBT_UBSAN=ON (undefined only), builds just
+the service-layer test binaries, and runs them. The retry/containment
+machinery moves Sessions, Leases and panels across failure paths — the
+exact territory where a use-after-invalidate or a dangling Lease would
+hide; the sanitizers make those latent instead of lurking.
+
+The build trees live under the main build directory (passed as argv) and
+are reused across runs, so only the first invocation pays a full
+configure + compile.
+
+Usage: check_sanitizers.py <source-dir> <build-dir> <mode>
+  mode: asan | ubsan
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+TARGETS = ["test_service", "test_resilience"]
+MODES = {"asan": "ARDBT_ASAN", "ubsan": "ARDBT_UBSAN"}
+
+
+def fail(msg):
+    print(f"check_sanitizers: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, **kw):
+    proc = subprocess.run(cmd, capture_output=True, text=True, **kw)
+    if proc.returncode != 0:
+        fail(f"{' '.join(str(c) for c in cmd)} exited {proc.returncode}:\n"
+             f"{proc.stdout[-4000:]}\n{proc.stderr[-4000:]}")
+    return proc
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[3] not in MODES:
+        fail("usage: check_sanitizers.py <source-dir> <build-dir> asan|ubsan")
+    source = Path(sys.argv[1]).resolve()
+    mode = sys.argv[3]
+    tree = Path(sys.argv[2]).resolve() / f"sanitize-{mode}"
+
+    run(["cmake", "-B", str(tree), "-S", str(source),
+         f"-D{MODES[mode]}=ON", "-DCMAKE_BUILD_TYPE=RelWithDebInfo"])
+    run(["cmake", "--build", str(tree), "-j", "--target"] + TARGETS)
+    for target in TARGETS:
+        binary = tree / "tests" / target
+        if not binary.exists():
+            fail(f"{binary} not built")
+        proc = run([str(binary)])
+        tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+        print(f"check_sanitizers: {mode} {target}: {tail}")
+    print(f"check_sanitizers: PASS ({mode})")
+
+
+if __name__ == "__main__":
+    main()
