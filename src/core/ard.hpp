@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "src/btds/block_tridiag.hpp"
 #include "src/btds/distributed.hpp"
@@ -57,6 +58,37 @@ inline constexpr int kFwdSolve = 72;
 inline constexpr int kBwdSolve = 73;
 }  // namespace ard_tags
 
+/// Latency-hiding pipeline knobs (docs/PARALLELISM.md, "Latency-hiding
+/// pipeline"). Everything defaults off: the default path is byte-identical
+/// — solutions AND virtual times — to the pre-pipeline solver, so all
+/// committed baselines stay valid and the pipeline is a pure opt-in.
+struct PipelineOptions {
+  /// Overlap scan communication with compute. In the solve phase, RHS
+  /// panels are pipelined: the rank-local reduction of panel k+1 runs
+  /// while panel k's vector-part scan replay is in flight, the forward
+  /// and backward replays of one panel are round-interleaved, and each
+  /// round merges the half its next send depends on first so the message
+  /// is on the wire during the rest of the merge. In the factor phase the
+  /// two scans are round-interleaved the same way. Solutions are
+  /// bit-identical on/off and for any chunk size or --threads; only
+  /// virtual waits shrink.
+  bool overlap = false;
+  /// Columns per RHS panel in solve(B); 0 = one panel with all R columns.
+  /// Meaningful overlap needs at least two panels (chunk_cols < R); see
+  /// docs/PARALLELISM.md for sizing guidance.
+  la::index_t chunk_cols = 0;
+  /// Two-level hierarchical scan: split this rank's segment into `lanes`
+  /// sub-segments factored/reduced independently (par::Pool runs them in
+  /// parallel) and chained into the rank two-port locally, so the wall
+  /// clock of the O(M^3 N/P) local reduction drops while the cross-rank
+  /// scan keeps its log P rounds and wire protocol. 1 = flat.
+  /// Hierarchical solutions are numerically equivalent but NOT
+  /// bit-identical to the flat elimination order (it is a different —
+  /// equally stable — bracketing of the same prefix), and they are still
+  /// bit-identical across --threads/chunk/overlap for a fixed `lanes`.
+  int lanes = 1;
+};
+
 /// Solver knobs.
 struct ArdOptions {
   /// Consumed by the transfer-matrix ablation (see transfer_rd.hpp) when
@@ -75,6 +107,8 @@ struct ArdOptions {
   /// compares pivot magnitudes already computed — it never charges flops,
   /// so modeled virtual times are unchanged by any threshold.
   double breakdown_growth_threshold = 1e12;
+  /// Latency-hiding pipeline (overlap / RHS chunking / hierarchical scan).
+  PipelineOptions pipeline{};
 };
 
 /// Factor-once / solve-many distributed factorization.
@@ -135,6 +169,14 @@ class ArdFactorization {
   /// the breakdown monitor the drivers compare against
   /// ArdOptions::breakdown_growth_threshold.
   fault::PivotDiagnostics diagnostics() const {
+    if (!lanes_.empty()) {
+      fault::PivotDiagnostics d = lanes_.front().unmodified.pivot_diagnostics();
+      for (const Lane& ln : lanes_) {
+        d.merge(ln.unmodified.pivot_diagnostics());
+        d.merge(ln.modified.pivot_diagnostics());
+      }
+      return d;
+    }
     fault::PivotDiagnostics d = unmodified_.pivot_diagnostics();
     d.merge(modified_.pivot_diagnostics());
     return d;
@@ -154,6 +196,31 @@ class ArdFactorization {
   void local_phase(mpsim::Comm& comm, const SysView& sys);
   template <typename SysView>
   void global_phase(mpsim::Comm& comm, const SysView& sys);
+  template <typename SysView>
+  void local_phase_lanes(mpsim::Comm& comm, const SysView& sys);
+  template <typename SysView>
+  void global_phase_lanes(mpsim::Comm& comm, const SysView& sys);
+
+  /// Legacy serial solve path — byte-identical (solutions and virtual
+  /// times) to the pre-pipeline solver; taken when every pipeline knob is
+  /// at its default.
+  la::Matrix solve_local_flat(mpsim::Comm& comm, const la::Matrix& b_local) const;
+  /// Panel-pipelined / hierarchical solve path.
+  la::Matrix solve_local_panels(mpsim::Comm& comm, const la::Matrix& b_local) const;
+
+  /// Two-level scan active (PipelineOptions::lanes clamped to the local
+  /// segment produced more than one sub-segment).
+  bool hierarchical() const { return lanes_.size() > 1; }
+
+  /// One sub-segment of the two-level hierarchical scan.
+  struct Lane {
+    la::index_t lo = 0, hi = 0;  ///< block-row range within this segment
+    btds::ThomasFactorization unmodified;
+    btds::ThomasFactorization modified;  ///< with lane-boundary-folded corners
+    TwoPort tp;
+    la::Matrix a_first;  ///< A of the lane's first global row (zero on row 0)
+    la::Matrix c_last;   ///< C of the lane's last global row (zero on row N-1)
+  };
 
   int rank_ = 0;
   ArdOptions opts_{};
@@ -170,6 +237,17 @@ class ArdFactorization {
   la::Matrix c_hi_;                       // C_{hi-1} (zero on rank owning row N-1)
   CachedScan<TwoPortOp> fwd_;
   CachedScan<TwoPortOpReversed> bwd_;
+
+  /// Hierarchical-scan state (empty when lanes == 1). The local prefix /
+  /// suffix chains are merged once at factor time; solve replays them with
+  /// the cached merge matrices, exactly like the cross-rank scans.
+  std::vector<Lane> lanes_;
+  std::vector<TwoPort> fpre_;  ///< fpre_[i]: two-port of lanes [0, i), i >= 1
+  std::vector<TwoPort> bsuf_;  ///< bsuf_[i]: two-port of lanes [i, L), i >= 1
+  std::vector<TwoPortCache> fchain_cache_;    ///< [i]: merge(fpre_[i], lane i)
+  std::vector<TwoPortCache> bchain_cache_;    ///< [i]: merge(lane i, bsuf_[i+1])
+  std::vector<TwoPortCache> pre_mix_cache_;   ///< [i]: merge(cross-rank pre, fpre_[i])
+  std::vector<TwoPortCache> suf_mix_cache_;   ///< [i]: merge(bsuf_[i+1], cross-rank suf)
 };
 
 }  // namespace ardbt::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <optional>
 #include <span>
@@ -62,10 +63,13 @@ class CachedScan {
   CachedScan() = default;
 
   /// Phase A: exscan over matrix parts. `seg` is this rank's segment
-  /// total. Collective; `tag` must be unique per in-flight scan.
+  /// total. Collective. `tag` must be unique per in-flight scan — enforced
+  /// through the rank's tag registry: a collision throws
+  /// fault::TagCollisionError instead of silently cross-matching messages.
   static CachedScan factor(mpsim::Comm& comm, ScanDirection dir, Context ctx, Mat seg, int tag) {
     ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase,
                      dir == ScanDirection::kForward ? "scan.factor.fwd" : "scan.factor.bwd");
+    mpsim::TagGuard guard(comm, tag);
     CachedScan scan;
     scan.dir_ = dir;
     scan.ctx_ = ctx;
@@ -109,6 +113,7 @@ class CachedScan {
   std::optional<Vec> solve(mpsim::Comm& comm, Vec seg_vec, int tag) const {
     ARDBT_TRACE_SPAN(comm, obs::SpanKind::kPhase,
                      dir_ == ScanDirection::kForward ? "scan.replay.fwd" : "scan.replay.bwd");
+    mpsim::TagGuard guard(comm, tag);
     Vec partial = std::move(seg_vec);
     std::optional<Vec> result;
 
@@ -141,6 +146,181 @@ class CachedScan {
     recycle(std::move(partial));
     return result;
   }
+
+  /// Stepwise replay of the factored schedule — the latency-hiding
+  /// primitive behind pipelined panel solves. One Replay is one in-flight
+  /// scan: construct it with the segment vector part, `begin()` posts the
+  /// round-0 send, and each `finish_round()` receives one round, merges
+  /// the half the *next* send depends on first, puts that send on the wire,
+  /// and only then folds the exclusive-prefix half — so the next message
+  /// is in flight while the rest of the round's compute (and anything else
+  /// the caller interleaves between rounds) runs. The merge operands are
+  /// identical to the batch solve()'s, so results are bit-identical; only
+  /// virtual waits shrink. The tag is held in the rank's registry for the
+  /// lifetime of the Replay (collision = fault::TagCollisionError).
+  class Replay {
+   public:
+    Replay() = default;
+
+    /// Registers `tag`; does NOT communicate yet — call begin().
+    Replay(const CachedScan& scan, mpsim::Comm& comm, Vec seg_vec, int tag)
+        : scan_(&scan), tag_(tag), guard_(comm, tag), partial_(std::move(seg_vec)) {}
+
+    /// Post the round-0 send (collective with the peer Replays driving the
+    /// same factored scan). Deferring this to an explicit call lets an
+    /// unpipelined driver reproduce the serial schedule exactly.
+    void begin(mpsim::Comm& comm) { post_send(comm); }
+
+    bool done() const { return scan_ == nullptr || finished_ == scan_->rounds_.size(); }
+
+    /// True when the next round's message is already visible on the
+    /// virtual clock (never consumes it). Deterministic under ChargedFlops
+    /// timing — see Comm::recv_ready — so schedulers may branch on it.
+    bool ready(mpsim::Comm& comm) const {
+      return !done() && comm.recv_ready(scan_->rounds_[finished_].partner, tag_);
+    }
+
+    /// Receive one round and run its merges, next-send-first.
+    void finish_round(mpsim::Comm& comm) {
+      assert(scan_ != nullptr && sent_ > finished_ && finished_ < scan_->rounds_.size());
+      const Round& round = scan_->rounds_[finished_];
+      const auto raw = comm.recv_bytes(round.partner, tag_);
+      Vec tmp = Op::des_vec(scan_->ctx_, raw);
+      if (round.partner_is_lower) {
+        // The next round's outgoing partial needs only the partial merge —
+        // do it first and post the send, then fold the exclusive prefix
+        // while that message is in flight. Same operand pairs as the batch
+        // path, so the values (and the replayed caches) are identical.
+        Vec merged = Op::merge_vec(scan_->ctx_, round.cache_partial, tmp, partial_, comm);
+        scan_->recycle(std::move(partial_));
+        partial_ = std::move(merged);
+        ++finished_;
+        post_send(comm);
+        if (round.result_was_set) {
+          Vec prev = std::move(*result_);
+          result_ = Op::merge_vec(scan_->ctx_, *round.cache_result, tmp, prev, comm);
+          scan_->recycle(std::move(prev));
+          scan_->recycle(std::move(tmp));
+        } else {
+          result_ = std::move(tmp);
+        }
+      } else {
+        Vec merged = Op::merge_vec(scan_->ctx_, round.cache_partial, partial_, tmp, comm);
+        scan_->recycle(std::move(partial_));
+        scan_->recycle(std::move(tmp));
+        partial_ = std::move(merged);
+        ++finished_;
+        post_send(comm);
+      }
+    }
+
+    /// All rounds done: recycle the final partial, release the tag, and
+    /// hand back the exclusive-prefix vector part (nullopt on the
+    /// sequence-first rank).
+    std::optional<Vec> take_result() && {
+      assert(done());
+      if (scan_ != nullptr) scan_->recycle(std::move(partial_));
+      guard_.release();
+      return std::move(result_);
+    }
+
+   private:
+    void post_send(mpsim::Comm& comm) {
+      if (sent_ < scan_->rounds_.size() && sent_ <= finished_) {
+        comm.send_bytes(scan_->rounds_[sent_].partner, tag_,
+                        Op::ser_vec(scan_->ctx_, partial_));
+        ++sent_;
+      }
+    }
+
+    const CachedScan* scan_ = nullptr;
+    int tag_ = -1;
+    mpsim::TagGuard guard_;
+    Vec partial_{};
+    std::optional<Vec> result_;
+    std::size_t sent_ = 0;
+    std::size_t finished_ = 0;
+  };
+
+  /// Stepwise factor — the matrix-part counterpart of Replay, used to run
+  /// two scans (forward and backward) round-interleaved so each one's
+  /// merge compute hides the other's in-flight message. Construction posts
+  /// the round-0 send immediately; finish() seals the CachedScan.
+  class Factoring {
+   public:
+    Factoring(mpsim::Comm& comm, ScanDirection dir, Context ctx, Mat seg, int tag)
+        : tag_(tag), guard_(comm, tag), partial_(std::move(seg)) {
+      scan_.dir_ = dir;
+      scan_.ctx_ = ctx;
+      const int size = comm.size();
+      const int seq = seq_of(comm.rank(), size, dir);
+      for (const mpsim::ScanStep& step : mpsim::exscan_schedule(seq, size)) {
+        Round round;
+        round.partner = rank_of(step.partner, size, dir);
+        round.partner_is_lower = step.partner_is_lower;
+        scan_.rounds_.push_back(std::move(round));
+      }
+      post_send(comm);
+    }
+
+    bool done() const { return finished_ == scan_.rounds_.size(); }
+
+    bool ready(mpsim::Comm& comm) const {
+      return !done() && comm.recv_ready(scan_.rounds_[finished_].partner, tag_);
+    }
+
+    /// Receive one round; merge next-send-first exactly as Replay does.
+    void finish_round(mpsim::Comm& comm) {
+      assert(sent_ > finished_ && finished_ < scan_.rounds_.size());
+      Round& round = scan_.rounds_[finished_];
+      const auto raw = comm.recv_bytes(round.partner, tag_);
+      Mat tmp = Op::des_mat(scan_.ctx_, raw);
+      if (round.partner_is_lower) {
+        round.result_was_set = result_.has_value();
+        Mat merged = Op::merge_mat(scan_.ctx_, tmp, partial_, round.cache_partial, comm);
+        partial_ = std::move(merged);
+        ++finished_;
+        post_send(comm);
+        if (round.result_was_set) {
+          round.cache_result.emplace();
+          Mat prev = std::move(*result_);
+          result_ = Op::merge_mat(scan_.ctx_, tmp, prev, *round.cache_result, comm);
+        } else {
+          result_ = std::move(tmp);
+        }
+      } else {
+        partial_ = Op::merge_mat(scan_.ctx_, partial_, tmp, round.cache_partial, comm);
+        ++finished_;
+        post_send(comm);
+      }
+    }
+
+    /// Seal and return the factored scan; releases the tag.
+    CachedScan finish() && {
+      assert(done());
+      scan_.has_result_ = result_.has_value();
+      if (result_) scan_.result_mat_ = std::move(*result_);
+      guard_.release();
+      return std::move(scan_);
+    }
+
+   private:
+    void post_send(mpsim::Comm& comm) {
+      if (sent_ < scan_.rounds_.size() && sent_ <= finished_) {
+        comm.send_bytes(scan_.rounds_[sent_].partner, tag_,
+                        Op::ser_mat(scan_.ctx_, partial_));
+        ++sent_;
+      }
+    }
+
+    int tag_ = -1;
+    mpsim::TagGuard guard_;
+    CachedScan scan_;
+    Mat partial_{};
+    std::optional<Mat> result_;
+    std::size_t sent_ = 0;
+    std::size_t finished_ = 0;
+  };
 
   /// Whether this rank has a non-trivial exclusive prefix (false only for
   /// the sequence-first rank).

@@ -49,6 +49,8 @@ std::string_view to_string(ErrorCode code) {
       return "shape-mismatch";
     case ErrorCode::kInvalidArgument:
       return "invalid-argument";
+    case ErrorCode::kTagCollision:
+      return "tag-collision";
     case ErrorCode::kDeadlineInfeasible:
       return "deadline-infeasible";
     case ErrorCode::kDeadlineExceeded:
@@ -99,6 +101,7 @@ bool is_transient(ErrorCode code) {
     case ErrorCode::kInternal:
     case ErrorCode::kShapeMismatch:
     case ErrorCode::kInvalidArgument:
+    case ErrorCode::kTagCollision:
     case ErrorCode::kDeadlineInfeasible:
     case ErrorCode::kDeadlineExceeded:
     case ErrorCode::kOverload:

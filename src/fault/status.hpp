@@ -38,6 +38,7 @@ enum class ErrorCode : std::uint8_t {
   kInternal,         ///< invariant violation that is not a caller error
   kShapeMismatch,    ///< kernel called with incompatible matrix dimensions
   kInvalidArgument,  ///< malformed user input (e.g. a garbage numeric flag)
+  kTagCollision,     ///< two in-flight scans claimed the same message tag
   // Service-boundary outcomes (docs/SERVICE.md). These classify why the
   // admission controller or executor refused/abandoned a request; they are
   // terminal decisions about *this* request, so none of them is transient.
@@ -162,6 +163,29 @@ class InvalidArgumentError : public SolveError {
   /// precondition ("nranks must be positive").
   InvalidArgumentError(const char* where, const std::string& detail)
       : SolveError(ErrorCode::kInvalidArgument, std::string(where) + ": " + detail) {}
+};
+
+/// Two concurrently in-flight scans (or any two registered users) claimed
+/// the same message tag on one rank. Without the registry this is silent
+/// message cross-matching: the FIFO mailbox hands scan A a payload that
+/// belongs to scan B and both produce garbage. A collision is a protocol
+/// bug in the caller's schedule, never a runtime fault, so it is not
+/// transient.
+class TagCollisionError : public SolveError {
+ public:
+  TagCollisionError(int rank, int tag)
+      : SolveError(ErrorCode::kTagCollision,
+                   "rank " + std::to_string(rank) + ": tag " + std::to_string(tag) +
+                       " is already registered by an in-flight scan"),
+        rank_(rank),
+        tag_(tag) {}
+
+  int rank() const { return rank_; }
+  int tag() const { return tag_; }
+
+ private:
+  int rank_;
+  int tag_;
 };
 
 /// A typed receive got a payload whose size does not match the buffer.

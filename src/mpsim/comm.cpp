@@ -142,6 +142,15 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
   reset_cpu_baseline();
 }
 
+bool Comm::recv_ready(int src, int tag) {
+  assert(src >= 0 && src < size());
+  // Fold pending measured compute first so the cutoff is this rank's true
+  // current virtual instant; the probe itself never advances the clock.
+  sync_compute();
+  return world_->mailboxes[static_cast<std::size_t>(rank_)].peek_available(
+      src, tag, vtime_, world_->dead[static_cast<std::size_t>(src)]);
+}
+
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   assert(src >= 0 && src < size());
   sync_compute();

@@ -91,6 +91,45 @@ class Comm {
   /// Blocking receive of the next message from (src, tag).
   std::vector<std::byte> recv_bytes(int src, int tag);
 
+  /// Non-blocking receive progress on the virtual clock: true when the
+  /// next (src, tag) message is already visible at this rank's current
+  /// virtual time. Never consumes the message and never advances the
+  /// clock; may block wall-clock until the sender has physically pushed
+  /// (so under ChargedFlops the answer is a deterministic function of the
+  /// program, not of thread scheduling). Pipelined schedulers use it to
+  /// decide which in-flight scan round to finish first.
+  bool recv_ready(int src, int tag);
+
+  /// ---- message-tag registry ------------------------------------------
+  /// Every in-flight scan must own a distinct tag per rank: the mailbox
+  /// matches FIFO per (source, tag), so two concurrent users of one tag
+  /// silently cross-match each other's payloads. CachedScan used to carry
+  /// that rule as a comment; the registry makes it a typed runtime error.
+  /// Dynamic tags live at kDynamicTagBase and above, below the collective
+  /// range (1 << 24), leaving the small hand-picked tags (ard_tags, test
+  /// tags) free.
+  static constexpr int kDynamicTagBase = 1 << 20;
+
+  /// Claim `tag` on this rank until release_tag. Throws
+  /// fault::TagCollisionError if it is already held — the loud replacement
+  /// for silent message cross-matching. Prefer the RAII TagGuard.
+  void register_tag(int tag) {
+    if (!tags_in_use_.insert(tag).second) throw fault::TagCollisionError(rank_, tag);
+  }
+  void release_tag(int tag) { tags_in_use_.erase(tag); }
+
+  /// Lowest free dynamic tag (>= kDynamicTagBase) on this rank. Picks
+  /// without claiming: the caller registers it (typically via the TagGuard
+  /// inside CachedScan's steppers), so two users of the same pick collide
+  /// loudly instead of racing. Because the solve schedule is
+  /// SPMD-symmetric, every rank's allocator hands out the same sequence,
+  /// which is what makes a picked tag valid as a cross-rank message tag.
+  int next_tag() const {
+    int t = kDynamicTagBase;
+    while (tags_in_use_.contains(t)) ++t;
+    return t;
+  }
+
   /// Typed send of a span of trivially copyable elements.
   template <typename T>
   void send(int dst, int tag, std::span<const T> data) {
@@ -211,6 +250,42 @@ class Comm {
   /// out of send order, so a last-seq comparison would misfire — membership
   /// is the only correct test. Allocated only when a plan is installed.
   std::vector<std::unordered_set<std::uint64_t>> seen_seqs_;
+  /// Rank-local set of registered (in-flight) message tags.
+  std::unordered_set<int> tags_in_use_;
+};
+
+/// RAII claim on a message tag (see Comm::register_tag). Movable so scan
+/// steppers can own their tag for exactly the in-flight window.
+class TagGuard {
+ public:
+  TagGuard() = default;
+  TagGuard(Comm& comm, int tag) : comm_(&comm), tag_(tag) { comm.register_tag(tag); }
+  TagGuard(TagGuard&& other) noexcept : comm_(other.comm_), tag_(other.tag_) {
+    other.comm_ = nullptr;
+  }
+  TagGuard& operator=(TagGuard&& other) noexcept {
+    if (this != &other) {
+      release();
+      comm_ = other.comm_;
+      tag_ = other.tag_;
+      other.comm_ = nullptr;
+    }
+    return *this;
+  }
+  TagGuard(const TagGuard&) = delete;
+  TagGuard& operator=(const TagGuard&) = delete;
+  ~TagGuard() { release(); }
+
+  void release() {
+    if (comm_ != nullptr) {
+      comm_->release_tag(tag_);
+      comm_ = nullptr;
+    }
+  }
+
+ private:
+  Comm* comm_ = nullptr;
+  int tag_ = -1;
 };
 
 }  // namespace ardbt::mpsim

@@ -90,6 +90,28 @@ class Mailbox {
     }
   }
 
+  /// Non-blocking progress probe on the *virtual* clock: block (wall) only
+  /// until a message from (source, tag) is physically queued, then report
+  /// whether its FIFO-front match is already visible at virtual instant
+  /// `cutoff` (available_vtime <= cutoff) WITHOUT consuming it. The result
+  /// depends only on virtual times, so under ChargedFlops timing it is a
+  /// deterministic function of the program — schedulers can use it to pick
+  /// which of several in-flight scans to advance first. A dead source with
+  /// nothing queued reports true so the caller's next blocking pop observes
+  /// the death through the normal AbortedError path.
+  bool peek_available(int source, int tag, double cutoff,
+                      const std::atomic<bool>& source_dead) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      const bool dead = source_dead.load(std::memory_order_acquire);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->source == source && it->tag == tag) return it->available_vtime <= cutoff;
+      }
+      if (dead) return true;
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
   /// Wake any blocked pop so it can observe a peer death.
   void interrupt() { cv_.notify_all(); }
 

@@ -250,10 +250,16 @@ void Server::run_batch(Fingerprint fp, double close_s) {
           fault::is_transient(failure) && rs.max_retries > 0 && attempts <= rs.max_retries;
       if (want_retry && spend_retry_token(items, live)) {
         ++stats_.resilience.retries;
-        if (rs.hedge && !hedged) {
+        if (rs.hedge && !hedged && (rs.hedge_delay_s > 0.0 || have_est_)) {
           // Hedged attempt: modeled as launched hedge_delay after the
           // primary, overlapping it — the failed primary costs only the
           // hedge delay instead of its full estimate plus a backoff.
+          // Cold start guard: before the first completion the EWMA has no
+          // sample (est_service_s_ == 0), so a derived hedge delay would be
+          // zero — a free instant hedge for every transient failure in the
+          // cold window. Without an explicit --hedge-delay the first
+          // attempt falls back to the jittered backoff instead and hedging
+          // arms itself once a real service time has been observed.
           hedged = true;
           ++stats_.resilience.hedges;
           const double delay =

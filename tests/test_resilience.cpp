@@ -101,6 +101,7 @@ TEST(Classification, EveryErrorCodeIsClassified) {
       ErrorCode::kNonSpdPivot,  ErrorCode::kBreakdown,
       ErrorCode::kMessageSize,  ErrorCode::kInternal,
       ErrorCode::kShapeMismatch, ErrorCode::kInvalidArgument,
+      ErrorCode::kTagCollision,  // a tag claim bug is deterministic
       ErrorCode::kDeadlineInfeasible, ErrorCode::kDeadlineExceeded,
       ErrorCode::kOverload,     ErrorCode::kCircuitOpen,
   };
@@ -460,6 +461,77 @@ TEST(Retries, HedgedAttemptOverlapsTheFailedPrimary) {
   EXPECT_EQ(hedged.hedges, 1u);
   EXPECT_EQ(plain.hedges, 0u);
   EXPECT_LT(hedged.finish_s, plain.finish_s);
+}
+
+TEST(Retries, ColdStartHedgeFallsBackToBackoff) {
+  // Regression: before the first completion the service-time EWMA has no
+  // sample (est_service_s_ == 0), so a hedge delay derived from it was
+  // zero — every transient failure in the cold window hedged instantly
+  // and for free. A cold server with --hedge but no explicit hedge delay
+  // must take the jittered backoff path instead.
+  const auto sys = shared_problem(ProblemKind::kDiagDominant, 12, 3, 5);
+  const Fingerprint fp = fingerprint(*sys);
+  const la::Matrix rhs = make_rhs(12, 3, 1, 35);
+
+  fault::FaultPlan plan;
+  plan.crash_before_send(0, 1);  // fails the very first (cold) attempt
+  FactorCache::Options copts = cache_options();
+  copts.session.engine.fault_plan = &plan;
+  FactorCache cache(copts);
+  ServerOptions opts;
+  opts.window_s = 1e-3;
+  opts.resilience.max_retries = 2;
+  opts.resilience.retry_backoff_s = 1e-3;
+  opts.resilience.hedge = true;  // hedge requested, but the estimate is cold
+  Server server(cache, opts);
+  server.register_system(fp, [sys] { return sys; });
+  ASSERT_TRUE(server.submit(make_request(0, fp, rhs, 0.0)));
+  server.drain();
+
+  ASSERT_EQ(server.completions().size(), 1u);
+  const Completion& c = server.completions()[0];
+  EXPECT_EQ(c.outcome, Outcome::kDone);
+  EXPECT_EQ(c.attempts, 2);
+  // The cold retry must NOT be recorded as a hedge...
+  EXPECT_FALSE(c.hedged);
+  EXPECT_EQ(server.stats().resilience.hedges, 0u);
+  // ...and must pay a real (strictly positive) backoff: the finish time
+  // replays the documented jitter stream, never the zero-delay hedge.
+  std::uint64_t state = opts.resilience.seed ^ (0x9e3779b97f4a7c15ull * (0 + 1));
+  const double j1 = jittered(state, 1e-3);
+  EXPECT_GT(j1, 0.0);
+  EXPECT_GE(c.finish_s - c.start_s, j1);
+}
+
+TEST(Retries, ColdStartExplicitHedgeDelayStillHedges) {
+  // Companion: an explicit --hedge-delay is usable from a cold start — the
+  // guard only disarms the *derived* (EWMA-based) delay.
+  const auto sys = shared_problem(ProblemKind::kDiagDominant, 12, 3, 6);
+  const Fingerprint fp = fingerprint(*sys);
+  const la::Matrix rhs = make_rhs(12, 3, 1, 36);
+
+  fault::FaultPlan plan;
+  plan.crash_before_send(0, 1);
+  FactorCache::Options copts = cache_options();
+  copts.session.engine.fault_plan = &plan;
+  FactorCache cache(copts);
+  ServerOptions opts;
+  opts.window_s = 1e-3;
+  opts.resilience.max_retries = 2;
+  opts.resilience.retry_backoff_s = 1e-3;
+  opts.resilience.hedge = true;
+  opts.resilience.hedge_delay_s = 5e-4;
+  Server server(cache, opts);
+  server.register_system(fp, [sys] { return sys; });
+  ASSERT_TRUE(server.submit(make_request(0, fp, rhs, 0.0)));
+  server.drain();
+
+  ASSERT_EQ(server.completions().size(), 1u);
+  const Completion& c = server.completions()[0];
+  EXPECT_EQ(c.outcome, Outcome::kDone);
+  EXPECT_TRUE(c.hedged);
+  EXPECT_EQ(server.stats().resilience.hedges, 1u);
+  EXPECT_GE(c.finish_s - c.start_s, opts.resilience.hedge_delay_s);
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,9 @@
 //   --seed    generator seed                                [42]
 //   --timing  charged (deterministic virtual clock) | measured [charged]
 //   --threads worker threads per rank for the solve kernels [1]
+//   --overlap pipeline scan communication behind compute (ard only) [off]
+//   --chunk   RHS columns per solve panel, 0 = all of R (ard only)  [0]
+//   --lanes   intra-rank lanes of the two-level scan (ard only)     [1]
 //   --refine  extra iterative-refinement steps (ard only)   [0]
 //   --load-sys PATH   solve a system saved with save_block_tridiag
 //                     (overrides --kind/--n/--m)
@@ -105,6 +108,7 @@ using namespace ardbt;
 
 constexpr const char* kKnownFlags[] = {
     "--method", "--kind",     "--n",        "--m",      "--p",     "--r",
+    "--overlap", "--chunk",   "--lanes",
     "--seed",   "--timing",   "--threads",  "--refine", "--load-sys", "--save-sys",
     "--save-x", "--trace",    "--json",     "--metrics", "--list",  "--help",
     "--on-breakdown", "--fault", "--plant-pivot", "--plant-eps",
@@ -112,7 +116,7 @@ constexpr const char* kKnownFlags[] = {
     "--serve",  "--arrival",  "--requests", "--tenants", "--clients", "--window",
     "--max-batch", "--pool",  "--hot",      "--think",  "--rate",  "--quota",
     "--budget-mb",
-    "--deadline", "--retries", "--hedge", "--retry-budget", "--shed-queue",
+    "--deadline", "--retries", "--hedge", "--hedge-delay", "--retry-budget", "--shed-queue",
     "--shed-backlog", "--breaker", "--breaker-cooldown", "--max-resubmits",
 };
 
@@ -214,6 +218,17 @@ void print_usage() {
   std::printf("  --timing MODE    charged (deterministic) | measured\n");
   std::printf("  --threads T      worker threads per rank for the solve kernels\n");
   std::printf("                   (default 1; results are bit-identical for any T)\n");
+  std::printf("  --overlap        pipeline scan communication behind compute (ard):\n");
+  std::printf("                   round-interleaved fwd/bwd scans and RHS-panel\n");
+  std::printf("                   software pipelining; solutions bit-identical\n");
+  std::printf("                   on/off, only virtual waits shrink\n");
+  std::printf("  --chunk C        RHS columns per solve panel (0 = all of R);\n");
+  std::printf("                   with --overlap, panel k+1's local reduction\n");
+  std::printf("                   hides panel k's in-flight scan rounds\n");
+  std::printf("  --lanes L        two-level hierarchical scan: L intra-rank lanes\n");
+  std::printf("                   reduce the segment in parallel before the\n");
+  std::printf("                   cross-rank scan (default 1 = flat;\n");
+  std::printf("                   docs/PARALLELISM.md)\n");
   std::printf("  --refine K       iterative-refinement steps (ard only)\n");
   std::printf("  --load-sys PATH  solve a saved system (overrides --kind/--n/--m)\n");
   std::printf("  --save-sys PATH  save the generated system\n");
@@ -259,6 +274,8 @@ void print_usage() {
   std::printf("  --retries K      serve: service-level retries of a batch that\n");
   std::printf("                   failed with a transient fault status (0)\n");
   std::printf("  --hedge          serve: take the first retry as a hedged attempt\n");
+  std::printf("  --hedge-delay S  serve: explicit hedge delay (default: half the EWMA\n");
+  std::printf("                   service estimate; a cold server does not hedge)\n");
   std::printf("  --retry-budget R serve: retry tokens accrued per admitted column\n");
   std::printf("                   per tenant, capped at a burst of 4 (0.1)\n");
   std::printf("  --shed-queue N   serve: shed admissions at N queued cols, 0 = off\n");
@@ -341,6 +358,7 @@ int main(int argc, char** argv) {
   int serve_quota = 0;
   double serve_budget_mb = 0.0;
   service::ResilienceOptions resilience;
+  core::ArdOptions ard_opts;
   mpsim::EngineOptions engine;
   engine.timing = mpsim::TimingMode::ChargedFlops;
   engine.cost = mpsim::CostModel::cluster2014();
@@ -367,6 +385,12 @@ int main(int argc, char** argv) {
       p = static_cast<int>(parse_int(flag, next(), 1, std::numeric_limits<int>::max()));
     } else if (flag == "--r") {
       r = static_cast<la::index_t>(parse_int(flag, next(), 1));
+    } else if (flag == "--overlap") {
+      ard_opts.pipeline.overlap = true;
+    } else if (flag == "--chunk") {
+      ard_opts.pipeline.chunk_cols = static_cast<la::index_t>(parse_int(flag, next(), 0));
+    } else if (flag == "--lanes") {
+      ard_opts.pipeline.lanes = static_cast<int>(parse_int(flag, next(), 1, 1 << 16));
     } else if (flag == "--seed") {
       seed = static_cast<std::uint64_t>(parse_int(flag, next(), 0));
     } else if (flag == "--refine") {
@@ -452,6 +476,8 @@ int main(int argc, char** argv) {
       resilience.max_retries = static_cast<int>(parse_int(flag, next(), 0, 1 << 16));
     } else if (flag == "--hedge") {
       resilience.hedge = true;
+    } else if (flag == "--hedge-delay") {
+      resilience.hedge_delay_s = parse_double(flag, next(), 0.0);
     } else if (flag == "--retry-budget") {
       resilience.retry_budget_ratio = parse_double(flag, next(), 0.0);
       // Ratio 0 means "no retry budget at all": also drop the initial
@@ -705,7 +731,7 @@ int main(int argc, char** argv) {
             mpsim::barrier(comm);
             const double t0 = comm.vtime();
             auto factor_span = comm.trace_scope(obs::SpanKind::kPhase, "driver.factor");
-            const auto f = core::ArdFactorization::factor(comm, sys, part);
+            const auto f = core::ArdFactorization::factor(comm, sys, part, ard_opts);
             mpsim::barrier(comm);
             factor_span.close();
             if (comm.rank() == 0) res.factor_vtime = comm.vtime() - t0;
@@ -721,8 +747,8 @@ int main(int argc, char** argv) {
           },
           engine);
     } else {
-      session = std::make_unique<core::Session>(method, sys, p,
-                                                core::SessionConfig{.engine = engine});
+      session = std::make_unique<core::Session>(
+          method, sys, p, core::SessionConfig{.ard = ard_opts, .engine = engine});
       if (live) session->set_telemetry(live->handle());
       session->factor();
       res.x = session->solve(b);
@@ -885,6 +911,9 @@ int main(int argc, char** argv) {
         .config("timing",
                 engine.timing == mpsim::TimingMode::ChargedFlops ? "charged" : "measured")
         .config("threads", engine.threads_per_rank)
+        .config("overlap", ard_opts.pipeline.overlap)
+        .config("chunk", static_cast<std::int64_t>(ard_opts.pipeline.chunk_cols))
+        .config("lanes", ard_opts.pipeline.lanes)
         .config("refine", refine_steps)
         .config("on_breakdown", std::string(fault::to_string(engine.on_breakdown)));
     obs::Json timing = obs::Json::object();

@@ -36,8 +36,10 @@ SCENARIOS = [
      {r"retries (\d+)": 1}),
     ("retry-flip", ["--fault", "flip", "--retries", "2"],
      {r"retries (\d+)": 1}),
+    # The explicit delay keeps the hedge armed even on a cold server (no
+    # EWMA service estimate yet, so auto-delay would sit the first batch out).
     ("hedged-retry", ["--fault", "crash", "--fault", "flip", "--retries", "2",
-                      "--hedge"],
+                      "--hedge", "--hedge-delay", "2e-4"],
      {r"hedged (\d+)": 1}),
     ("no-retry-contains", ["--fault", "crash"],
      {r"failed (\d+)": 1}),

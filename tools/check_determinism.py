@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Determinism gate for the intra-rank thread pool.
+"""Determinism gate for the intra-rank thread pool and the scan pipeline.
 
 Runs the ardbt CLI twice on the same problem — once with --threads 1 and
 once with --threads 3 — and checks the contract that par::Pool promises:
@@ -14,6 +14,12 @@ once with --threads 3 — and checks the contract that par::Pool promises:
   critical path, per-rank breakdowns, phase percentiles, and oracle
   verdicts are all derived from the virtual clock, so the worker count
   must not perturb a single value.
+
+Then repeats the solution check along the latency-hiding pipeline axis
+(docs/PARALLELISM.md): --overlap with a small --chunk must keep the
+solution byte-identical to the batch scheduler, at both thread counts —
+the pipeline reorders the schedule, never the arithmetic on any one
+value's dependency chain.
 
 Usage: check_determinism.py /path/to/ardbt
 """
@@ -30,12 +36,16 @@ def fail(msg):
     sys.exit(1)
 
 
-def run_once(cli, tmp, threads):
-    x_path = Path(tmp) / f"x{threads}.bin"
-    report_path = Path(tmp) / f"report{threads}.json"
+def run_once(cli, tmp, threads, overlap=False, chunk=0, tag=""):
+    x_path = Path(tmp) / f"x{threads}{tag}.bin"
+    report_path = Path(tmp) / f"report{threads}{tag}.json"
     cmd = [cli, "--method", "ard", "--kind", "poisson2d", "--n", "96",
            "--m", "6", "--p", "3", "--r", "17", "--threads", str(threads),
            "--save-x", str(x_path), "--json", str(report_path)]
+    if overlap:
+        cmd += ["--overlap"]
+    if chunk:
+        cmd += ["--chunk", str(chunk)]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
@@ -50,11 +60,25 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         x1, report1 = run_once(cli, tmp, threads=1)
         x3, report3 = run_once(cli, tmp, threads=3)
+        pipelined = {
+            (threads, chunk): run_once(cli, tmp, threads=threads, overlap=True,
+                                       chunk=chunk, tag=f"o{chunk}")[0]
+            for threads in (1, 3) for chunk in (5,)
+        }
 
     if x1 != x3:
         fail(f"solutions differ between --threads 1 and --threads 3 "
              f"({len(x1)} vs {len(x3)} bytes)")
     print(f"check_determinism: solutions byte-identical ({len(x1)} bytes)")
+
+    # Pipeline axis: overlap + chunked panels must not move a single bit,
+    # whatever the worker count.
+    for (threads, chunk), xb in sorted(pipelined.items()):
+        if xb != x1:
+            fail(f"solution differs with --overlap --chunk {chunk} "
+                 f"--threads {threads} (pipeline broke bit-identity)")
+    print("check_determinism: solutions byte-identical with --overlap --chunk 5 "
+          "at --threads 1 and 3")
 
     # cpu_seconds / wall_s are measured and vary run to run; everything the
     # virtual-time model produces must be exactly equal.

@@ -85,6 +85,14 @@ def load_report(path):
         fail(3, f"{path}: missing {HISTORY_SCHEMA!r} header line")
     if not entries:
         fail(3, f"{path}: history has no run entries")
+    # A history stream must be version-homogeneous: a baseline silently
+    # drawn from a stream mixing old- and new-schema records could compare
+    # columns with different meanings. Refuse loudly; the fix is to
+    # regenerate the stale datapoints (see EXPERIMENTS.md).
+    versions = sorted({entry.get("version") for entry in entries})
+    if len(versions) > 1:
+        fail(3, f"{path}: mixed run_report versions {versions} in one history stream "
+                "(regenerate the stale entries instead of comparing across schemas)")
     return entries[-1]
 
 
@@ -192,8 +200,30 @@ def main():
         failures, _ = compare(base, slow, args.threshold, args.min_seconds)
         if not failures:
             fail(1, "gate did not flag a synthetic 2x slowdown")
+        # Mixed-version history fixture: a stream holding both an old- and a
+        # current-schema record must be refused (exit 3), never silently
+        # compared.
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh_path = Path(tmp) / "fresh.json"
+            fresh_path.write_text(json.dumps(base))
+            old = copy.deepcopy(base)
+            old["version"] = 1
+            mixed_path = Path(tmp) / "mixed_history.json"
+            mixed_path.write_text("\n".join([
+                json.dumps({"schema": HISTORY_SCHEMA, "version": 1}),
+                json.dumps(old),
+                json.dumps(base),
+            ]) + "\n")
+            proc = subprocess.run(
+                [sys.executable, __file__, "--baseline", str(mixed_path),
+                 "--fresh", str(fresh_path)],
+                capture_output=True, text=True)
+            if proc.returncode != 3 or "mixed run_report versions" not in proc.stderr:
+                fail(1, f"mixed-version history fixture not refused "
+                        f"(exit {proc.returncode}): {proc.stderr.strip()}")
         print(f"perf_gate: self-test ok ({checked} cells; 2x fixture raised "
-              f"{len(failures)} failure(s), e.g. {failures[0]})")
+              f"{len(failures)} failure(s), e.g. {failures[0]}; "
+              "mixed-version history refused)")
         print("perf_gate: PASS")
         return
 
