@@ -394,8 +394,15 @@ void ArdFactorization::solve(mpsim::Comm& comm, const la::Matrix& b, la::Matrix&
 }
 
 la::Matrix ArdFactorization::solve_local(mpsim::Comm& comm, const la::Matrix& b_local) const {
+  // Dispatch on the global options only, never on hierarchical():
+  // lane construction is rank-local (a rank needs >= 2 block rows), so on
+  // an uneven partition some ranks may have no lanes while others do. The
+  // flat path replays with the fixed kFwdSolve/kBwdSolve tags, the panels
+  // path with dynamic per-panel tags — a mixed fleet would wait on tags
+  // its scan partner never sends. solve_local_panels degenerates
+  // correctly to the single-lane segment when this rank built no lanes.
   const PipelineOptions& pl = opts_.pipeline;
-  if (!hierarchical() && !pl.overlap && pl.chunk_cols <= 0) {
+  if (pl.lanes <= 1 && !pl.overlap && pl.chunk_cols <= 0) {
     return solve_local_flat(comm, b_local);
   }
   return solve_local_panels(comm, b_local);
@@ -741,17 +748,35 @@ std::size_t ArdFactorization::storage_bytes() const {
                                                  tp_.S.size() + tp_.a_first.size() +
                                                  tp_.c_last.size()) *
                         sizeof(double);
+  const auto mat_bytes = [](const la::Matrix& a) {
+    return static_cast<std::size_t>(a.size()) * sizeof(double);
+  };
+  const auto tp_size = [&](const TwoPort& t) {
+    return mat_bytes(t.P) + mat_bytes(t.Q) + mat_bytes(t.R) + mat_bytes(t.S) +
+           mat_bytes(t.a_first) + mat_bytes(t.c_last);
+  };
+  const auto cache_size = [&](const TwoPortCache& c) {
+    return mat_bytes(c.x1) + mat_bytes(c.x2) + mat_bytes(c.x3) + mat_bytes(c.x4);
+  };
   if (hierarchical()) {
-    // Lane factorizations replace the two flat segment factorizations; the
-    // cached lane chains and mixes add ~6 merge events per interior lane.
+    // Lane factorizations replace the two flat segment factorizations.
+    // Everything the solve replay retains — lane two-ports, the fpre_/
+    // bsuf_ prefix/suffix chains, and the chain/mix merge caches — is
+    // summed at its actual size so budget-based admission sees the same
+    // fidelity as the flat path.
     std::size_t lane_bytes = 0;
     for (const Lane& ln : lanes_) {
-      lane_bytes += ln.unmodified.storage_bytes() + ln.modified.storage_bytes();
+      lane_bytes += ln.unmodified.storage_bytes() + ln.modified.storage_bytes() +
+                    tp_size(ln.tp) + mat_bytes(ln.a_first) + mat_bytes(ln.c_last);
     }
-    const std::size_t chain_events = 6 * (lanes_.size() - 1);
+    for (const TwoPort& t : fpre_) lane_bytes += tp_size(t);
+    for (const TwoPort& t : bsuf_) lane_bytes += tp_size(t);
+    for (const TwoPortCache& c : fchain_cache_) lane_bytes += cache_size(c);
+    for (const TwoPortCache& c : bchain_cache_) lane_bytes += cache_size(c);
+    for (const TwoPortCache& c : pre_mix_cache_) lane_bytes += cache_size(c);
+    for (const TwoPortCache& c : suf_mix_cache_) lane_bytes += cache_size(c);
     return lane_bytes + scan_cache(fwd_.num_rounds()) + scan_cache(bwd_.num_rounds()) +
-           chain_events * 4 * static_cast<std::size_t>(m_ * m_) * sizeof(double) + tp_bytes +
-           static_cast<std::size_t>(a_lo_.size() + c_hi_.size()) * sizeof(double);
+           tp_bytes + static_cast<std::size_t>(a_lo_.size() + c_hi_.size()) * sizeof(double);
   }
   return unmodified_.storage_bytes() + modified_.storage_bytes() +
          scan_cache(fwd_.num_rounds()) + scan_cache(bwd_.num_rounds()) + tp_bytes +

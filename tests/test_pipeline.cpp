@@ -107,6 +107,29 @@ TEST(Pipeline, HierarchicalLanesResidualAndFixedLaneBitIdentity) {
       }
 }
 
+// Regression (uneven partitions): solve_local used to dispatch on the
+// rank-local hierarchical() flag, so with lanes > 1 and P <= N < 2P the
+// single-row ranks replayed the cross-rank scans with the fixed
+// kFwdSolve/kBwdSolve tags while multi-row ranks used dynamic panel tags
+// — each side waited on a tag its partner never sent and solve() hung.
+// The dispatch is options-only now: the mixed fleet must complete, solve
+// accurately, and stay bit-identical across the other pipeline knobs.
+TEST(Pipeline, UnevenPartitionWithLanesDoesNotDeadlock) {
+  const index_t n = 5, m = 3, r = 4;
+  const int p = 4;  // rows split {2,1,1,1}: only rank 0 builds lanes
+  const auto sys = make_problem(ProblemKind::kDiagDominant, n, m);
+  const auto b = make_rhs(n, m, r);
+
+  const la::Matrix base = pipeline_solve(sys, b, p, false, 0, 2, 1);
+  EXPECT_LT(btds::relative_residual(sys, base, b), 1e-12);
+
+  for (const bool overlap : {false, true})
+    for (const index_t chunk : {index_t{0}, index_t{2}}) {
+      const la::Matrix x = pipeline_solve(sys, b, p, overlap, chunk, 2, 1);
+      EXPECT_EQ(max_abs_diff(base, x), 0.0) << "overlap=" << overlap << " chunk=" << chunk;
+    }
+}
+
 struct OverlapRun {
   obs::Attribution attr;
   double solve_vtime = 0.0;

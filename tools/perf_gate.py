@@ -89,7 +89,9 @@ def load_report(path):
     # drawn from a stream mixing old- and new-schema records could compare
     # columns with different meanings. Refuse loudly; the fix is to
     # regenerate the stale datapoints (see EXPERIMENTS.md).
-    versions = sorted({entry.get("version") for entry in entries})
+    # key=repr: legacy records may lack "version" entirely, and None is not
+    # orderable against ints — the guard must still refuse, not traceback.
+    versions = sorted({entry.get("version") for entry in entries}, key=repr)
     if len(versions) > 1:
         fail(3, f"{path}: mixed run_report versions {versions} in one history stream "
                 "(regenerate the stale entries instead of comparing across schemas)")
@@ -220,6 +222,24 @@ def main():
                 capture_output=True, text=True)
             if proc.returncode != 3 or "mixed run_report versions" not in proc.stderr:
                 fail(1, f"mixed-version history fixture not refused "
+                        f"(exit {proc.returncode}): {proc.stderr.strip()}")
+            # Legacy records may lack "version" entirely; the refusal must
+            # still be the clean exit-3 diagnostic (None vs int used to
+            # raise TypeError inside sorted() and traceback instead).
+            unversioned = copy.deepcopy(base)
+            unversioned.pop("version", None)
+            legacy_path = Path(tmp) / "legacy_history.json"
+            legacy_path.write_text("\n".join([
+                json.dumps({"schema": HISTORY_SCHEMA, "version": 1}),
+                json.dumps(unversioned),
+                json.dumps(base),
+            ]) + "\n")
+            proc = subprocess.run(
+                [sys.executable, __file__, "--baseline", str(legacy_path),
+                 "--fresh", str(fresh_path)],
+                capture_output=True, text=True)
+            if proc.returncode != 3 or "mixed run_report versions" not in proc.stderr:
+                fail(1, f"versionless legacy-record fixture not refused cleanly "
                         f"(exit {proc.returncode}): {proc.stderr.strip()}")
         print(f"perf_gate: self-test ok ({checked} cells; 2x fixture raised "
               f"{len(failures)} failure(s), e.g. {failures[0]}; "
